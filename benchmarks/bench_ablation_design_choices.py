@@ -1,0 +1,113 @@
+"""Ablations of DynaPipe's own design knobs (DESIGN.md §5).
+
+These are not paper figures; they quantify the design choices the paper
+mentions in passing and that `DESIGN.md` calls out as worth ablating:
+
+* the number of ``t_max`` candidates the DP samples (paper: every 5 µs) —
+  solution quality vs planning time;
+* the number of execution-time clusters used by the micro-batch
+  injection-order search (paper: 3–4 clusters suffice).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.adaptive_schedule import AdaptiveScheduler, ScheduleKind
+from repro.core.microbatch import DynamicMicroBatcher
+from repro.core.microbatch_ordering import cluster_and_order
+from repro.data.sampler import MiniBatchSampler
+from repro.simulator.engine import simulate_schedule
+
+from common import cost_model, emit, truncated_samples
+
+MAX_SEQ_LEN = 2048
+GLOBAL_BATCH_TOKENS = 32768
+NUM_GPUS = 4
+PIPELINE_STAGES = 4
+
+
+def _minibatch():
+    samples = truncated_samples(MAX_SEQ_LEN, True)
+    return next(iter(MiniBatchSampler(list(samples), GLOBAL_BATCH_TOKENS, seed=0))).samples
+
+
+def run_tmax_ablation():
+    cm = cost_model("gpt", NUM_GPUS, PIPELINE_STAGES, 1, 1, MAX_SEQ_LEN)
+    minibatch = _minibatch()
+    rows = []
+    for candidates in (2, 4, 8, 16, 32, 64):
+        batcher = DynamicMicroBatcher(cm, tmax_sample_count=candidates)
+        start = time.perf_counter()
+        result = batcher.split(minibatch)
+        elapsed = time.perf_counter() - start
+        solution = batcher.last_solution
+        assert solution is not None
+        iteration_ms = cm.iteration_time_ms([mb.shape() for mb in result.micro_batches])
+        rows.append(
+            [candidates, round(iteration_ms, 1), solution.num_microbatches, round(elapsed, 3)]
+        )
+    return rows
+
+
+def test_ablation_tmax_candidates(benchmark, capsys):
+    rows = benchmark.pedantic(run_tmax_ablation, rounds=1, iterations=1)
+    emit(
+        "ablation_tmax_candidates",
+        "Ablation: number of t_max candidates vs DP solution quality and planning time",
+        ["tmax_candidates", "eq1_iteration_ms", "num_microbatches", "planning_s"],
+        rows,
+        capsys,
+    )
+    objectives = [row[1] for row in rows]
+    # More candidates never hurt the objective, and a handful already gets
+    # within 5% of the best found.
+    assert min(objectives) == objectives[-1] or objectives[-1] <= min(objectives) * 1.01
+    assert objectives[2] <= min(objectives) * 1.05
+
+
+def run_cluster_ablation():
+    cm = cost_model("gpt", NUM_GPUS, PIPELINE_STAGES, 1, 1, MAX_SEQ_LEN)
+    scheduler = AdaptiveScheduler(cm)
+    minibatch = _minibatch()
+    result = DynamicMicroBatcher(cm, tmax_sample_count=16).split(minibatch)
+    shapes = [mb.shape() for mb in result.micro_batches]
+    times = [cm.microbatch_time_ms(shape) for shape in shapes]
+    rng = np.random.default_rng(5)
+
+    def score(order) -> float:
+        build = scheduler.build(
+            shapes, kind=ScheduleKind.MEMORY_AWARE_ADAPTIVE, injection_order=order
+        )
+        noisy = {
+            op: duration * float(rng.uniform(0.9, 1.1)) for op, duration in build.durations.items()
+        }
+        return simulate_schedule(build.schedule, noisy).makespan_ms
+
+    rows = []
+    for clusters in (1, 2, 3, 4, 5):
+        start = time.perf_counter()
+        search = cluster_and_order(times, score, num_clusters=clusters, max_permutations=120)
+        elapsed = time.perf_counter() - start
+        rows.append([clusters, round(search.makespan_ms, 1), search.evaluated, round(elapsed, 3)])
+    return rows
+
+
+def test_ablation_injection_order_clusters(benchmark, capsys):
+    rows = benchmark.pedantic(run_cluster_ablation, rounds=1, iterations=1)
+    emit(
+        "ablation_order_clusters",
+        "Ablation: execution-time clusters in the injection-order search",
+        ["clusters", "best_makespan_ms", "orders_evaluated", "search_s"],
+        rows,
+        capsys,
+    )
+    makespans = {row[0]: row[1] for row in rows}
+    # 3-4 clusters capture almost all of the benefit (paper §5): adding a 5th
+    # cluster improves the makespan by less than a few percent over 3.
+    assert makespans[5] >= makespans[3] * 0.97
+    # The search cost grows factorially with the cluster count.
+    evaluated = {row[0]: row[2] for row in rows}
+    assert evaluated[5] > evaluated[3] > evaluated[1]

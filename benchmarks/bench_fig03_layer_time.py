@@ -1,0 +1,51 @@
+"""Figure 3 — computation time of a single T5-11B encoder layer vs sequence
+length on one (simulated) A100.
+
+The paper's point is the super-linear growth of layer time with sequence
+length caused by the quadratic attention term; the same trend must appear on
+the analytic device model.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import SimulatedGPU
+from repro.model.config import get_model_config
+from repro.model.transformer import LayerAssignment, MicroBatchShape, StageModel
+
+from common import emit
+
+SEQ_LENS = (512, 1024, 2048, 4096, 8192)
+
+
+def measure_layer_times():
+    config = get_model_config("t5", 8)  # T5-11B
+    layer = StageModel(
+        config,
+        LayerAssignment(stage=0, encoder_layers=1, decoder_layers=0, has_output_projection=False),
+    )
+    gpu = SimulatedGPU()
+    rows = []
+    for seq_len in SEQ_LENS:
+        shape = MicroBatchShape(batch_size=1, enc_seq_len=seq_len)
+        forward = layer.forward_time_ms(gpu, shape)
+        backward = layer.backward_time_ms(gpu, shape)
+        rows.append([seq_len, round(forward, 3), round(backward, 3), round((forward) / seq_len * 1e3, 4)])
+    return rows
+
+
+def test_fig03_layer_time_vs_seq_len(benchmark, capsys):
+    rows = benchmark.pedantic(measure_layer_times, rounds=1, iterations=1)
+    emit(
+        "fig03_layer_time",
+        "Fig. 3: single T5-11B encoder layer time vs sequence length (A100 model)",
+        ["seq_len", "forward_ms", "backward_ms", "fwd_us_per_token"],
+        rows,
+        capsys,
+    )
+    # Super-linear growth: time per token increases with sequence length,
+    # and doubling the sequence length more than doubles the layer time.
+    per_token = [row[3] for row in rows]
+    assert per_token == sorted(per_token)
+    times = [row[1] for row in rows]
+    for shorter, longer in zip(times, times[1:]):
+        assert longer > 2.0 * shorter * 0.95

@@ -1,0 +1,110 @@
+"""Figure 5 — throughput of token-based and fixed-size micro-batching,
+normalized to the DP-based micro-batching solution, per maximum sequence
+length.
+
+For every maximum sequence length the token budget (left panels) or the
+micro-batch size (right panels) is swept, and each point's modelled
+throughput is normalised by the throughput of the dynamic-programming
+partition on the same mini-batch.  Configurations whose peak activation
+memory exceeds the device budget are marked OOM (throughput 0), reproducing
+the paper's observation that fixed-size micro-batching OOMs before reaching
+its best throughput at long sequence lengths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batching.fixed_size import FixedSizeBatching
+from repro.batching.token_based import TokenBasedBatching, sort_by_length
+from repro.core.dp_solver import PartitionError
+from repro.core.microbatch import DynamicMicroBatcher
+from repro.data.sampler import MiniBatchSampler
+from repro.model.memory import RecomputeMode
+
+from common import GLOBAL_BATCH_TOKENS_DEFAULT, cost_model, emit, truncated_samples
+
+SEQ_LENS_GPT = (512, 1024, 2048, 4096, 8192)
+TOKEN_BUDGETS = (1024, 2048, 4096, 8192, 16384)
+MICRO_BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64)
+NUM_GPUS = 4
+PIPELINE_STAGES = 4
+
+
+def _first_minibatch(max_seq_len: int):
+    samples = truncated_samples(max_seq_len, True)
+    sampler = MiniBatchSampler(list(samples), GLOBAL_BATCH_TOKENS_DEFAULT, seed=0)
+    return next(iter(sampler)).samples
+
+
+def _modelled_throughput(cm, micro_batches, recompute) -> float:
+    """Tokens/s under the Eq. 1 iteration-time model, or 0 on predicted OOM."""
+    shapes = [mb.shape() for mb in micro_batches]
+    peak = cm.peak_memory_bytes(shapes, in_flight=cm.num_stages, recompute=recompute)
+    if peak > cm.device_spec.memory_capacity:
+        return 0.0
+    actual_tokens = sum(mb.actual_tokens() for mb in micro_batches)
+    time_ms = cm.iteration_time_ms(shapes, recompute)
+    return actual_tokens / (time_ms / 1e3) if time_ms > 0 else 0.0
+
+
+def _dp_split(cm, minibatch):
+    """DP partition under the cheapest recomputation mode that is feasible
+    (mirrors the planner's dynamic recomputation)."""
+    for mode in (RecomputeMode.NONE, RecomputeMode.SELECTIVE, RecomputeMode.FULL):
+        try:
+            result = DynamicMicroBatcher(cm, recompute=mode, tmax_sample_count=16).split(minibatch)
+            return result, mode
+        except PartitionError:
+            continue
+    raise PartitionError("no recomputation mode admits single-sample micro-batches")
+
+
+def run():
+    rows = []
+    for max_seq_len in SEQ_LENS_GPT:
+        cm = cost_model("gpt", NUM_GPUS, PIPELINE_STAGES, 1, 1, max_seq_len)
+        minibatch = _first_minibatch(max_seq_len)
+        dp_result, mode = _dp_split(cm, minibatch)
+        dp_throughput = _modelled_throughput(cm, dp_result.micro_batches, mode)
+        for budget in TOKEN_BUDGETS:
+            tb = TokenBasedBatching(budget, decoder_only=True).split(minibatch)
+            rows.append(
+                [
+                    "token-based", max_seq_len, budget,
+                    round(_modelled_throughput(cm, tb.micro_batches, mode) / dp_throughput, 3),
+                ]
+            )
+        for micro_batch_size in MICRO_BATCH_SIZES:
+            fixed = FixedSizeBatching(
+                micro_batch_size, decoder_only=True, ordering=sort_by_length
+            ).split(minibatch)
+            rows.append(
+                [
+                    "fixed-size", max_seq_len, micro_batch_size,
+                    round(_modelled_throughput(cm, fixed.micro_batches, mode) / dp_throughput, 3),
+                ]
+            )
+    return rows
+
+
+def test_fig05_microbatch_methods(benchmark, capsys):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig05_microbatch_methods",
+        "Fig. 5 (GPT): token-based / fixed-size micro-batching throughput normalized to the DP solution",
+        ["method", "max_seq_len", "parameter", "normalized_throughput"],
+        rows,
+        capsys,
+    )
+    normalized = [row[3] for row in rows]
+    # No swept configuration beats the DP solution by a meaningful margin.
+    assert max(normalized) <= 1.05
+    # Fixed-size micro-batching OOMs at large sizes and long sequence lengths.
+    ooms = [row for row in rows if row[0] == "fixed-size" and row[1] >= 4096 and row[3] == 0.0]
+    assert ooms
+    # The best token-based configuration comes close to the DP solution but
+    # the worst one is far off (the paper's point: the parameter matters).
+    token_rows = [row[3] for row in rows if row[0] == "token-based" and row[3] > 0]
+    assert max(token_rows) >= 0.8
+    assert min(token_rows) <= 0.8

@@ -1,0 +1,91 @@
+"""Figure 7 — per-iteration makespan of 1F1B vs adaptive scheduling under
+increasing micro-batch execution-time variation.
+
+Micro-batches start uniform; zero-mean Gaussian noise with growing standard
+deviation is added to their execution times, and the makespan of each
+schedule is normalised by its own no-variation makespan.  The paper's claim:
+1F1B degrades quickly (especially with many stages) while the adaptive
+schedule stays close to 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.cyclic import cyclic_schedule
+from repro.schedule.events import ComputeOp, OpType
+from repro.schedule.one_f_one_b import one_f_one_b_schedule
+from repro.simulator.engine import simulate_schedule
+
+from common import emit
+
+STAGE_COUNTS = (2, 4, 8, 16)
+NOISE_STDS = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+NUM_MICROBATCHES = 32
+TRIALS = 5
+BASE_FORWARD_MS = 1.0
+BASE_BACKWARD_MS = 2.0
+
+
+def _noisy_durations(rng: np.random.Generator, std: float) -> dict:
+    durations = {}
+    for mb in range(NUM_MICROBATCHES):
+        forward = max(0.05, BASE_FORWARD_MS + rng.normal(0.0, std * BASE_FORWARD_MS / 3.0))
+        backward = max(0.05, BASE_BACKWARD_MS + rng.normal(0.0, std * BASE_BACKWARD_MS / 3.0))
+        durations[(mb, OpType.FORWARD)] = forward
+        durations[(mb, OpType.BACKWARD)] = backward
+    return durations
+
+
+def run_sweep():
+    rows = []
+    for num_stages in STAGE_COUNTS:
+        one_f = one_f_one_b_schedule(num_stages, NUM_MICROBATCHES)
+        adaptive = cyclic_schedule(
+            num_stages, [[1.0] * num_stages for _ in range(NUM_MICROBATCHES)]
+        )
+        baseline_duration = lambda op: (
+            BASE_FORWARD_MS if op.op_type is OpType.FORWARD else BASE_BACKWARD_MS
+        )
+        base_1f1b = simulate_schedule(one_f, baseline_duration).makespan_ms
+        base_adaptive = simulate_schedule(adaptive, baseline_duration).makespan_ms
+        for std in NOISE_STDS:
+            rng = np.random.default_rng(17)
+            ratios_1f1b, ratios_adaptive = [], []
+            for _ in range(TRIALS):
+                table = _noisy_durations(rng, std)
+                duration = lambda op: table[(op.microbatch, op.op_type)]
+                ratios_1f1b.append(simulate_schedule(one_f, duration).makespan_ms / base_1f1b)
+                ratios_adaptive.append(
+                    simulate_schedule(adaptive, duration).makespan_ms / base_adaptive
+                )
+            rows.append(
+                [
+                    num_stages,
+                    std,
+                    round(float(np.mean(ratios_1f1b)), 3),
+                    round(float(np.mean(ratios_adaptive)), 3),
+                ]
+            )
+    return rows
+
+
+def test_fig07_schedule_robustness(benchmark, capsys):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "fig07_schedule_robustness",
+        "Fig. 7: normalized makespan under execution-time variation (1F1B vs adaptive)",
+        ["stages", "noise_std", "1f1b_norm_makespan", "adaptive_norm_makespan"],
+        rows,
+        capsys,
+    )
+    by_key = {(row[0], row[1]): (row[2], row[3]) for row in rows}
+    # At high variation the adaptive schedule beats 1F1B for deep pipelines.
+    for stages in (8, 16):
+        one_f, adaptive = by_key[(stages, 3.0)]
+        assert adaptive < one_f
+    # 1F1B's degradation grows with the number of stages (paper Fig. 7).
+    assert by_key[(16, 3.0)][0] > by_key[(2, 3.0)][0]
+    # Without variation both schedules are at their baseline (ratio 1).
+    for stages in STAGE_COUNTS:
+        assert abs(by_key[(stages, 0.0)][0] - 1.0) < 1e-6

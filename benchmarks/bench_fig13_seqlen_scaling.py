@@ -1,0 +1,91 @@
+"""Figure 13 — training throughput under maximum-sequence-length scaling.
+
+For every (model, cluster size) pair the global batch size is fixed at
+65536 tokens and the maximum sequence length sweeps 512…8192 (GPT) or
+512…4096 (T5).  Three systems are reported, as in the paper:
+
+* ``MLM+DS``      — the packing baseline under its own best configuration;
+* ``MLM+DS (c)``  — the packing baseline pinned to DynaPipe's configuration;
+* ``DynaPipe``    — dynamic micro-batching under its best configuration.
+
+By default only the single-node cluster sizes (4 and 8 GPUs — the sub-figures
+the paper's artifact can reproduce on one p4d node) are run; set
+``REPRO_BENCH_FULL=1`` for 16 and 32 GPUs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    GLOBAL_BATCH_TOKENS_DEFAULT,
+    baseline_point,
+    cluster_sizes,
+    dynapipe_point,
+    emit,
+)
+
+GPT_SEQ_LENS = (512, 1024, 2048, 4096, 8192)
+T5_SEQ_LENS = (512, 1024, 2048, 4096)
+
+
+def run(arch: str, num_gpus: int):
+    seq_lens = GPT_SEQ_LENS if arch == "gpt" else T5_SEQ_LENS
+    rows = []
+    for seq_len in seq_lens:
+        dyna = dynapipe_point(arch, num_gpus, seq_len, GLOBAL_BATCH_TOKENS_DEFAULT)
+        dyna_config = None
+        from repro.parallel.config import ParallelConfig
+
+        if dyna.detail and dyna.detail.startswith("dp"):
+            dp, pp, tp = (int(part[2:]) for part in dyna.detail.split()[0].split("-"))
+            dyna_config = ParallelConfig(dp, pp, tp)
+        base = baseline_point(arch, num_gpus, seq_len, GLOBAL_BATCH_TOKENS_DEFAULT)
+        base_c = baseline_point(
+            arch, num_gpus, seq_len, GLOBAL_BATCH_TOKENS_DEFAULT,
+            parallel=dyna_config, system="MLM+DS (c)",
+        )
+        speedup = dyna.throughput / base.throughput if base.throughput > 0 else float("inf")
+        rows.append(
+            [
+                f"{arch.upper()}@{num_gpus}GPU",
+                seq_len,
+                round(base_c.throughput),
+                round(base.throughput),
+                round(dyna.throughput),
+                round(speedup, 2),
+                dyna.detail,
+                base.detail,
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "model", "max_seq_len", "MLM+DS (c) tok/s", "MLM+DS tok/s", "DynaPipe tok/s",
+    "speedup", "dynapipe_config", "baseline_config",
+]
+
+
+@pytest.mark.parametrize("arch", ["gpt", "t5"])
+@pytest.mark.parametrize("num_gpus", cluster_sizes())
+def test_fig13_seqlen_scaling(benchmark, capsys, arch, num_gpus):
+    rows = benchmark.pedantic(run, args=(arch, num_gpus), rounds=1, iterations=1)
+    emit(
+        f"fig13_seqlen_scaling_{arch}_{num_gpus}gpu",
+        f"Fig. 13: throughput vs max sequence length — {arch.upper()} on {num_gpus} GPUs",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    # DynaPipe's advantage grows with the maximum sequence length and it wins
+    # clearly at the longest lengths (the paper's headline trend).  At short
+    # maximum lengths packing is competitive, so only near-parity is required
+    # there.
+    speedups = [row[5] for row in rows]
+    assert all(s >= 0.85 for s in speedups)
+    assert speedups[-1] >= speedups[0]
+    assert speedups[-1] >= 1.1
+    # DynaPipe's own throughput decays slowly with the maximum sequence length.
+    dyna = [row[4] for row in rows]
+    assert dyna[-1] > 0.4 * dyna[0]

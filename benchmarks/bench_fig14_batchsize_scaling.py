@@ -1,0 +1,70 @@
+"""Figure 14 — training throughput under global-batch-size scaling.
+
+The maximum sequence length is fixed at 2048 tokens and the global batch
+size sweeps 16 Ki…128 Ki tokens.  The same three systems as Fig. 13 are
+reported.  Larger global batches help both systems (less frequent gradient
+synchronisation, smaller relative pipeline bubble) and help DynaPipe more
+(more room for micro-batch optimisation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.config import ParallelConfig
+
+from common import baseline_point, cluster_sizes, dynapipe_point, emit
+
+MAX_SEQ_LEN = 2048
+GLOBAL_BATCH_SIZES = (16384, 32768, 65536, 131072)
+
+
+def run(arch: str, num_gpus: int):
+    rows = []
+    for global_batch in GLOBAL_BATCH_SIZES:
+        dyna = dynapipe_point(arch, num_gpus, MAX_SEQ_LEN, global_batch)
+        dyna_config = None
+        if dyna.detail and dyna.detail.startswith("dp"):
+            dp, pp, tp = (int(part[2:]) for part in dyna.detail.split()[0].split("-"))
+            dyna_config = ParallelConfig(dp, pp, tp)
+        base = baseline_point(arch, num_gpus, MAX_SEQ_LEN, global_batch)
+        base_c = baseline_point(
+            arch, num_gpus, MAX_SEQ_LEN, global_batch, parallel=dyna_config,
+            system="MLM+DS (c)",
+        )
+        speedup = dyna.throughput / base.throughput if base.throughput > 0 else float("inf")
+        rows.append(
+            [
+                f"{arch.upper()}@{num_gpus}GPU",
+                global_batch,
+                round(base_c.throughput),
+                round(base.throughput),
+                round(dyna.throughput),
+                round(speedup, 2),
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "model", "global_batch_tokens", "MLM+DS (c) tok/s", "MLM+DS tok/s",
+    "DynaPipe tok/s", "speedup",
+]
+
+
+@pytest.mark.parametrize("arch", ["gpt", "t5"])
+@pytest.mark.parametrize("num_gpus", cluster_sizes())
+def test_fig14_batchsize_scaling(benchmark, capsys, arch, num_gpus):
+    rows = benchmark.pedantic(run, args=(arch, num_gpus), rounds=1, iterations=1)
+    emit(
+        f"fig14_batchsize_scaling_{arch}_{num_gpus}gpu",
+        f"Fig. 14: throughput vs global batch size — {arch.upper()} on {num_gpus} GPUs",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    # DynaPipe is at least on par with the baseline at every batch size.
+    assert all(row[5] >= 0.95 for row in rows)
+    # DynaPipe's throughput does not degrade when the global batch size grows.
+    dyna = [row[4] for row in rows]
+    assert dyna[-1] >= dyna[0] * 0.9

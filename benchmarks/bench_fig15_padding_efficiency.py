@@ -1,0 +1,88 @@
+"""Figure 15 — padding-efficiency case study.
+
+GPT-6.7B and T5-11B on 8 GPUs, under both the maximum-sequence-length sweep
+and the global-batch-size sweep.  For GPT a single padding efficiency is
+reported per system; for T5 the encoder and decoder tensors are reported
+separately — packing keeps the encoder dense but leaves the decoder sparse,
+while DynaPipe is balanced across the two (it considers both sequence
+lengths in its DP).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import GLOBAL_BATCH_TOKENS_DEFAULT, baseline_point, dynapipe_point, emit
+
+NUM_GPUS = 8
+SEQ_LENS = {"gpt": (512, 1024, 2048, 4096, 8192), "t5": (512, 1024, 2048, 4096)}
+GLOBAL_BATCHES = (16384, 32768, 65536, 131072)
+
+
+def run(arch: str):
+    rows = []
+    for seq_len in SEQ_LENS[arch]:
+        base = baseline_point(arch, NUM_GPUS, seq_len, GLOBAL_BATCH_TOKENS_DEFAULT, execute=False)
+        dyna = dynapipe_point(arch, NUM_GPUS, seq_len, GLOBAL_BATCH_TOKENS_DEFAULT, execute=False)
+        rows.append(
+            [
+                "max_seq_len", seq_len,
+                round(base.encoder_padding_efficiency, 3),
+                round(base.decoder_padding_efficiency, 3) if base.decoder_padding_efficiency is not None else "-",
+                round(dyna.encoder_padding_efficiency, 3),
+                round(dyna.decoder_padding_efficiency, 3) if dyna.decoder_padding_efficiency is not None else "-",
+            ]
+        )
+    for global_batch in GLOBAL_BATCHES:
+        base = baseline_point(arch, NUM_GPUS, 2048, global_batch, execute=False)
+        dyna = dynapipe_point(arch, NUM_GPUS, 2048, global_batch, execute=False)
+        rows.append(
+            [
+                "global_batch", global_batch,
+                round(base.encoder_padding_efficiency, 3),
+                round(base.decoder_padding_efficiency, 3) if base.decoder_padding_efficiency is not None else "-",
+                round(dyna.encoder_padding_efficiency, 3),
+                round(dyna.decoder_padding_efficiency, 3) if dyna.decoder_padding_efficiency is not None else "-",
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "sweep", "value", "MLM+DS enc eff", "MLM+DS dec eff", "DynaPipe enc eff", "DynaPipe dec eff",
+]
+
+
+def test_fig15_padding_efficiency_gpt(benchmark, capsys):
+    rows = benchmark.pedantic(run, args=("gpt",), rounds=1, iterations=1)
+    emit(
+        "fig15_padding_efficiency_gpt",
+        "Fig. 15a: padding efficiency — GPT-6.7B on 8 GPUs",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    # Both systems keep padding efficiency high for GPT (paper: > 0.8).
+    for row in rows:
+        assert row[2] > 0.75
+        assert row[4] > 0.75
+
+
+def test_fig15_padding_efficiency_t5(benchmark, capsys):
+    rows = benchmark.pedantic(run, args=("t5",), rounds=1, iterations=1)
+    emit(
+        "fig15_padding_efficiency_t5",
+        "Fig. 15b: padding efficiency — T5-11B on 8 GPUs (encoder / decoder)",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    for row in rows:
+        # Packing keeps the encoder dense but its decoder efficiency trails
+        # (paper Fig. 15b).  Note: this repo's packer co-packs the decoder
+        # against its own budget, which is more charitable to the baseline
+        # than Megatron's fixed decoder length, so the decoder gap here is
+        # smaller than the paper's — see EXPERIMENTS.md.
+        assert row[3] < row[2]
+        # Both systems keep the encoder tensors dense.
+        assert row[2] > 0.8 and row[4] > 0.8

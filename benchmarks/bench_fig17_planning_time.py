@@ -1,0 +1,82 @@
+"""Figure 17 — execution planning time.
+
+Single-thread wall-clock time of the DynaPipe planner per training iteration
+as the global batch size grows, for GPT and T5, plus the ratio of planning
+time to the (simulated) iteration time.  The paper's point: planning takes
+up to tens of seconds per iteration but the ratio to iteration time is small
+enough (≤ ~13×) that planning can be fully overlapped with training using a
+modest number of CPU cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import DynaPipePlanner, PlannerConfig
+from repro.data.sampler import MiniBatchSampler
+
+from common import cost_model, emit, parallel_candidates, truncated_samples
+
+MAX_SEQ_LEN = 2048
+GLOBAL_BATCHES = (16384, 32768, 65536, 131072)
+MINIBATCHES_PER_POINT = 2
+
+
+def run(arch: str):
+    config = parallel_candidates(arch, 8)[0]
+    cm = cost_model(
+        arch, 8, config.pipeline_parallel, config.tensor_parallel, config.data_parallel,
+        MAX_SEQ_LEN,
+    )
+    planner = DynaPipePlanner(
+        cm,
+        data_parallel_size=config.data_parallel,
+        config=PlannerConfig(order_search=True, tmax_sample_count=16),
+    )
+    samples = truncated_samples(MAX_SEQ_LEN, arch == "gpt")
+    rows = []
+    for global_batch in GLOBAL_BATCHES:
+        sampler = MiniBatchSampler(list(samples), global_batch, seed=0)
+        planning_times, ratios, cost_evals = [], [], []
+        for index, minibatch in enumerate(sampler.epoch(0)):
+            if index >= MINIBATCHES_PER_POINT:
+                break
+            plan = planner.plan(minibatch.samples, iteration=index)
+            planning_times.append(plan.planning_time_s)
+            ratios.append(plan.planning_time_s * 1e3 / plan.predicted_iteration_ms)
+            cost_evals.append(plan.dp_solution.cost_evaluations)
+        rows.append(
+            [
+                arch.upper(),
+                global_batch,
+                round(sum(planning_times) / len(planning_times), 3),
+                round(max(planning_times), 3),
+                round(sum(ratios) / len(ratios), 2),
+                int(sum(cost_evals) / len(cost_evals)),
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "model", "global_batch_tokens", "mean_planning_s", "max_planning_s",
+    "planning/iteration ratio", "dp_cost_evaluations",
+]
+
+
+@pytest.mark.parametrize("arch", ["gpt", "t5"])
+def test_fig17_planning_time(benchmark, capsys, arch):
+    rows = benchmark.pedantic(run, args=(arch,), rounds=1, iterations=1)
+    emit(
+        f"fig17_planning_time_{arch}",
+        f"Fig. 17: per-iteration planning time — {arch.upper()} (single thread)",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    # Planning time grows with the global batch size (more samples to partition).
+    mean_times = [row[2] for row in rows]
+    assert mean_times[-1] >= mean_times[0]
+    # The planning-to-iteration ratio stays small enough to overlap planning
+    # with execution on a handful of CPU cores (paper: peaks at ~13x).
+    assert all(row[4] < 30.0 for row in rows)

@@ -1,0 +1,47 @@
+"""Table 1 — model configurations and parameter counts.
+
+Regenerates the paper's Table 1: for every (model, cluster size) pair the
+layer count, model dimension, head count, KV channels, FFN dimension and the
+parameter count computed by the analytic model, next to the count the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from repro.model.config import GPT_CONFIGS, PAPER_PARAM_BILLIONS, T5_CONFIGS
+
+from common import emit
+
+
+def build_rows():
+    rows = []
+    for table, arch in ((GPT_CONFIGS, "GPT"), (T5_CONFIGS, "T5")):
+        for num_gpus, config in sorted(table.items()):
+            rows.append(
+                [
+                    arch,
+                    num_gpus,
+                    config.num_layers,
+                    config.hidden_size,
+                    config.num_heads,
+                    config.kv_channels,
+                    config.ffn_hidden_size,
+                    round(config.parameter_count() / 1e9, 2),
+                    PAPER_PARAM_BILLIONS[config.name],
+                ]
+            )
+    return rows
+
+
+def test_table1_model_configs(benchmark, capsys):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit(
+        "table1_model_configs",
+        "Table 1: DNN model configurations (computed vs paper parameter counts)",
+        ["model", "#GPUs", "#layers", "dim", "#heads", "kv", "ffn", "params (B)", "paper (B)"],
+        rows,
+        capsys,
+    )
+    for row in rows:
+        computed, paper = row[-2], row[-1]
+        assert abs(computed - paper) / paper < 0.06

@@ -1,0 +1,332 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+simulated cluster.  Because the planner is exercised with the real Table-1
+model configurations, a full paper-scale sweep would take hours; the default
+scope is therefore scaled down the same way the paper's artifact evaluation
+is (single-node cluster sizes, a down-sampled dataset, one or two iterations
+per data point).  Set the environment variable ``REPRO_BENCH_FULL=1`` to
+also cover the 16- and 32-GPU configurations.
+
+Results are printed as tables (mirroring the figure series of the paper) and
+written as JSON under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Sequence
+
+from repro.baselines.mlm_ds import BaselineConfig, MLMDeepSpeedBaseline
+from repro.core.planner import DynaPipePlanner, PlannerConfig
+from repro.core.recomputation import OutOfMemoryError
+from repro.costmodel.cost_model import CostModel
+from repro.data.flan import SyntheticFlanDataset
+from repro.data.sampler import MiniBatchSampler
+from repro.data.truncation import truncate_samples
+from repro.model.config import ModelArch, get_model_config
+from repro.model.memory import RecomputeMode
+from repro.parallel.config import ParallelConfig
+from repro.training.trainer import TrainerConfig, TrainingSession
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Number of synthetic samples in the benchmark dataset (paper: 100 K).
+DATASET_SIZE = int(os.environ.get("REPRO_BENCH_DATASET", "20000"))
+#: Iterations measured per data point.
+ITERATIONS_PER_POINT = int(os.environ.get("REPRO_BENCH_ITERATIONS", "1"))
+#: Whether to include the multi-node (16/32 GPU) configurations.
+FULL_SCOPE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Cluster sizes covered by default (single p4d node, as in the artifact) and
+#: under the full scope.
+DEFAULT_CLUSTER_SIZES = (4, 8)
+FULL_CLUSTER_SIZES = (4, 8, 16, 32)
+
+#: The paper's default global batch size (in tokens) for the sequence-length
+#: sweeps (§8.1).
+GLOBAL_BATCH_TOKENS_DEFAULT = 65536
+
+
+def cluster_sizes() -> tuple[int, ...]:
+    """Cluster sizes included in the current benchmark scope."""
+    return FULL_CLUSTER_SIZES if FULL_SCOPE else DEFAULT_CLUSTER_SIZES
+
+
+#: Candidate 3D parallel configurations per (arch, num_gpus).  The paper grid
+#: searches the full power-of-two space for every system; here a short list of
+#: the configurations that grid search actually lands on (plus close
+#: runners-up) is searched per data point, which keeps the harness fast while
+#: preserving the "each system under its best configuration" methodology.
+#: GPT favours pipeline parallelism; T5's huge FFN favours tensor parallelism
+#: (§8.2, §8.4).
+PARALLEL_CANDIDATES: dict[tuple[str, int], tuple[ParallelConfig, ...]] = {
+    ("gpt", 4): (ParallelConfig(1, 4, 1), ParallelConfig(2, 2, 1), ParallelConfig(1, 2, 2)),
+    ("gpt", 8): (ParallelConfig(2, 4, 1), ParallelConfig(2, 2, 2), ParallelConfig(1, 4, 2)),
+    ("gpt", 16): (ParallelConfig(2, 4, 2), ParallelConfig(4, 2, 2), ParallelConfig(2, 2, 4)),
+    ("gpt", 32): (ParallelConfig(2, 4, 4), ParallelConfig(4, 2, 4), ParallelConfig(4, 4, 2)),
+    ("t5", 4): (ParallelConfig(1, 1, 4), ParallelConfig(1, 2, 2), ParallelConfig(2, 1, 2)),
+    ("t5", 8): (ParallelConfig(1, 1, 8), ParallelConfig(2, 1, 4), ParallelConfig(1, 2, 4)),
+    ("t5", 16): (ParallelConfig(2, 1, 8), ParallelConfig(2, 2, 4), ParallelConfig(1, 4, 4)),
+    ("t5", 32): (ParallelConfig(2, 2, 8), ParallelConfig(4, 1, 8), ParallelConfig(2, 4, 4)),
+}
+
+
+def parallel_candidates(arch: str, num_gpus: int) -> tuple[ParallelConfig, ...]:
+    """Candidate configurations searched for a (model, cluster) pair."""
+    return PARALLEL_CANDIDATES[(arch, num_gpus)]
+
+#: Baseline micro-batch sizes tried per data point (its packing rows are all
+#: max_seq_len long, so small micro-batches dominate the feasible set).
+BASELINE_MICRO_BATCH_SIZES = (1, 2, 4)
+
+
+@lru_cache(maxsize=1)
+def dataset() -> SyntheticFlanDataset:
+    """The shared synthetic FLANv2-like dataset."""
+    return SyntheticFlanDataset(num_samples=DATASET_SIZE, seed=2024)
+
+
+@lru_cache(maxsize=32)
+def truncated_samples(max_seq_len: int, decoder_only: bool) -> tuple:
+    """Dataset samples truncated for the given maximum sequence length."""
+    return tuple(truncate_samples(dataset().samples, max_seq_len, decoder_only=decoder_only))
+
+
+@lru_cache(maxsize=64)
+def cost_model(arch: str, num_gpus: int, pipeline: int, tensor: int, zero: int, max_seq_len: int) -> CostModel:
+    """Cached cost model for a Table-1 model under a parallel configuration."""
+    model = get_model_config(arch, num_gpus)
+    return CostModel(
+        model,
+        num_stages=pipeline,
+        tensor_parallel=tensor,
+        zero_shards=zero,
+        max_profile_seq_len=max(max_seq_len, 512),
+        max_profile_batch_size=128,
+    )
+
+
+@dataclass
+class PointResult:
+    """Throughput measurement for one (system, x-value) data point."""
+
+    system: str
+    x_value: float
+    throughput: float
+    padding_efficiency: float
+    encoder_padding_efficiency: float = 0.0
+    decoder_padding_efficiency: float | None = None
+    planning_time_s: float = 0.0
+    planning_ratio: float = 0.0
+    time_mpe: float = 0.0
+    memory_mpe: float = 0.0
+    detail: str = ""
+
+
+def _run_session(planner, samples, global_batch_tokens: int, system: str, execute: bool) -> PointResult:
+    session = TrainingSession(
+        planner,
+        list(samples),
+        global_batch_tokens=global_batch_tokens,
+        config=TrainerConfig(
+            max_iterations=ITERATIONS_PER_POINT,
+            noise_std=0.05,
+            seed=0,
+            max_seq_len=None,  # samples are already truncated
+            execute_plans=execute,
+        ),
+        system_name=system,
+    )
+    report = session.run()
+    return PointResult(
+        system=system,
+        x_value=0.0,
+        throughput=report.throughput_tokens_per_s,
+        padding_efficiency=report.padding_efficiency,
+        encoder_padding_efficiency=report.encoder_padding_efficiency,
+        decoder_padding_efficiency=report.decoder_padding_efficiency,
+        planning_time_s=report.mean_planning_time_s,
+        planning_ratio=report.planning_to_iteration_ratio,
+        time_mpe=report.time_prediction_error_percent(),
+        memory_mpe=report.memory_prediction_error_percent(),
+    )
+
+
+def _dynapipe_single(
+    arch: str,
+    num_gpus: int,
+    max_seq_len: int,
+    global_batch_tokens: int,
+    config: ParallelConfig,
+    execute: bool,
+    order_search: bool,
+) -> PointResult:
+    decoder_only = ModelArch(arch) is ModelArch.GPT
+    samples = truncated_samples(max_seq_len, decoder_only)
+    cm = cost_model(
+        arch, num_gpus, config.pipeline_parallel, config.tensor_parallel,
+        config.data_parallel, max_seq_len,
+    )
+    try:
+        planner = DynaPipePlanner(
+            cm,
+            data_parallel_size=config.data_parallel,
+            config=PlannerConfig(order_search=order_search, tmax_sample_count=16),
+        )
+        result = _run_session(planner, samples, global_batch_tokens, "DynaPipe", execute)
+    except OutOfMemoryError as exc:
+        return PointResult(
+            system="DynaPipe", x_value=0.0, throughput=0.0, padding_efficiency=0.0,
+            detail=f"{config.describe()} OOM: {exc}",
+        )
+    result.detail = config.describe()
+    return result
+
+
+def dynapipe_point(
+    arch: str,
+    num_gpus: int,
+    max_seq_len: int,
+    global_batch_tokens: int,
+    parallel: ParallelConfig | None = None,
+    execute: bool = True,
+    order_search: bool = False,
+) -> PointResult:
+    """Measure DynaPipe at one data point under its best candidate parallel
+    configuration (paper methodology: every system is reported under its own
+    grid-searched configuration)."""
+    if parallel is not None:
+        return _dynapipe_single(
+            arch, num_gpus, max_seq_len, global_batch_tokens, parallel, execute, order_search
+        )
+    best: PointResult | None = None
+    for config in parallel_candidates(arch, num_gpus):
+        result = _dynapipe_single(
+            arch, num_gpus, max_seq_len, global_batch_tokens, config, execute, order_search
+        )
+        if best is None or result.throughput > best.throughput:
+            best = result
+    assert best is not None
+    return best
+
+
+def _baseline_single(
+    arch: str,
+    num_gpus: int,
+    max_seq_len: int,
+    global_batch_tokens: int,
+    config: ParallelConfig,
+    execute: bool,
+    system: str,
+    micro_batch_sizes: Sequence[int],
+) -> PointResult:
+    decoder_only = ModelArch(arch) is ModelArch.GPT
+    samples = truncated_samples(max_seq_len, decoder_only)
+    cm = cost_model(
+        arch, num_gpus, config.pipeline_parallel, config.tensor_parallel,
+        config.data_parallel, max_seq_len,
+    )
+    best: PointResult | None = None
+    for micro_batch_size in micro_batch_sizes:
+        for recompute in (RecomputeMode.NONE, RecomputeMode.FULL):
+            try:
+                baseline = MLMDeepSpeedBaseline(
+                    cm,
+                    data_parallel_size=config.data_parallel,
+                    config=BaselineConfig(
+                        max_seq_len=max_seq_len,
+                        micro_batch_size=micro_batch_size,
+                        recompute=recompute,
+                    ),
+                )
+                result = _run_session(baseline, samples, global_batch_tokens, system, execute)
+            except (OutOfMemoryError, ValueError):
+                continue
+            result.detail = f"{config.describe()} mbs={micro_batch_size} recompute={recompute.value}"
+            if best is None or result.throughput > best.throughput:
+                best = result
+    if best is None:
+        return PointResult(
+            system=system, x_value=0.0, throughput=0.0, padding_efficiency=0.0,
+            detail=f"{config.describe()} OOM",
+        )
+    return best
+
+
+def baseline_point(
+    arch: str,
+    num_gpus: int,
+    max_seq_len: int,
+    global_batch_tokens: int,
+    parallel: ParallelConfig | None = None,
+    execute: bool = True,
+    system: str = "MLM+DS",
+    micro_batch_sizes: Sequence[int] = BASELINE_MICRO_BATCH_SIZES,
+) -> PointResult:
+    """Measure the packing baseline at one data point, grid searching its
+    parallel configuration, micro-batch size and recomputation strategy.
+    Returns zero throughput when every candidate OOMs.
+
+    Pass ``parallel`` to pin the configuration — this is the paper's
+    "MLM+DS (c)" variant, which runs the baseline under DynaPipe's best
+    configuration instead of its own.
+    """
+    if parallel is not None:
+        return _baseline_single(
+            arch, num_gpus, max_seq_len, global_batch_tokens, parallel, execute, system,
+            micro_batch_sizes,
+        )
+    best: PointResult | None = None
+    for config in parallel_candidates(arch, num_gpus):
+        result = _baseline_single(
+            arch, num_gpus, max_seq_len, global_batch_tokens, config, execute, system,
+            micro_batch_sizes,
+        )
+        if best is None or result.throughput > best.throughput:
+            best = result
+    assert best is not None
+    return best
+
+
+# --------------------------------------------------------------------------- output
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Format a result table the way the paper's figures report their series."""
+    widths = [len(str(h)) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = [
+            f"{value:.3f}" if isinstance(value, float) else str(value) for value in row
+        ]
+        text_rows.append(cells)
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for cells in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence], capsys=None) -> str:
+    """Print a table (bypassing capture when possible) and save it as JSON."""
+    table = format_table(title, headers, rows)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2))
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    if capsys is not None:
+        with capsys.disabled():
+            print("\n" + table)
+    else:  # pragma: no cover - fallback when no capsys fixture is available
+        print("\n" + table)
+    return table

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Makes the shared ``common`` helpers importable when pytest is invoked from
+the repository root (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))

@@ -1,0 +1,87 @@
+"""Multi-task training throughput: DynaPipe vs the packing baseline.
+
+Reproduces, at example scale, the paper's headline experiment: GPT-3.35B on
+4 simulated A100s, training on the FLANv2-like multi-task mixture with a
+65536-token global batch, comparing
+
+* ``MLM+DS`` — packing into fixed-length rows, fixed micro-batch size, 1F1B;
+* ``DynaPipe`` — DP micro-batching, memory-aware adaptive schedule, planned
+  communication.
+
+Both systems run a handful of iterations on the instruction-level cluster
+simulator with execution-time noise, for two maximum sequence lengths, and
+the measured tokens/s, padding efficiency and cost-model accuracy are
+printed.
+
+Run with:  python examples/multitask_training_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BaselineConfig,
+    CostModel,
+    DynaPipePlanner,
+    MLMDeepSpeedBaseline,
+    PlannerConfig,
+    RecomputeMode,
+    SyntheticFlanDataset,
+    TrainerConfig,
+    TrainingSession,
+    get_model_config,
+)
+
+NUM_ITERATIONS = 3
+GLOBAL_BATCH_TOKENS = 65536
+MAX_SEQ_LENS = (2048, 8192)
+
+
+def run_one(max_seq_len: int) -> None:
+    model = get_model_config("gpt", num_gpus=4)
+    cost_model = CostModel(model, num_stages=4, max_profile_seq_len=max_seq_len)
+    dataset = SyntheticFlanDataset(num_samples=8_000, seed=1)
+    trainer_config = TrainerConfig(
+        max_iterations=NUM_ITERATIONS, noise_std=0.05, seed=0, max_seq_len=max_seq_len
+    )
+
+    dynapipe = DynaPipePlanner(cost_model, config=PlannerConfig(tmax_sample_count=16))
+    baseline = MLMDeepSpeedBaseline(
+        cost_model,
+        config=BaselineConfig(
+            max_seq_len=max_seq_len,
+            micro_batch_size=1,
+            recompute=RecomputeMode.FULL if max_seq_len >= 4096 else RecomputeMode.NONE,
+        ),
+    )
+
+    reports = {}
+    for name, system in (("MLM+DS", baseline), ("DynaPipe", dynapipe)):
+        session = TrainingSession(
+            system, dataset.samples, GLOBAL_BATCH_TOKENS, trainer_config, system_name=name
+        )
+        reports[name] = session.run()
+
+    print(f"\n=== GPT-3.35B, 4 GPUs, max sequence length {max_seq_len} ===")
+    header = f"{'system':10s} {'tokens/s':>10s} {'padding eff':>12s} {'plan s/iter':>12s} {'time MPE %':>11s}"
+    print(header)
+    print("-" * len(header))
+    for name, report in reports.items():
+        print(
+            f"{name:10s} {report.throughput_tokens_per_s:10.0f} "
+            f"{report.padding_efficiency:12.3f} {report.mean_planning_time_s:12.2f} "
+            f"{report.time_prediction_error_percent():11.1f}"
+        )
+    speedup = (
+        reports["DynaPipe"].throughput_tokens_per_s
+        / max(reports["MLM+DS"].throughput_tokens_per_s, 1e-9)
+    )
+    print(f"DynaPipe speedup over packing baseline: {speedup:.2f}x")
+
+
+def main() -> None:
+    for max_seq_len in MAX_SEQ_LENS:
+        run_one(max_seq_len)
+
+
+if __name__ == "__main__":
+    main()

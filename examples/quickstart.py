@@ -1,0 +1,82 @@
+"""Quickstart: plan one multi-task training iteration with DynaPipe.
+
+This example builds the cost model for GPT-6.7B on a 4-stage pipeline
+(2 data-parallel replicas, 8 simulated A100s total), draws one mini-batch
+from the synthetic FLANv2-like mixture, and asks the DynaPipe planner for an
+execution plan.  It then prints what the planner decided: the micro-batch
+partition, the recomputation mode, the predicted iteration time and peak
+memory, and the padding efficiency compared with the naive alternatives.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CostModel,
+    DynaPipePlanner,
+    MiniBatchSampler,
+    NaivePaddingBatching,
+    PackingBatching,
+    PlannerConfig,
+    SyntheticFlanDataset,
+    get_model_config,
+    padding_stats,
+)
+from repro.data.truncation import truncate_samples
+
+MAX_SEQ_LEN = 2048
+GLOBAL_BATCH_TOKENS = 65536
+
+
+def main() -> None:
+    # 1. Model and cost model: GPT-6.7B split over 4 pipeline stages.
+    model = get_model_config("gpt", num_gpus=8)
+    print(f"model: {model.name} ({model.parameter_count() / 1e9:.1f} B parameters)")
+    cost_model = CostModel(model, num_stages=4, zero_shards=2, max_profile_seq_len=MAX_SEQ_LEN)
+
+    # 2. The planner: 2 data-parallel replicas of the 4-stage pipeline.
+    planner = DynaPipePlanner(
+        cost_model,
+        data_parallel_size=2,
+        config=PlannerConfig(tmax_sample_count=16),
+    )
+
+    # 3. One mini-batch from the synthetic multi-task mixture.
+    dataset = SyntheticFlanDataset(num_samples=5_000, seed=0)
+    samples = truncate_samples(dataset.samples, MAX_SEQ_LEN, decoder_only=True)
+    sampler = MiniBatchSampler(samples, GLOBAL_BATCH_TOKENS, seed=0)
+    minibatch = next(iter(sampler))
+    print(
+        f"mini-batch: {len(minibatch)} samples, {minibatch.total_tokens()} tokens, "
+        f"longest sequence {minibatch.max_input_tokens() + minibatch.max_target_tokens()} tokens"
+    )
+
+    # 4. Plan the iteration.
+    plan = planner.plan(minibatch.samples)
+    print("\n--- DynaPipe plan ---")
+    print(f"planning time:            {plan.planning_time_s:.2f} s")
+    print(f"micro-batches:            {plan.num_microbatches} across {len(plan.replicas)} replicas")
+    print(f"recomputation mode:       {plan.recompute.value}")
+    print(f"predicted iteration time: {plan.predicted_iteration_ms:.0f} ms")
+    peak = max(max(r.plan.metadata.predicted_peak_memory_bytes) for r in plan.replicas)
+    print(f"predicted peak memory:    {peak / 1024**3:.1f} GiB per device")
+    print(f"padding efficiency:       {plan.padding.overall_efficiency:.3f}")
+
+    print("\nmicro-batch shapes of replica 0 (batch x padded sequence length):")
+    for index, shape in enumerate(plan.plans[0].microbatch_shapes):
+        print(f"  micro-batch {index:2d}: {shape.batch_size:3d} x {shape.enc_seq_len}")
+
+    # 5. Compare padding efficiency against the static alternatives.
+    naive = NaivePaddingBatching(micro_batch_size=8, decoder_only=True).split(minibatch.samples)
+    packing = PackingBatching(MAX_SEQ_LEN, micro_batch_size=2, decoder_only=True).split(
+        minibatch.samples
+    )
+    print("\npadding efficiency comparison:")
+    print(f"  naive padding:          {padding_stats(naive.micro_batches).overall_efficiency:.3f}")
+    print(f"  packing:                {padding_stats(packing.micro_batches).overall_efficiency:.3f}")
+    print(f"  DynaPipe micro-batches: {plan.padding.overall_efficiency:.3f}")
+
+
+if __name__ == "__main__":
+    main()

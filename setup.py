@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, which breaks PEP 660 editable installs.  Keeping a ``setup.py``
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` code
+path, which works without ``wheel``.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

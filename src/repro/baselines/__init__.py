@@ -1,0 +1,14 @@
+"""Baseline training systems.
+
+The paper's baseline is Megatron-LM integrated with DeepSpeed ("MLM+DS"),
+which handles variable-length multi-task data by *packing* samples into
+sequences of the configured maximum length and training with fixed-size
+micro-batches under the 1F1B schedule.  :class:`~repro.baselines.mlm_ds.MLMDeepSpeedBaseline`
+reimplements that pipeline on top of the same cost model and simulator used
+by DynaPipe so that the two systems are compared under identical modelling
+assumptions.
+"""
+
+from repro.baselines.mlm_ds import BaselineConfig, MLMDeepSpeedBaseline
+
+__all__ = ["MLMDeepSpeedBaseline", "BaselineConfig"]

@@ -1,0 +1,27 @@
+"""Micro-batch construction strategies.
+
+This package holds the *baseline* batching methods the paper compares
+against (naive padding, packing, token-based and fixed-size micro-batching)
+plus the shared :class:`~repro.batching.base.MicroBatch` representation and
+padding-efficiency metrics.  DynaPipe's own dynamic-programming construction
+lives in :mod:`repro.core.microbatch` because it is the paper's primary
+contribution.
+"""
+
+from repro.batching.base import BatchingStrategy, MicroBatch
+from repro.batching.fixed_size import FixedSizeBatching
+from repro.batching.metrics import PaddingStats, padding_stats
+from repro.batching.packing import PackingBatching
+from repro.batching.padding import NaivePaddingBatching
+from repro.batching.token_based import TokenBasedBatching
+
+__all__ = [
+    "MicroBatch",
+    "BatchingStrategy",
+    "NaivePaddingBatching",
+    "PackingBatching",
+    "TokenBasedBatching",
+    "FixedSizeBatching",
+    "PaddingStats",
+    "padding_stats",
+]

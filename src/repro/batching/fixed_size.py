@@ -1,0 +1,61 @@
+"""Fixed micro-batch size baseline.
+
+Every micro-batch holds exactly ``micro_batch_size`` samples (the last one
+may be smaller), padded to the longest sample within the micro-batch.  This
+is what existing pipeline systems do (paper §2.3, Fig. 5 right panels): the
+micro-batch size must be grid searched, small sizes waste compute efficiency
+and large sizes run out of memory at long maximum sequence lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.batching.base import BatchingResult, BatchingStrategy, MicroBatch
+from repro.batching.token_based import sort_by_length
+from repro.data.tasks import Sample
+
+OrderingFn = Callable[[Sequence[Sample]], list[Sample]]
+
+
+class FixedSizeBatching(BatchingStrategy):
+    """Group samples into micro-batches of a fixed sample count.
+
+    Args:
+        micro_batch_size: Samples per micro-batch.
+        decoder_only: Architecture switch.
+        ordering: Optional sample ordering before grouping (defaults to
+            keeping the sampling order, which is what uniform micro-batching
+            systems do; pass :func:`sort_by_length` to bucket by length).
+    """
+
+    name = "fixed-size"
+
+    def __init__(
+        self,
+        micro_batch_size: int,
+        decoder_only: bool = False,
+        ordering: OrderingFn | None = None,
+    ) -> None:
+        super().__init__(decoder_only=decoder_only)
+        if micro_batch_size < 1:
+            raise ValueError(f"micro_batch_size must be >= 1, got {micro_batch_size}")
+        self.micro_batch_size = micro_batch_size
+        self.ordering = ordering
+
+    def split(self, samples: Sequence[Sample]) -> BatchingResult:
+        """Chunk samples into fixed-size groups."""
+        if not samples:
+            return BatchingResult(micro_batches=[])
+        ordered = self.ordering(samples) if self.ordering else list(samples)
+        micro_batches = []
+        for start in range(0, len(ordered), self.micro_batch_size):
+            chunk = ordered[start : start + self.micro_batch_size]
+            micro_batches.append(
+                MicroBatch.from_samples(chunk, decoder_only=self.decoder_only)
+            )
+        return BatchingResult(micro_batches=micro_batches)
+
+
+# Re-exported for convenience so callers can do FixedSizeBatching(ordering=sort_by_length).
+__all__ = ["FixedSizeBatching", "sort_by_length"]

@@ -1,0 +1,65 @@
+"""Padding-efficiency metrics (paper Fig. 4b, Fig. 15).
+
+Padding efficiency is the fraction of processed tokens that are real
+(non-padding) tokens.  For encoder-decoder models the paper reports the
+encoder and decoder tensors separately because packing achieves high
+efficiency on the encoder side but much lower on the decoder side, while
+DynaPipe is balanced across the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.batching.base import MicroBatch
+
+
+@dataclass(frozen=True)
+class PaddingStats:
+    """Token accounting for a set of micro-batches.
+
+    Attributes:
+        actual_tokens: Real tokens processed.
+        padded_tokens: Total tokens processed including padding.
+        encoder_efficiency: Non-padding fraction of the input tensors.
+        decoder_efficiency: Non-padding fraction of the target tensors
+            (``None`` for decoder-only models).
+        overall_efficiency: Non-padding fraction over both tensors.
+    """
+
+    actual_tokens: int
+    padded_tokens: int
+    encoder_efficiency: float
+    decoder_efficiency: float | None
+    overall_efficiency: float
+
+
+def padding_stats(micro_batches: Iterable[MicroBatch]) -> PaddingStats:
+    """Compute padding statistics over ``micro_batches``."""
+    micro_batches = list(micro_batches)
+    if not micro_batches:
+        return PaddingStats(0, 0, 0.0, None, 0.0)
+    actual = sum(mb.actual_tokens() for mb in micro_batches)
+    padded = sum(mb.padded_tokens() for mb in micro_batches)
+
+    enc_actual = sum(mb.actual_enc_tokens() for mb in micro_batches)
+    enc_padded = sum(mb.batch_size * mb.enc_seq_len for mb in micro_batches)
+    encoder_eff = enc_actual / enc_padded if enc_padded else 0.0
+
+    decoder_only = all(mb.decoder_only for mb in micro_batches)
+    if decoder_only:
+        decoder_eff: float | None = None
+    else:
+        dec_actual = sum(mb.actual_dec_tokens() for mb in micro_batches)
+        dec_padded = sum(mb.batch_size * mb.dec_seq_len for mb in micro_batches)
+        decoder_eff = dec_actual / dec_padded if dec_padded else 0.0
+
+    overall = actual / padded if padded else 0.0
+    return PaddingStats(
+        actual_tokens=actual,
+        padded_tokens=padded,
+        encoder_efficiency=encoder_eff,
+        decoder_efficiency=decoder_eff,
+        overall_efficiency=overall,
+    )

@@ -1,0 +1,113 @@
+"""Packing baseline (the MLM+DS dataloader behaviour).
+
+Packing concatenates multiple short samples into a single row whose length
+matches the configured maximum sequence length, greatly reducing padding
+(paper §2.2).  The cost is that attention is computed across the full packed
+row — a quadratic-in-length waste across unrelated samples — which is
+exactly what the compute cost of the resulting micro-batch shape captures,
+because its padded sequence length is always the packing target length.
+
+The packer is a first-fit bin packer over rows: each sample goes into the
+first open row where it still fits, a new row is opened when none fits, and
+samples longer than the target length are truncated beforehand by the
+dataloader (see :mod:`repro.data.truncation`).  For encoder-decoder models
+the input and target sequences are packed jointly: a sample fits in a row
+only if both its input and its target still fit their respective budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.batching.base import BatchingResult, BatchingStrategy, MicroBatch
+from repro.data.tasks import Sample
+
+
+class PackingBatching(BatchingStrategy):
+    """First-fit packing into rows of the maximum sequence length.
+
+    Args:
+        max_seq_len: Target packed length for the input sequence (and, for
+            decoder-only models, the concatenated sequence).
+        micro_batch_size: Number of packed rows per micro-batch.
+        decoder_only: Architecture switch.
+        max_target_len: Target packed length for the target sequence
+            (encoder-decoder models only; defaults to ``max_seq_len // 4``
+            which matches the shorter decoder budget used in practice).
+    """
+
+    name = "packing"
+
+    def __init__(
+        self,
+        max_seq_len: int,
+        micro_batch_size: int,
+        decoder_only: bool = False,
+        max_target_len: int | None = None,
+    ) -> None:
+        super().__init__(decoder_only=decoder_only)
+        if max_seq_len < 1:
+            raise ValueError(f"max_seq_len must be >= 1, got {max_seq_len}")
+        if micro_batch_size < 1:
+            raise ValueError(f"micro_batch_size must be >= 1, got {micro_batch_size}")
+        self.max_seq_len = max_seq_len
+        self.micro_batch_size = micro_batch_size
+        if decoder_only:
+            self.max_target_len = 0
+        else:
+            self.max_target_len = max_target_len if max_target_len is not None else max(max_seq_len // 4, 1)
+
+    def _sample_lengths(self, sample: Sample) -> tuple[int, int]:
+        """(input budget use, target budget use) of one sample."""
+        if self.decoder_only:
+            return sample.total_tokens, 0
+        return sample.input_tokens, sample.target_tokens
+
+    def pack_rows(self, samples: Sequence[Sample]) -> tuple[list[list[Sample]], list[Sample]]:
+        """First-fit pack samples into rows; returns (rows, dropped samples).
+
+        A sample is dropped only if it cannot fit into an *empty* row, i.e.
+        it exceeds the packing budget on its own (the dataloader should have
+        truncated it; dropping keeps the packer total).
+        """
+        rows: list[list[Sample]] = []
+        enc_room: list[int] = []
+        dec_room: list[int] = []
+        dropped: list[Sample] = []
+        for sample in samples:
+            enc_need, dec_need = self._sample_lengths(sample)
+            if enc_need > self.max_seq_len or dec_need > max(self.max_target_len, 0):
+                if enc_need > self.max_seq_len or (not self.decoder_only and dec_need > self.max_target_len):
+                    dropped.append(sample)
+                    continue
+            placed = False
+            for row_index in range(len(rows)):
+                if enc_need <= enc_room[row_index] and dec_need <= dec_room[row_index]:
+                    rows[row_index].append(sample)
+                    enc_room[row_index] -= enc_need
+                    dec_room[row_index] -= dec_need
+                    placed = True
+                    break
+            if not placed:
+                rows.append([sample])
+                enc_room.append(self.max_seq_len - enc_need)
+                dec_room.append((self.max_target_len if not self.decoder_only else 0) - dec_need)
+        return rows, dropped
+
+    def split(self, samples: Sequence[Sample]) -> BatchingResult:
+        """Pack the mini-batch and group packed rows into micro-batches."""
+        if not samples:
+            return BatchingResult(micro_batches=[])
+        rows, dropped = self.pack_rows(samples)
+        micro_batches = []
+        for start in range(0, len(rows), self.micro_batch_size):
+            chunk = rows[start : start + self.micro_batch_size]
+            micro_batches.append(
+                MicroBatch(
+                    rows=chunk,
+                    decoder_only=self.decoder_only,
+                    pad_enc_to=self.max_seq_len,
+                    pad_dec_to=self.max_target_len if not self.decoder_only else None,
+                )
+            )
+        return BatchingResult(micro_batches=micro_batches, dropped_samples=dropped)

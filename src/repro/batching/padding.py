@@ -1,0 +1,56 @@
+"""Naive padding baseline.
+
+Every sample in the mini-batch is padded to the mini-batch's longest
+sequence and the samples are grouped into micro-batches of a fixed size in
+sampling order.  On FLANv2-like mixtures this wastes more than 80% of the
+processed tokens (paper §2.1), which is the motivation for packing and for
+DynaPipe.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.batching.base import BatchingResult, BatchingStrategy, MicroBatch
+from repro.data.tasks import Sample
+
+
+class NaivePaddingBatching(BatchingStrategy):
+    """Pad every sample to the mini-batch maximum sequence length.
+
+    Args:
+        micro_batch_size: Number of samples per micro-batch.
+        decoder_only: Whether sequences are concatenated (GPT) or kept as
+            separate input/target sequences (T5).
+    """
+
+    name = "naive-padding"
+
+    def __init__(self, micro_batch_size: int, decoder_only: bool = False) -> None:
+        super().__init__(decoder_only=decoder_only)
+        if micro_batch_size < 1:
+            raise ValueError(f"micro_batch_size must be >= 1, got {micro_batch_size}")
+        self.micro_batch_size = micro_batch_size
+
+    def split(self, samples: Sequence[Sample]) -> BatchingResult:
+        """Group samples in order; pad every micro-batch to the global max."""
+        if not samples:
+            return BatchingResult(micro_batches=[])
+        if self.decoder_only:
+            pad_enc = max(s.total_tokens for s in samples)
+            pad_dec = None
+        else:
+            pad_enc = max(s.input_tokens for s in samples)
+            pad_dec = max(s.target_tokens for s in samples)
+        micro_batches = []
+        for start in range(0, len(samples), self.micro_batch_size):
+            chunk = samples[start : start + self.micro_batch_size]
+            micro_batches.append(
+                MicroBatch(
+                    rows=[[s] for s in chunk],
+                    decoder_only=self.decoder_only,
+                    pad_enc_to=pad_enc,
+                    pad_dec_to=pad_dec if not self.decoder_only else None,
+                )
+            )
+        return BatchingResult(micro_batches=micro_batches)

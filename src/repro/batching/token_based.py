@@ -1,0 +1,82 @@
+"""Token-count based micro-batching (the "TB" baseline of Fig. 5 / 16a).
+
+Samples are (optionally) sorted by sequence length, then consecutive samples
+are accumulated into a micro-batch until its *padded* token count would
+exceed the per-micro-batch token budget.  Larger sequence lengths therefore
+get fewer samples per micro-batch, which already beats packing (paper §8.4)
+but still requires searching for the right token budget and ignores memory
+limits — the gaps DynaPipe's DP construction closes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.batching.base import BatchingResult, BatchingStrategy, MicroBatch
+from repro.data.tasks import Sample
+
+OrderingFn = Callable[[Sequence[Sample]], list[Sample]]
+
+
+def sort_by_length(samples: Sequence[Sample]) -> list[Sample]:
+    """Default ordering: sort by input length, then target length."""
+    return sorted(samples, key=lambda s: (s.input_tokens, s.target_tokens))
+
+
+class TokenBasedBatching(BatchingStrategy):
+    """Greedy accumulation up to a fixed padded-token budget per micro-batch.
+
+    Args:
+        tokens_per_micro_batch: Budget of padded tokens per micro-batch.
+        decoder_only: Architecture switch.
+        ordering: Callable producing the sample order to accumulate in
+            (defaults to sorting by length; pass ``list`` to keep sampling
+            order).
+    """
+
+    name = "token-based"
+
+    def __init__(
+        self,
+        tokens_per_micro_batch: int,
+        decoder_only: bool = False,
+        ordering: OrderingFn = sort_by_length,
+    ) -> None:
+        super().__init__(decoder_only=decoder_only)
+        if tokens_per_micro_batch < 1:
+            raise ValueError(
+                f"tokens_per_micro_batch must be >= 1, got {tokens_per_micro_batch}"
+            )
+        self.tokens_per_micro_batch = tokens_per_micro_batch
+        self.ordering = ordering
+
+    def _padded_tokens_if_added(self, current: list[Sample], candidate: Sample) -> int:
+        """Padded token count of ``current + [candidate]`` as one micro-batch."""
+        group = current + [candidate]
+        if self.decoder_only:
+            enc = max(s.total_tokens for s in group)
+            dec = 0
+        else:
+            enc = max(s.input_tokens for s in group)
+            dec = max(s.target_tokens for s in group)
+        return len(group) * (enc + dec)
+
+    def split(self, samples: Sequence[Sample]) -> BatchingResult:
+        """Accumulate ordered samples into micro-batches under the budget."""
+        if not samples:
+            return BatchingResult(micro_batches=[])
+        ordered = self.ordering(samples)
+        micro_batches: list[MicroBatch] = []
+        current: list[Sample] = []
+        for sample in ordered:
+            if current and self._padded_tokens_if_added(current, sample) > self.tokens_per_micro_batch:
+                micro_batches.append(
+                    MicroBatch.from_samples(current, decoder_only=self.decoder_only)
+                )
+                current = []
+            current.append(sample)
+        if current:
+            micro_batches.append(
+                MicroBatch.from_samples(current, decoder_only=self.decoder_only)
+            )
+        return BatchingResult(micro_batches=micro_batches)

@@ -1,0 +1,35 @@
+"""Simulated hardware substrate.
+
+The paper evaluates on Amazon EC2 p4d instances (8×A100-40GB per node,
+NVSwitch intra-node, 400 Gbps EFA inter-node).  That hardware is not
+available here, so this package provides an analytic stand-in:
+
+* :class:`~repro.cluster.device.DeviceSpec` / :class:`~repro.cluster.device.SimulatedGPU`
+  — a roofline-style device model that converts FLOPs and bytes moved into
+  execution time, with optional multiplicative noise to emulate real-world
+  execution-time variation.
+* :class:`~repro.cluster.network.LinkSpec` / :class:`~repro.cluster.network.NetworkModel`
+  — alpha-beta communication cost model for intra-node and inter-node links.
+* :class:`~repro.cluster.topology.ClusterTopology` — nodes × GPUs layout and
+  mapping from (data, pipeline, tensor) parallel ranks to physical devices.
+
+All planner decisions in the reproduction are driven by *profiled* costs
+obtained from these models, mirroring how the real system profiles real
+GPUs, so the full planner/executor code path is exercised.
+"""
+
+from repro.cluster.device import A100_40GB, DeviceSpec, SimulatedGPU
+from repro.cluster.network import LinkSpec, NetworkModel, EFA_400GBPS, NVSWITCH
+from repro.cluster.topology import ClusterTopology, DeviceCoordinate
+
+__all__ = [
+    "DeviceSpec",
+    "SimulatedGPU",
+    "A100_40GB",
+    "LinkSpec",
+    "NetworkModel",
+    "NVSWITCH",
+    "EFA_400GBPS",
+    "ClusterTopology",
+    "DeviceCoordinate",
+]

@@ -1,0 +1,150 @@
+"""Cluster topology and 3D-parallel rank mapping.
+
+A cluster is ``num_nodes`` nodes each holding ``gpus_per_node`` devices.  A
+3D parallel configuration (data × pipeline × tensor) is mapped onto the
+cluster following the Megatron-LM convention: tensor-parallel groups are
+packed innermost (so they stay intra-node), then pipeline stages, then data
+parallel replicas outermost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cluster.device import A100_40GB, DeviceSpec
+from repro.cluster.network import NetworkModel
+
+
+@dataclass(frozen=True)
+class DeviceCoordinate:
+    """Logical coordinate of a device under 3D parallelism.
+
+    Attributes:
+        data_rank: Index of the data-parallel replica.
+        pipeline_rank: Pipeline stage index (0 = first stage).
+        tensor_rank: Tensor-parallel shard index within the stage.
+    """
+
+    data_rank: int
+    pipeline_rank: int
+    tensor_rank: int
+
+
+@dataclass(frozen=True)
+class PhysicalDevice:
+    """A physical GPU identified by node and local index."""
+
+    node: int
+    local_index: int
+
+    @property
+    def global_index(self) -> int:
+        """Stable global index assuming a fixed gpus-per-node of 8 is *not*
+        assumed; use :meth:`ClusterTopology.global_index` instead."""
+        raise AttributeError(
+            "global index depends on the topology; use ClusterTopology.global_index"
+        )
+
+
+class ClusterTopology:
+    """Nodes × GPUs layout plus the logical-to-physical rank mapping."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        gpus_per_node: int = 8,
+        device_spec: DeviceSpec = A100_40GB,
+        network: NetworkModel | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if gpus_per_node < 1:
+            raise ValueError(f"gpus_per_node must be >= 1, got {gpus_per_node}")
+        self.num_nodes = num_nodes
+        self.gpus_per_node = gpus_per_node
+        self.device_spec = device_spec
+        self.network = network or NetworkModel()
+
+    @classmethod
+    def for_num_gpus(
+        cls,
+        num_gpus: int,
+        gpus_per_node: int = 8,
+        device_spec: DeviceSpec = A100_40GB,
+        network: NetworkModel | None = None,
+    ) -> "ClusterTopology":
+        """Build the smallest topology holding ``num_gpus`` devices.
+
+        Mirrors the paper's cluster sizes (4, 8, 16, 32 GPUs on p4d nodes of
+        8): clusters smaller than one node occupy part of a node.
+        """
+        if num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+        if num_gpus <= gpus_per_node:
+            return cls(1, num_gpus, device_spec, network)
+        if num_gpus % gpus_per_node != 0:
+            raise ValueError(
+                f"num_gpus={num_gpus} is not a multiple of gpus_per_node={gpus_per_node}"
+            )
+        return cls(num_gpus // gpus_per_node, gpus_per_node, device_spec, network)
+
+    @property
+    def num_gpus(self) -> int:
+        """Total number of devices in the cluster."""
+        return self.num_nodes * self.gpus_per_node
+
+    def devices(self) -> Iterator[PhysicalDevice]:
+        """Iterate over all physical devices in global-index order."""
+        for node in range(self.num_nodes):
+            for local in range(self.gpus_per_node):
+                yield PhysicalDevice(node=node, local_index=local)
+
+    def global_index(self, device: PhysicalDevice) -> int:
+        """Global index of ``device`` (row-major over nodes then GPUs)."""
+        return device.node * self.gpus_per_node + device.local_index
+
+    def device_of_global_index(self, index: int) -> PhysicalDevice:
+        """Inverse of :meth:`global_index`."""
+        if not 0 <= index < self.num_gpus:
+            raise ValueError(f"global index {index} out of range [0, {self.num_gpus})")
+        return PhysicalDevice(node=index // self.gpus_per_node, local_index=index % self.gpus_per_node)
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether global device indices ``a`` and ``b`` share a node."""
+        return a // self.gpus_per_node == b // self.gpus_per_node
+
+    def map_coordinate(
+        self, coord: DeviceCoordinate, pipeline_parallel: int, tensor_parallel: int
+    ) -> int:
+        """Map a logical coordinate to a global device index.
+
+        Tensor ranks are innermost so a tensor-parallel group is contiguous
+        (and hence intra-node when ``tensor_parallel <= gpus_per_node``),
+        followed by pipeline ranks, with data-parallel replicas outermost.
+        """
+        if coord.tensor_rank >= tensor_parallel:
+            raise ValueError("tensor_rank out of range")
+        if coord.pipeline_rank >= pipeline_parallel:
+            raise ValueError("pipeline_rank out of range")
+        index = (
+            coord.data_rank * pipeline_parallel * tensor_parallel
+            + coord.pipeline_rank * tensor_parallel
+            + coord.tensor_rank
+        )
+        if index >= self.num_gpus:
+            raise ValueError(
+                f"coordinate {coord} does not fit in a cluster of {self.num_gpus} GPUs"
+            )
+        return index
+
+    def stage_adjacent_same_node(
+        self, pipeline_parallel: int, tensor_parallel: int
+    ) -> bool:
+        """Whether adjacent pipeline stages (same data/tensor rank) are on
+        the same node — determines which link class pipeline P2P uses."""
+        coord_a = DeviceCoordinate(data_rank=0, pipeline_rank=0, tensor_rank=0)
+        coord_b = DeviceCoordinate(data_rank=0, pipeline_rank=min(1, pipeline_parallel - 1), tensor_rank=0)
+        a = self.map_coordinate(coord_a, pipeline_parallel, tensor_parallel)
+        b = self.map_coordinate(coord_b, pipeline_parallel, tensor_parallel)
+        return self.same_node(a, b)

@@ -1,0 +1,30 @@
+"""Communication planning (paper §6).
+
+Dynamic pipelines produce irregular communication patterns: consecutive
+stages of a micro-batch are no longer scheduled back-to-back, so the naive
+policy of "send right after production, receive right before use" can post
+mismatching orders on the single NCCL channel between two devices and
+deadlock.  DynaPipe instead plans all sends *and* receives ahead of time, at
+the moment the tensor is produced on a simulated timeline, which guarantees
+both sides of every channel post transfers in the same order.
+
+This package contains the ahead-of-time planner that turns a pipeline
+schedule plus its simulated timeline into per-device instruction streams,
+the naive-ordering generator used to demonstrate the deadlock, and a static
+deadlock/order-mismatch checker.
+"""
+
+from repro.comm.deadlock import CommOrderReport, check_comm_order
+from repro.comm.planner import (
+    build_instruction_streams,
+    build_naive_instruction_streams,
+)
+from repro.comm.shapes import TransferShapes
+
+__all__ = [
+    "build_instruction_streams",
+    "build_naive_instruction_streams",
+    "check_comm_order",
+    "CommOrderReport",
+    "TransferShapes",
+]

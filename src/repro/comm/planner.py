@@ -1,0 +1,232 @@
+"""Ahead-of-time communication planning and instruction stream generation.
+
+Given a pipeline schedule and the simulated timeline of its compute ops, the
+planner emits one instruction stream per device containing:
+
+* the compute ops in their scheduled order (``ForwardPass`` / ``BackwardPass``),
+* ``Send*Start`` / ``Recv*Start`` ops for every inter-stage transfer, and
+* ``WaitRecv*`` ops placed immediately before the compute op that consumes a
+  received tensor.
+
+Following §6 of the paper, the send *and* the matching receive of a transfer
+are both scheduled at the moment the tensor is produced on the simulated
+timeline.  Because every device orders its Start ops for a given neighbour
+by that same global production time, the two sides of every channel post
+transfers in the same order, which guarantees deadlock freedom (verified by
+:mod:`repro.comm.deadlock` and, dynamically, by the instruction executor).
+
+The module also provides the *naive* ordering — send right after production,
+receive right before use — which is what existing systems do and which
+deadlocks under dynamic (non-1F1B) schedules; it is used by tests, examples
+and the baseline to demonstrate the problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.comm.shapes import TransferShapes
+from repro.instructions.ops import (
+    BackwardPass,
+    ForwardPass,
+    PipelineInstruction,
+    RecvActStart,
+    RecvGradStart,
+    SendActStart,
+    SendGradStart,
+    WaitRecvAct,
+    WaitRecvGrad,
+)
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import MicroBatchShape
+from repro.schedule.events import ComputeOp, OpType, PipelineSchedule
+
+
+@dataclass(frozen=True)
+class _PlannedComm:
+    """A communication Start op anchored on a device's compute sequence.
+
+    Attributes:
+        device: Device whose stream the op belongs to.
+        anchor: Index into the device's compute-op sequence before which the
+            op must be launched (``len(ops)`` means "after the last op").
+        order_time: Global time used to order Start ops with the same anchor.
+        sequence: Tie-break counter preserving planning order.
+        instruction: The Start instruction itself.
+    """
+
+    device: int
+    anchor: int
+    order_time: float
+    sequence: int
+    instruction: PipelineInstruction
+
+
+def _compute_instruction(
+    op: ComputeOp,
+    shapes: Sequence[MicroBatchShape],
+    recompute: Sequence[RecomputeMode],
+) -> PipelineInstruction:
+    """Build the ForwardPass/BackwardPass instruction for a compute op."""
+    shape = shapes[op.microbatch]
+    mode = recompute[op.microbatch]
+    if op.op_type is OpType.FORWARD:
+        return ForwardPass(microbatch=op.microbatch, stage=op.stage, shape=shape, recompute=mode)
+    return BackwardPass(microbatch=op.microbatch, stage=op.stage, shape=shape, recompute=mode)
+
+
+def _normalise_recompute(
+    recompute: RecomputeMode | Sequence[RecomputeMode], count: int
+) -> list[RecomputeMode]:
+    if isinstance(recompute, RecomputeMode):
+        return [recompute] * count
+    recompute = list(recompute)
+    if len(recompute) != count:
+        raise ValueError(
+            f"expected {count} recompute modes, got {len(recompute)}"
+        )
+    return recompute
+
+
+def build_instruction_streams(
+    schedule: PipelineSchedule,
+    op_times: dict[ComputeOp, tuple[float, float]],
+    shapes: Sequence[MicroBatchShape],
+    transfer_shapes: TransferShapes,
+    recompute: RecomputeMode | Sequence[RecomputeMode] = RecomputeMode.NONE,
+) -> list[list[PipelineInstruction]]:
+    """Generate deadlock-free per-device instruction streams (paper §6).
+
+    Args:
+        schedule: The pipeline schedule (per-device compute op order).
+        op_times: Simulated (start, end) times of every compute op, e.g. from
+            :func:`repro.simulator.engine.simulate_schedule`.
+        shapes: Padded shape of each micro-batch (indexed by micro-batch id).
+        transfer_shapes: Byte counts of all inter-stage transfers.
+        recompute: Recomputation mode, either global or per micro-batch.
+
+    Returns:
+        One list of instructions per device, in execution order.
+    """
+    num_stages = schedule.num_stages
+    if len(shapes) != schedule.num_microbatches:
+        raise ValueError(
+            f"expected {schedule.num_microbatches} shapes, got {len(shapes)}"
+        )
+    recompute_modes = _normalise_recompute(recompute, schedule.num_microbatches)
+
+    # Position of each compute op within its device's sequence.
+    op_position: dict[ComputeOp, int] = {}
+    for stage_schedule in schedule.stages:
+        for position, op in enumerate(stage_schedule.ops):
+            op_position[op] = position
+
+    def anchor_for_time(device: int, time: float) -> int:
+        """First compute-op position on ``device`` that starts at/after ``time``."""
+        for position, op in enumerate(schedule.stage(device).ops):
+            if op_times[op][0] >= time - 1e-9:
+                return position
+        return len(schedule.stage(device).ops)
+
+    planned: list[_PlannedComm] = []
+    sequence = 0
+    # Iterate compute ops by ascending end time; schedule both sides of each
+    # transfer at the producer's end time.
+    for op in sorted(op_times, key=lambda o: (op_times[o][1], o.stage, o.microbatch)):
+        end_time = op_times[op][1]
+        mb = op.microbatch
+        if op.op_type is OpType.FORWARD and op.stage < num_stages - 1:
+            nbytes = transfer_shapes.act_bytes(mb, op.stage)
+            send = SendActStart(microbatch=mb, stage=op.stage, peer=op.stage + 1, nbytes=nbytes)
+            recv = RecvActStart(microbatch=mb, stage=op.stage + 1, peer=op.stage, nbytes=nbytes)
+            planned.append(
+                _PlannedComm(op.stage, op_position[op] + 1, end_time, sequence, send)
+            )
+            sequence += 1
+            planned.append(
+                _PlannedComm(op.stage + 1, anchor_for_time(op.stage + 1, end_time), end_time, sequence, recv)
+            )
+            sequence += 1
+        elif op.op_type is OpType.BACKWARD and op.stage > 0:
+            nbytes = transfer_shapes.grad_bytes(mb, op.stage)
+            send = SendGradStart(microbatch=mb, stage=op.stage, peer=op.stage - 1, nbytes=nbytes)
+            recv = RecvGradStart(microbatch=mb, stage=op.stage - 1, peer=op.stage, nbytes=nbytes)
+            planned.append(
+                _PlannedComm(op.stage, op_position[op] + 1, end_time, sequence, send)
+            )
+            sequence += 1
+            planned.append(
+                _PlannedComm(op.stage - 1, anchor_for_time(op.stage - 1, end_time), end_time, sequence, recv)
+            )
+            sequence += 1
+
+    # Group planned comm ops by (device, anchor), keeping the global order.
+    by_anchor: dict[tuple[int, int], list[_PlannedComm]] = {}
+    for item in planned:
+        by_anchor.setdefault((item.device, item.anchor), []).append(item)
+    for items in by_anchor.values():
+        items.sort(key=lambda item: (item.order_time, item.sequence))
+
+    streams: list[list[PipelineInstruction]] = []
+    for device in range(num_stages):
+        stream: list[PipelineInstruction] = []
+        device_ops = schedule.stage(device).ops
+        for position, op in enumerate(device_ops):
+            # Comm Start ops anchored before this compute op.
+            for item in by_anchor.get((device, position), []):
+                stream.append(item.instruction)
+            # Wait for the tensor this compute op consumes, if any.
+            if op.op_type is OpType.FORWARD and device > 0:
+                stream.append(WaitRecvAct(microbatch=op.microbatch, stage=device, peer=device - 1))
+            elif op.op_type is OpType.BACKWARD and device < num_stages - 1:
+                stream.append(WaitRecvGrad(microbatch=op.microbatch, stage=device, peer=device + 1))
+            stream.append(_compute_instruction(op, shapes, recompute_modes))
+        # Comm ops anchored after the final compute op.
+        for item in by_anchor.get((device, len(device_ops)), []):
+            stream.append(item.instruction)
+        streams.append(stream)
+    return streams
+
+
+def build_naive_instruction_streams(
+    schedule: PipelineSchedule,
+    shapes: Sequence[MicroBatchShape],
+    transfer_shapes: TransferShapes,
+    recompute: RecomputeMode | Sequence[RecomputeMode] = RecomputeMode.NONE,
+) -> list[list[PipelineInstruction]]:
+    """Generate instruction streams with the *naive* communication order.
+
+    Sends are posted immediately after the compute op that produces the
+    tensor; receives are posted immediately before the compute op that
+    consumes it.  This matches what 1F1B systems do and works for 1F1B's
+    regular pattern, but produces mismatched channel orders — and therefore
+    deadlocks — under dynamic schedules (paper §2.3, Fig. 8).
+    """
+    num_stages = schedule.num_stages
+    recompute_modes = _normalise_recompute(recompute, schedule.num_microbatches)
+    streams = []
+    for device in range(num_stages):
+        stream: list[PipelineInstruction] = []
+        for op in schedule.stage(device).ops:
+            mb = op.microbatch
+            if op.op_type is OpType.FORWARD:
+                if device > 0:
+                    nbytes = transfer_shapes.act_bytes(mb, device - 1)
+                    stream.append(RecvActStart(microbatch=mb, stage=device, peer=device - 1, nbytes=nbytes))
+                    stream.append(WaitRecvAct(microbatch=mb, stage=device, peer=device - 1))
+                stream.append(_compute_instruction(op, shapes, recompute_modes))
+                if device < num_stages - 1:
+                    nbytes = transfer_shapes.act_bytes(mb, device)
+                    stream.append(SendActStart(microbatch=mb, stage=device, peer=device + 1, nbytes=nbytes))
+            else:
+                if device < num_stages - 1:
+                    nbytes = transfer_shapes.grad_bytes(mb, device + 1)
+                    stream.append(RecvGradStart(microbatch=mb, stage=device, peer=device + 1, nbytes=nbytes))
+                    stream.append(WaitRecvGrad(microbatch=mb, stage=device, peer=device + 1))
+                stream.append(_compute_instruction(op, shapes, recompute_modes))
+                if device > 0:
+                    nbytes = transfer_shapes.grad_bytes(mb, device)
+                    stream.append(SendGradStart(microbatch=mb, stage=device, peer=device - 1, nbytes=nbytes))
+        streams.append(stream)
+    return streams

@@ -1,0 +1,66 @@
+"""Communicated tensor shapes.
+
+The execution plan embeds the byte counts of every transferred tensor so
+that executors never exchange shapes at runtime (paper §6).  Activation
+transfers from stage ``j`` to ``j+1`` carry the boundary activation of the
+micro-batch on stage ``j``; gradient transfers from ``j+1`` back to ``j``
+carry a tensor of the same size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.costmodel.cost_model import CostModel
+from repro.model.transformer import MicroBatchShape
+
+
+@dataclass
+class TransferShapes:
+    """Byte counts of the inter-stage transfers of one iteration.
+
+    Attributes:
+        activation_bytes: ``activation_bytes[mb][j]`` is the size of the
+            activation tensor sent from stage ``j`` to ``j+1`` for
+            micro-batch ``mb`` (the last stage entry is unused and zero).
+        gradient_bytes: ``gradient_bytes[mb][j]`` is the size of the gradient
+            tensor sent from stage ``j`` back to ``j-1`` (the first stage
+            entry is unused and zero).
+    """
+
+    activation_bytes: list[list[float]]
+    gradient_bytes: list[list[float]]
+
+    @classmethod
+    def from_cost_model(
+        cls, cost_model: CostModel, shapes: Sequence[MicroBatchShape]
+    ) -> "TransferShapes":
+        """Derive transfer sizes for ``shapes`` from ``cost_model``."""
+        num_stages = cost_model.num_stages
+        activation: list[list[float]] = []
+        gradient: list[list[float]] = []
+        for shape in shapes:
+            act_row = []
+            grad_row = [0.0]
+            for stage in range(num_stages):
+                if stage < num_stages - 1:
+                    nbytes = cost_model.boundary_tensor_bytes(stage, shape)
+                else:
+                    nbytes = 0.0
+                act_row.append(nbytes)
+            for stage in range(1, num_stages):
+                # Gradient w.r.t. the input of stage `stage` has the size of the
+                # activation that was sent into it.
+                grad_row.append(act_row[stage - 1])
+            activation.append(act_row)
+            gradient.append(grad_row)
+        return cls(activation_bytes=activation, gradient_bytes=gradient)
+
+    def act_bytes(self, microbatch: int, from_stage: int) -> float:
+        """Activation bytes sent from ``from_stage`` to ``from_stage + 1``."""
+        return self.activation_bytes[microbatch][from_stage]
+
+    def grad_bytes(self, microbatch: int, from_stage: int) -> float:
+        """Gradient bytes sent from ``from_stage`` to ``from_stage - 1``."""
+        return self.gradient_bytes[microbatch][from_stage]

@@ -1,0 +1,244 @@
+"""Dynamic-programming micro-batch partitioning (paper §4, Eq. 1/2).
+
+Given an *ordered* list of samples, the partitioner chooses split points so
+that consecutive samples form micro-batches minimising the modelled
+iteration time
+
+    (c - 1) · max_i t(M_i)  +  w · Σ_i t(M_i)
+
+where ``c`` is the number of pipeline stages, ``t(M)`` is the forward +
+backward time of micro-batch ``M`` on the bottleneck stage (from the cost
+model) and ``w`` is 1 for a single pipeline or ``1 / |D|`` when the
+micro-batches will later be spread over ``|D|`` data-parallel replicas.
+
+Following the paper, the outer minimisation over the maximum micro-batch
+time ``t_max`` enumerates candidate values (sampled at fixed intervals to
+bound the O(N⁴) exact formulation), and for each candidate an O(N·W) DP
+finds the best partition whose micro-batches all respect ``t_max`` and the
+per-micro-batch memory limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+#: Cost of the micro-batch formed from the half-open index range [start, end).
+MicroBatchCostFn = Callable[[int, int], float]
+#: Feasibility (memory limit) of the micro-batch formed from [start, end).
+MicroBatchFeasibleFn = Callable[[int, int], bool]
+
+
+class PartitionError(ValueError):
+    """Raised when no feasible partition exists (e.g. a single sample's
+    micro-batch already violates the memory limit)."""
+
+
+@dataclass
+class DPSolution:
+    """Result of :func:`solve_partition`.
+
+    Attributes:
+        boundaries: Half-open index ranges ``(start, end)`` of the chosen
+            micro-batches, in order.
+        times: Modelled execution time of each chosen micro-batch.
+        objective: Value of the optimised objective for the chosen partition.
+        tmax_used: The ``t_max`` candidate that produced the best partition.
+        candidates_evaluated: Number of ``t_max`` candidates tried.
+        cost_evaluations: Number of cost-function evaluations performed
+            (reported by the planning-time experiment, Fig. 17).
+    """
+
+    boundaries: list[tuple[int, int]]
+    times: list[float]
+    objective: float
+    tmax_used: float
+    candidates_evaluated: int = 0
+    cost_evaluations: int = 0
+
+    @property
+    def num_microbatches(self) -> int:
+        """Number of micro-batches in the partition."""
+        return len(self.boundaries)
+
+    @property
+    def max_time(self) -> float:
+        """Largest micro-batch time in the partition."""
+        return max(self.times) if self.times else 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Sum of micro-batch times in the partition."""
+        return sum(self.times)
+
+
+class _CostCache:
+    """Memoises the window cost/feasibility functions and counts calls."""
+
+    def __init__(self, time_fn: MicroBatchCostFn, feasible_fn: MicroBatchFeasibleFn | None):
+        self._time_fn = time_fn
+        self._feasible_fn = feasible_fn
+        self._time: dict[tuple[int, int], float] = {}
+        self._feasible: dict[tuple[int, int], bool] = {}
+        self.evaluations = 0
+
+    def time(self, start: int, end: int) -> float:
+        key = (start, end)
+        if key not in self._time:
+            self._time[key] = float(self._time_fn(start, end))
+            self.evaluations += 1
+        return self._time[key]
+
+    def feasible(self, start: int, end: int) -> bool:
+        if self._feasible_fn is None:
+            return True
+        key = (start, end)
+        if key not in self._feasible:
+            self._feasible[key] = bool(self._feasible_fn(start, end))
+        return self._feasible[key]
+
+
+def _tmax_candidates(
+    cache: _CostCache,
+    num_samples: int,
+    max_microbatch_size: int,
+    sample_count: int,
+) -> list[float]:
+    """Candidate values for the maximum micro-batch execution time.
+
+    The exact formulation enumerates all O(N²) window times; the paper's
+    speed-up samples the range at fixed intervals.  We probe window times at
+    geometrically growing window sizes from every few start positions, then
+    thin the sorted unique values down to ``sample_count`` candidates.  The
+    smallest candidate is always the largest singleton time (any smaller
+    ``t_max`` admits no feasible partition).
+    """
+    singleton_max = max(cache.time(i, i + 1) for i in range(num_samples))
+    probed: set[float] = set()
+    stride = max(1, num_samples // 64)
+    for start in range(0, num_samples, stride):
+        size = 1
+        while size <= max_microbatch_size and start + size <= num_samples:
+            window_time = cache.time(start, start + size)
+            if window_time >= singleton_max:
+                probed.add(window_time)
+            size *= 2
+    probed.add(singleton_max)
+    values = sorted(probed)
+    if len(values) <= sample_count:
+        return values
+    # Thin to roughly evenly spaced candidates over the sorted list, always
+    # keeping the smallest and largest.
+    step = (len(values) - 1) / (sample_count - 1)
+    picked = [values[int(round(i * step))] for i in range(sample_count)]
+    return sorted(set(picked))
+
+
+def _partition_for_tmax(
+    cache: _CostCache,
+    num_samples: int,
+    tmax: float,
+    max_microbatch_size: int,
+) -> tuple[list[tuple[int, int]], list[float]] | None:
+    """Optimal partition with every micro-batch time <= ``tmax`` (Eq. 2).
+
+    Returns ``None`` when no feasible partition exists for this ``tmax``.
+    """
+    best_cost = [float("inf")] * (num_samples + 1)
+    best_prev = [-1] * (num_samples + 1)
+    best_cost[0] = 0.0
+    for end in range(1, num_samples + 1):
+        window_limit = min(max_microbatch_size, end)
+        for size in range(1, window_limit + 1):
+            start = end - size
+            window_time = cache.time(start, end)
+            if window_time > tmax:
+                # Window times grow with window size, so larger windows
+                # cannot satisfy the bound either.
+                break
+            if not cache.feasible(start, end):
+                break
+            if best_cost[start] == float("inf"):
+                continue
+            candidate = best_cost[start] + window_time
+            if candidate < best_cost[end]:
+                best_cost[end] = candidate
+                best_prev[end] = start
+    if best_cost[num_samples] == float("inf"):
+        return None
+    boundaries: list[tuple[int, int]] = []
+    end = num_samples
+    while end > 0:
+        start = best_prev[end]
+        boundaries.append((start, end))
+        end = start
+    boundaries.reverse()
+    times = [cache.time(start, end) for start, end in boundaries]
+    return boundaries, times
+
+
+def solve_partition(
+    num_samples: int,
+    num_stages: int,
+    time_fn: MicroBatchCostFn,
+    feasible_fn: MicroBatchFeasibleFn | None = None,
+    sum_weight: float = 1.0,
+    max_microbatch_size: int = 512,
+    tmax_sample_count: int = 24,
+) -> DPSolution:
+    """Find the micro-batch partition minimising the Eq. 1 objective.
+
+    Args:
+        num_samples: Number of (already ordered) samples.
+        num_stages: Number of pipeline stages ``c``.
+        time_fn: Window time ``t(M)`` for a half-open sample index range.
+        feasible_fn: Optional memory-limit check for a window.
+        sum_weight: Weight of the Σ t(M) term (``1/|D|`` under data parallelism).
+        max_microbatch_size: Upper bound on samples per micro-batch (bounds
+            the DP inner loop; generous by default).
+        tmax_sample_count: Number of ``t_max`` candidates to evaluate.
+
+    Raises:
+        PartitionError: If even single-sample micro-batches are infeasible.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    if sum_weight <= 0:
+        raise ValueError(f"sum_weight must be > 0, got {sum_weight}")
+    if max_microbatch_size < 1:
+        raise ValueError(f"max_microbatch_size must be >= 1, got {max_microbatch_size}")
+
+    cache = _CostCache(time_fn, feasible_fn)
+    for i in range(num_samples):
+        if not cache.feasible(i, i + 1):
+            raise PartitionError(
+                f"sample {i} alone exceeds the per-micro-batch memory limit; "
+                "increase the device memory limit or enable recomputation"
+            )
+
+    candidates = _tmax_candidates(cache, num_samples, max_microbatch_size, tmax_sample_count)
+
+    best: DPSolution | None = None
+    for tmax in candidates:
+        result = _partition_for_tmax(cache, num_samples, tmax, max_microbatch_size)
+        if result is None:
+            continue
+        boundaries, times = result
+        objective = (num_stages - 1) * max(times) + sum_weight * sum(times)
+        if best is None or objective < best.objective:
+            best = DPSolution(
+                boundaries=boundaries,
+                times=times,
+                objective=objective,
+                tmax_used=tmax,
+            )
+    if best is None:
+        raise PartitionError(
+            "no feasible partition found for any t_max candidate; this indicates "
+            "an inconsistency between the time and feasibility functions"
+        )
+    best.candidates_evaluated = len(candidates)
+    best.cost_evaluations = cache.evaluations
+    return best

@@ -1,0 +1,113 @@
+"""DynaPipe's dynamic micro-batch construction (paper §4).
+
+:class:`DynamicMicroBatcher` is the planner-facing front end of the
+dynamic-programming partitioner: it orders the mini-batch's samples,
+queries the cost model for window times and activation footprints, enforces
+the per-micro-batch memory limit, and returns the resulting micro-batches
+in partition order together with the DP solution metadata (used by the
+planning-time experiment and by tests).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.batching.base import BatchingResult, BatchingStrategy, MicroBatch
+from repro.core.dp_solver import DPSolution, solve_partition
+from repro.core.ordering import OrderingMethod, order_samples
+from repro.costmodel.cost_model import CostModel
+from repro.data.tasks import Sample
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import MicroBatchShape
+
+
+class DynamicMicroBatcher(BatchingStrategy):
+    """Dynamic-programming micro-batch construction.
+
+    Args:
+        cost_model: Cost model of one model replica's pipeline.
+        ordering: Sample ordering method applied before partitioning.
+        recompute: Recomputation mode assumed when estimating time/memory.
+        per_microbatch_memory_bytes: Activation-memory limit for a single
+            micro-batch on its bottleneck stage.  Defaults to the tightest
+            stage activation budget divided by the number of stages, the
+            1F1B-style limit described in §4 ("Limit memory consumption").
+        sum_weight: Weight of the Σ t(M) objective term (``1/|D|`` when the
+            micro-batches will be spread over ``|D|`` data-parallel replicas).
+        tmax_sample_count: Number of ``t_max`` candidates for the DP.
+        max_microbatch_size: Upper bound on samples per micro-batch.
+    """
+
+    name = "dynapipe-dp"
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        ordering: OrderingMethod | str = OrderingMethod.SORT,
+        recompute: RecomputeMode = RecomputeMode.NONE,
+        per_microbatch_memory_bytes: float | None = None,
+        sum_weight: float = 1.0,
+        tmax_sample_count: int = 24,
+        max_microbatch_size: int = 256,
+    ) -> None:
+        super().__init__(decoder_only=not cost_model.config.is_encoder_decoder)
+        self.cost_model = cost_model
+        self.ordering = OrderingMethod(ordering)
+        self.recompute = recompute
+        if per_microbatch_memory_bytes is None:
+            per_microbatch_memory_bytes = (
+                cost_model.min_activation_budget_bytes() / cost_model.num_stages
+            )
+        self.per_microbatch_memory_bytes = per_microbatch_memory_bytes
+        self.sum_weight = sum_weight
+        self.tmax_sample_count = tmax_sample_count
+        self.max_microbatch_size = max_microbatch_size
+        #: DP solution of the most recent :meth:`split` call (for inspection).
+        self.last_solution: DPSolution | None = None
+
+    # ------------------------------------------------------------------ helpers
+
+    def _window_shape(self, ordered: Sequence[Sample], start: int, end: int) -> MicroBatchShape:
+        """Padded shape of the micro-batch formed from ``ordered[start:end]``."""
+        window = ordered[start:end]
+        if self.decoder_only:
+            enc = max(s.total_tokens for s in window)
+            dec = 0
+        else:
+            enc = max(s.input_tokens for s in window)
+            dec = max(s.target_tokens for s in window)
+        return MicroBatchShape(batch_size=end - start, enc_seq_len=enc, dec_seq_len=dec)
+
+    def window_time_ms(self, ordered: Sequence[Sample], start: int, end: int) -> float:
+        """Modelled ``t(M)`` of the window (bottleneck-stage forward+backward)."""
+        shape = self._window_shape(ordered, start, end)
+        return self.cost_model.microbatch_time_ms(shape, self.recompute)
+
+    def window_feasible(self, ordered: Sequence[Sample], start: int, end: int) -> bool:
+        """Whether the window's activation footprint respects the memory limit."""
+        shape = self._window_shape(ordered, start, end)
+        activation = self.cost_model.microbatch_activation_bytes(shape, self.recompute)
+        return activation <= self.per_microbatch_memory_bytes
+
+    # ------------------------------------------------------------------ strategy API
+
+    def split(self, samples: Sequence[Sample]) -> BatchingResult:
+        """Order the mini-batch and partition it with the DP algorithm."""
+        if not samples:
+            return BatchingResult(micro_batches=[])
+        ordered = order_samples(samples, self.ordering, decoder_only=self.decoder_only)
+        solution = solve_partition(
+            num_samples=len(ordered),
+            num_stages=self.cost_model.num_stages,
+            time_fn=lambda start, end: self.window_time_ms(ordered, start, end),
+            feasible_fn=lambda start, end: self.window_feasible(ordered, start, end),
+            sum_weight=self.sum_weight,
+            max_microbatch_size=self.max_microbatch_size,
+            tmax_sample_count=self.tmax_sample_count,
+        )
+        self.last_solution = solution
+        micro_batches = [
+            MicroBatch.from_samples(ordered[start:end], decoder_only=self.decoder_only)
+            for start, end in solution.boundaries
+        ]
+        return BatchingResult(micro_batches=micro_batches)

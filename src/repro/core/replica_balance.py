@@ -1,0 +1,96 @@
+"""Balancing micro-batches across data-parallel replicas (paper §4).
+
+After the DP partition produces the iteration's micro-batches, hybrid
+data + pipeline parallel training must distribute them over the ``|D|``
+model replicas so that the total micro-batch execution time per replica is
+as equal as possible (the iteration ends when the slowest replica finishes
+and gradients synchronise).  The paper solves this multiway number
+partitioning problem approximately with the Karmarkar–Karp largest
+differencing method, implemented here for an arbitrary number of parts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ReplicaAssignment:
+    """Result of balancing micro-batches across replicas.
+
+    Attributes:
+        groups: ``groups[d]`` lists the micro-batch indices assigned to
+            replica ``d``.
+        sums: Total value (execution time) assigned to each replica.
+    """
+
+    groups: list[list[int]]
+    sums: list[float]
+
+    @property
+    def imbalance(self) -> float:
+        """Max minus min replica load (0 means perfectly balanced)."""
+        return max(self.sums) - min(self.sums) if self.sums else 0.0
+
+    @property
+    def makespan(self) -> float:
+        """Load of the most loaded replica."""
+        return max(self.sums) if self.sums else 0.0
+
+
+def karmarkar_karp_partition(values: Sequence[float], num_parts: int) -> ReplicaAssignment:
+    """Partition ``values`` into ``num_parts`` groups with near-equal sums.
+
+    Implements the k-way largest differencing method: every value starts as
+    a partial solution with the value in one group and ``k-1`` empty groups;
+    the two partial solutions with the largest spread (max − min group sum)
+    are repeatedly merged by pairing the largest groups of one with the
+    smallest groups of the other, until a single solution remains.
+
+    Args:
+        values: Item sizes (micro-batch execution times); must be non-negative.
+        num_parts: Number of groups (data-parallel replicas).
+
+    Returns:
+        A :class:`ReplicaAssignment`; group order is arbitrary but groups are
+        returned sorted by descending load for determinism.
+    """
+    if num_parts < 1:
+        raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    if num_parts == 1:
+        return ReplicaAssignment(groups=[list(range(len(values)))], sums=[float(sum(values))])
+    if not values:
+        return ReplicaAssignment(groups=[[] for _ in range(num_parts)], sums=[0.0] * num_parts)
+
+    counter = itertools.count()
+    heap: list[tuple[float, int, list[tuple[float, list[int]]]]] = []
+    for index, value in enumerate(values):
+        groups: list[tuple[float, list[int]]] = [(float(value), [index])]
+        groups.extend((0.0, []) for _ in range(num_parts - 1))
+        spread = float(value)
+        heapq.heappush(heap, (-spread, next(counter), groups))
+
+    while len(heap) > 1:
+        _, _, groups_a = heapq.heappop(heap)
+        _, _, groups_b = heapq.heappop(heap)
+        # Pair largest of A with smallest of B to cancel out differences.
+        groups_a.sort(key=lambda g: g[0], reverse=True)
+        groups_b.sort(key=lambda g: g[0])
+        merged = [
+            (sum_a + sum_b, items_a + items_b)
+            for (sum_a, items_a), (sum_b, items_b) in zip(groups_a, groups_b)
+        ]
+        spread = max(s for s, _ in merged) - min(s for s, _ in merged)
+        heapq.heappush(heap, (-spread, next(counter), merged))
+
+    _, _, final_groups = heap[0]
+    final_groups.sort(key=lambda g: g[0], reverse=True)
+    return ReplicaAssignment(
+        groups=[sorted(items) for _, items in final_groups],
+        sums=[float(s) for s, _ in final_groups],
+    )

@@ -1,0 +1,29 @@
+"""Profiled-and-interpolated cost models (paper §3 "Cost models").
+
+The planner never queries the device model directly.  Instead, mirroring the
+real system, per-layer execution time and activation memory are *profiled*
+at power-of-two grid points of (micro-batch size, sequence length) — and
+(micro-batch size, target length, source length) for T5 decoder layers —
+and linearly interpolated in between.  This is precisely the fidelity gap
+the paper quantifies in Fig. 18, and the same gap exists here between the
+interpolated cost model and the discrete-event execution simulator.
+"""
+
+from repro.costmodel.cost_model import CostModel, StageCost
+from repro.costmodel.interpolation import GridInterpolator
+from repro.costmodel.profiler import (
+    LayerProfile,
+    LayerProfiler,
+    ProfileDatabase,
+    default_profile_grid,
+)
+
+__all__ = [
+    "CostModel",
+    "StageCost",
+    "GridInterpolator",
+    "LayerProfile",
+    "LayerProfiler",
+    "ProfileDatabase",
+    "default_profile_grid",
+]

@@ -1,0 +1,93 @@
+"""Multi-linear interpolation over a rectangular grid of profiled points.
+
+The paper profiles micro-batch sizes and sequence lengths at power-of-two
+intervals and uses linear interpolation between sampled points.  This module
+implements that interpolation for an arbitrary number of dimensions (two for
+GPT layers, three for T5 decoder layers because cross-attention couples the
+target and source lengths).
+
+Values outside the profiled range are linearly extrapolated from the last
+grid cell, matching the common practice of extending the profile rather than
+failing; extrapolation quality is part of what the cost-model accuracy
+experiment measures.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+import numpy as np
+
+
+class GridInterpolator:
+    """N-dimensional multi-linear interpolation on a rectangular grid.
+
+    Args:
+        axes: One strictly-increasing coordinate array per dimension.
+        values: Array of shape ``tuple(len(a) for a in axes)`` holding the
+            profiled value at each grid point.
+    """
+
+    def __init__(self, axes: Sequence[Sequence[float]], values: np.ndarray) -> None:
+        if not axes:
+            raise ValueError("at least one axis is required")
+        self.axes = [np.asarray(axis, dtype=float) for axis in axes]
+        for dim, axis in enumerate(self.axes):
+            if axis.ndim != 1 or len(axis) < 1:
+                raise ValueError(f"axis {dim} must be a non-empty 1-D sequence")
+            if len(axis) > 1 and not np.all(np.diff(axis) > 0):
+                raise ValueError(f"axis {dim} must be strictly increasing")
+        self.values = np.asarray(values, dtype=float)
+        expected_shape = tuple(len(axis) for axis in self.axes)
+        if self.values.shape != expected_shape:
+            raise ValueError(
+                f"values shape {self.values.shape} does not match axes shape {expected_shape}"
+            )
+
+    def _bracket(self, dim: int, x: float) -> tuple[int, int, float]:
+        """Return (low index, high index, fraction) bracketing ``x`` on ``dim``.
+
+        Points beyond either end of the axis extrapolate from the outermost
+        cell (fraction outside [0, 1]).
+        """
+        axis = self.axes[dim]
+        if len(axis) == 1:
+            return 0, 0, 0.0
+        idx = bisect_left(axis, x)
+        if idx <= 0:
+            lo, hi = 0, 1
+        elif idx >= len(axis):
+            lo, hi = len(axis) - 2, len(axis) - 1
+        else:
+            lo, hi = idx - 1, idx
+        span = axis[hi] - axis[lo]
+        frac = (x - axis[lo]) / span if span else 0.0
+        return lo, hi, float(frac)
+
+    def __call__(self, *coords: float) -> float:
+        """Interpolated value at ``coords`` (one coordinate per dimension)."""
+        if len(coords) != len(self.axes):
+            raise ValueError(
+                f"expected {len(self.axes)} coordinates, got {len(coords)}"
+            )
+        brackets = [self._bracket(dim, float(c)) for dim, c in enumerate(coords)]
+        total = 0.0
+        corners = 1 << len(self.axes)
+        for corner in range(corners):
+            weight = 1.0
+            index = []
+            for dim, (lo, hi, frac) in enumerate(brackets):
+                if corner >> dim & 1:
+                    weight *= frac
+                    index.append(hi)
+                else:
+                    weight *= 1.0 - frac
+                    index.append(lo)
+            if weight != 0.0:
+                total += weight * float(self.values[tuple(index)])
+        return total
+
+    def max_value(self) -> float:
+        """Maximum profiled value (useful for sanity checks)."""
+        return float(self.values.max())

@@ -1,0 +1,100 @@
+"""Profile database (de)serialisation.
+
+Profiling the simulated device is cheap, but the real system profiles
+physical GPUs once and reuses the result across training runs; keeping the
+same save/load workflow makes the cost model a drop-in component.  Profiles
+are stored as JSON: the grid axes and the value arrays of every interpolator
+for every layer kind and recomputation mode.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.costmodel.interpolation import GridInterpolator
+from repro.costmodel.profiler import LayerProfile, ProfileDatabase
+from repro.model.memory import RecomputeMode
+
+
+def _interpolator_to_dict(interpolator: GridInterpolator) -> dict[str, Any]:
+    return {
+        "axes": [list(map(float, axis)) for axis in interpolator.axes],
+        "values": interpolator.values.tolist(),
+    }
+
+
+def _interpolator_from_dict(payload: dict[str, Any]) -> GridInterpolator:
+    return GridInterpolator(payload["axes"], np.asarray(payload["values"], dtype=float))
+
+
+def profile_to_dict(profile: LayerProfile) -> dict[str, Any]:
+    """Serialise one layer profile."""
+    return {
+        "kind": profile.kind,
+        "dims": profile.dims,
+        "forward_ms": _interpolator_to_dict(profile.forward_ms),
+        "backward_ms": {
+            mode.value: _interpolator_to_dict(interp) for mode, interp in profile.backward_ms.items()
+        },
+        "activation_bytes": {
+            mode.value: _interpolator_to_dict(interp)
+            for mode, interp in profile.activation_bytes.items()
+        },
+    }
+
+
+def profile_from_dict(payload: dict[str, Any]) -> LayerProfile:
+    """Rebuild one layer profile from :func:`profile_to_dict` output."""
+    return LayerProfile(
+        kind=str(payload["kind"]),
+        dims=int(payload["dims"]),
+        forward_ms=_interpolator_from_dict(payload["forward_ms"]),
+        backward_ms={
+            RecomputeMode(mode): _interpolator_from_dict(data)
+            for mode, data in payload["backward_ms"].items()
+        },
+        activation_bytes={
+            RecomputeMode(mode): _interpolator_from_dict(data)
+            for mode, data in payload["activation_bytes"].items()
+        },
+    )
+
+
+def database_to_dict(database: ProfileDatabase) -> dict[str, Any]:
+    """Serialise a whole profile database."""
+    return {
+        "model_name": database.model_name,
+        "tensor_parallel": database.tensor_parallel,
+        "device_name": database.device_name,
+        "profiles": {kind: profile_to_dict(profile) for kind, profile in database.profiles.items()},
+    }
+
+
+def database_from_dict(payload: dict[str, Any]) -> ProfileDatabase:
+    """Rebuild a profile database from :func:`database_to_dict` output."""
+    return ProfileDatabase(
+        model_name=str(payload["model_name"]),
+        tensor_parallel=int(payload["tensor_parallel"]),
+        device_name=str(payload["device_name"]),
+        profiles={
+            kind: profile_from_dict(profile) for kind, profile in payload["profiles"].items()
+        },
+    )
+
+
+def save_database(database: ProfileDatabase, path: str | Path) -> Path:
+    """Write a profile database to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(database_to_dict(database)))
+    return path
+
+
+def load_database(path: str | Path) -> ProfileDatabase:
+    """Load a profile database previously written by :func:`save_database`."""
+    payload = json.loads(Path(path).read_text())
+    return database_from_dict(payload)

@@ -1,0 +1,111 @@
+"""Synthetic FLANv2-like multi-task mixture.
+
+The real FLANv2 zero-shot collection mixes 1836 tasks whose tokenised input
+lengths range from a handful of tokens (single-sentence grammaticality
+checks) to tens of thousands (long-document summarisation), producing the
+heavy-tailed distribution of the paper's Fig. 1b and an average padding
+waste above 80% under naive padding.
+
+The task specifications below are a condensed mixture covering the task
+categories the paper's introduction highlights, with length statistics
+calibrated to the numbers quoted in the paper (e.g. CNN/DailyMail mean input
+977.7 tokens, MNLI mean 51.6).  Weights skew toward short tasks, as in the
+real collection, so the length distribution is heavy tailed to the right.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.tasks import Sample, TaskSpec
+from repro.utils.rng import SeedLike, new_rng
+
+#: Condensed FLANv2-like task mixture.
+FLAN_TASK_SPECS: tuple[TaskSpec, ...] = (
+    # Long-context tasks (summarisation / information extraction).
+    TaskSpec("cnn_dailymail_summarization", 977.7, 60.0, input_cv=0.45, target_cv=0.5, weight=0.08),
+    TaskSpec("xsum_summarization", 430.0, 25.0, input_cv=0.55, target_cv=0.4, weight=0.07),
+    TaskSpec("multi_news_summarization", 2100.0, 270.0, input_cv=0.8, target_cv=0.5, weight=0.03),
+    TaskSpec("long_document_qa", 3800.0, 40.0, input_cv=1.0, target_cv=0.6, weight=0.02),
+    TaskSpec("scientific_summarization", 5200.0, 180.0, input_cv=1.1, target_cv=0.5, weight=0.01),
+    # Medium-length tasks (translation, reading comprehension).
+    TaskSpec("wmt_translation", 140.0, 140.0, input_cv=0.6, target_cv=0.6, weight=0.14),
+    TaskSpec("squad_qa", 180.0, 8.0, input_cv=0.5, target_cv=0.7, weight=0.12),
+    TaskSpec("boolq", 120.0, 3.0, input_cv=0.5, target_cv=0.2, weight=0.08),
+    TaskSpec("common_gen", 35.0, 25.0, input_cv=0.4, target_cv=0.5, weight=0.07),
+    # Short tasks (classification-style instruction tuning).
+    TaskSpec("mnli_entailment", 51.6, 3.0, input_cv=0.45, target_cv=0.2, weight=0.15),
+    TaskSpec("cola_grammaticality", 28.0, 3.0, input_cv=0.35, target_cv=0.2, weight=0.12),
+    TaskSpec("sst2_sentiment", 32.0, 3.0, input_cv=0.4, target_cv=0.2, weight=0.11),
+)
+
+
+class SyntheticFlanDataset:
+    """A finite synthetic multi-task dataset.
+
+    Samples are materialised eagerly (the paper down-samples FLANv2 to 100 K
+    samples; the default here is smaller to keep tests fast) so that epochs
+    are reproducible and the dataset can be iterated multiple times.
+
+    Args:
+        num_samples: Number of samples to generate.
+        task_specs: Task mixture (defaults to :data:`FLAN_TASK_SPECS`).
+        seed: Random seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        num_samples: int = 10_000,
+        task_specs: Sequence[TaskSpec] = FLAN_TASK_SPECS,
+        seed: SeedLike = 0,
+    ) -> None:
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        if not task_specs:
+            raise ValueError("task_specs must not be empty")
+        self.task_specs = tuple(task_specs)
+        rng = new_rng(seed)
+        weights = np.array([spec.weight for spec in self.task_specs], dtype=float)
+        weights = weights / weights.sum()
+        task_indices = rng.choice(len(self.task_specs), size=num_samples, p=weights)
+        self._samples: list[Sample] = [
+            self.task_specs[int(idx)].draw(rng) for idx in task_indices
+        ]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self._samples[index]
+
+    @property
+    def samples(self) -> list[Sample]:
+        """All samples of the dataset (a copy is not made; do not mutate)."""
+        return self._samples
+
+    def total_tokens(self) -> int:
+        """Total number of (non-padding) tokens across the dataset."""
+        return sum(s.total_tokens for s in self._samples)
+
+    def input_length_statistics(self) -> dict[str, float]:
+        """Summary statistics of input sequence lengths (mean/p50/p95/max)."""
+        lengths = np.array([s.input_tokens for s in self._samples], dtype=float)
+        return {
+            "mean": float(lengths.mean()),
+            "p50": float(np.percentile(lengths, 50)),
+            "p95": float(np.percentile(lengths, 95)),
+            "p99": float(np.percentile(lengths, 99)),
+            "max": float(lengths.max()),
+        }
+
+    def task_histogram(self) -> dict[str, int]:
+        """Number of samples drawn from each task."""
+        histogram: dict[str, int] = {}
+        for sample in self._samples:
+            histogram[sample.task] = histogram.get(sample.task, 0) + 1
+        return histogram

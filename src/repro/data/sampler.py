@@ -1,0 +1,109 @@
+"""Mini-batch sampling.
+
+The paper fixes the *global batch size* in tokens (e.g. 65536 tokens per
+training iteration) and draws mini-batches randomly from the task mixture.
+DynaPipe deliberately does not change how mini-batches are constructed —
+only how a given mini-batch is split into micro-batches — so the same
+sampler feeds the packing baselines and DynaPipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.data.tasks import Sample
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class MiniBatch:
+    """One training iteration's worth of samples.
+
+    Attributes:
+        index: Iteration index within the epoch.
+        samples: The samples in the mini-batch, in sampling order.
+    """
+
+    index: int
+    samples: list[Sample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def total_tokens(self) -> int:
+        """Total non-padding tokens (input + target) in the mini-batch."""
+        return sum(s.total_tokens for s in self.samples)
+
+    def max_input_tokens(self) -> int:
+        """Longest input sequence in the mini-batch."""
+        return max((s.input_tokens for s in self.samples), default=0)
+
+    def max_target_tokens(self) -> int:
+        """Longest target sequence in the mini-batch."""
+        return max((s.target_tokens for s in self.samples), default=0)
+
+
+class MiniBatchSampler:
+    """Randomly partitions a dataset epoch into token-budgeted mini-batches.
+
+    Samples are shuffled once per epoch and greedily accumulated until the
+    global token budget is reached, matching how token-based global batch
+    sizes are realised in Megatron-LM style dataloaders.
+
+    Args:
+        samples: The dataset's samples.
+        global_batch_tokens: Target number of (non-padding) tokens per
+            mini-batch.
+        seed: Shuffle seed.
+        drop_last: Whether to drop a final under-full mini-batch.
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[Sample],
+        global_batch_tokens: int,
+        seed: SeedLike = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if global_batch_tokens < 1:
+            raise ValueError(
+                f"global_batch_tokens must be >= 1, got {global_batch_tokens}"
+            )
+        if not samples:
+            raise ValueError("samples must not be empty")
+        self._samples = list(samples)
+        self.global_batch_tokens = global_batch_tokens
+        self.drop_last = drop_last
+        self._seed = seed
+
+    def epoch(self, epoch_index: int = 0) -> Iterator[MiniBatch]:
+        """Iterate over the mini-batches of one epoch.
+
+        Each epoch uses an independent shuffle derived from the sampler seed
+        and the epoch index, so epochs differ but remain reproducible.
+        """
+        rng = new_rng(None if self._seed is None else hash((self._seed, epoch_index)) % (2**63))
+        order = rng.permutation(len(self._samples))
+        current: list[Sample] = []
+        tokens = 0
+        batch_index = 0
+        for position in order:
+            sample = self._samples[int(position)]
+            current.append(sample)
+            tokens += sample.total_tokens
+            if tokens >= self.global_batch_tokens:
+                yield MiniBatch(index=batch_index, samples=current)
+                batch_index += 1
+                current = []
+                tokens = 0
+        if current and not self.drop_last:
+            yield MiniBatch(index=batch_index, samples=current)
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        return self.epoch(0)
+
+    def num_batches_estimate(self) -> int:
+        """Rough number of mini-batches per epoch."""
+        total = sum(s.total_tokens for s in self._samples)
+        return max(1, total // self.global_batch_tokens)

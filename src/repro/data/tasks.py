@@ -1,0 +1,96 @@
+"""Task and sample abstractions.
+
+A multi-task training *sample* is reduced to the only attributes that matter
+to batching and scheduling decisions: the task it came from, the tokenised
+input length and the tokenised target length.  For decoder-only (GPT)
+training the two are concatenated into a single sequence; for
+encoder-decoder (T5) training they feed the encoder and decoder separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True, order=True)
+class Sample:
+    """One training sample, reduced to its sequence lengths.
+
+    Attributes:
+        input_tokens: Number of tokens in the (instruction + context) input.
+        target_tokens: Number of tokens in the expected response.
+        task: Name of the originating task (used for mixture bookkeeping).
+    """
+
+    input_tokens: int
+    target_tokens: int
+    task: str = "unknown"
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1:
+            raise ValueError(f"input_tokens must be >= 1, got {self.input_tokens}")
+        if self.target_tokens < 0:
+            raise ValueError(f"target_tokens must be >= 0, got {self.target_tokens}")
+
+    @property
+    def total_tokens(self) -> int:
+        """Input plus target tokens (the decoder-only sequence length)."""
+        return self.input_tokens + self.target_tokens
+
+    def as_decoder_only_length(self) -> int:
+        """Sequence length when input and target are concatenated (GPT)."""
+        return self.total_tokens
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Statistical description of one task's sequence lengths.
+
+    Lengths are drawn from log-normal distributions, which match the heavy
+    right tail visible in the paper's Fig. 1b, parameterised by the *mean*
+    and coefficient-of-variation of the token counts.
+
+    Attributes:
+        name: Task name.
+        mean_input_tokens: Mean tokenised input length.
+        mean_target_tokens: Mean tokenised target length.
+        input_cv: Coefficient of variation (std / mean) of the input length.
+        target_cv: Coefficient of variation of the target length.
+        weight: Relative sampling weight of the task in the mixture.
+    """
+
+    name: str
+    mean_input_tokens: float
+    mean_target_tokens: float
+    input_cv: float = 0.6
+    target_cv: float = 0.6
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("mean_input_tokens", self.mean_input_tokens)
+        check_non_negative("mean_target_tokens", self.mean_target_tokens)
+        check_positive("weight", self.weight)
+        check_non_negative("input_cv", self.input_cv)
+        check_non_negative("target_cv", self.target_cv)
+
+    def _lognormal_params(self, mean: float, cv: float) -> tuple[float, float]:
+        """Convert (mean, cv) of the length into log-normal (mu, sigma)."""
+        variance_ratio = 1.0 + cv * cv
+        sigma = float(np.sqrt(np.log(variance_ratio)))
+        mu = float(np.log(mean) - 0.5 * sigma * sigma)
+        return mu, sigma
+
+    def draw(self, rng: np.random.Generator) -> Sample:
+        """Draw one sample's lengths from the task distributions."""
+        in_mu, in_sigma = self._lognormal_params(self.mean_input_tokens, self.input_cv)
+        input_tokens = max(1, int(round(rng.lognormal(in_mu, in_sigma))))
+        if self.mean_target_tokens <= 0:
+            target_tokens = 0
+        else:
+            tg_mu, tg_sigma = self._lognormal_params(self.mean_target_tokens, self.target_cv)
+            target_tokens = max(1, int(round(rng.lognormal(tg_mu, tg_sigma))))
+        return Sample(input_tokens=input_tokens, target_tokens=target_tokens, task=self.name)

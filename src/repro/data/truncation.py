@@ -1,0 +1,76 @@
+"""Sequence truncation.
+
+Both packing-based baselines and DynaPipe truncate individual sequences that
+exceed the configured maximum sequence length (paper §8.1: "sequences that
+are longer are truncated").  Raising the maximum sequence length therefore
+*increases* the number of non-padding tokens available for training, which
+is why the paper reports throughput in actual (non-padding) tokens per
+second.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.tasks import Sample
+
+
+def truncate_sample(sample: Sample, max_input_tokens: int, max_target_tokens: int | None = None) -> Sample:
+    """Truncate one sample's input (and optionally target) length.
+
+    Args:
+        sample: The sample to truncate.
+        max_input_tokens: Maximum allowed input length.  For decoder-only
+            models callers should pass the full maximum sequence length here
+            and leave ``max_target_tokens`` as None, then re-check the
+            concatenated length.
+        max_target_tokens: Maximum allowed target length (None = unlimited).
+    """
+    if max_input_tokens < 1:
+        raise ValueError(f"max_input_tokens must be >= 1, got {max_input_tokens}")
+    input_tokens = min(sample.input_tokens, max_input_tokens)
+    target_tokens = sample.target_tokens
+    if max_target_tokens is not None:
+        if max_target_tokens < 0:
+            raise ValueError(f"max_target_tokens must be >= 0, got {max_target_tokens}")
+        target_tokens = min(target_tokens, max_target_tokens)
+    if input_tokens == sample.input_tokens and target_tokens == sample.target_tokens:
+        return sample
+    return Sample(input_tokens=input_tokens, target_tokens=target_tokens, task=sample.task)
+
+
+def truncate_samples(
+    samples: Iterable[Sample],
+    max_seq_len: int,
+    decoder_only: bool = False,
+    target_fraction: float = 0.25,
+) -> list[Sample]:
+    """Truncate a collection of samples to a maximum sequence length.
+
+    For encoder-decoder models the input and target sequences are truncated
+    independently to ``max_seq_len``.  For decoder-only models the
+    concatenated sequence must fit in ``max_seq_len``; when it does not, the
+    input is truncated first, preserving at most ``target_fraction`` of the
+    budget for the target (mirroring common instruction-tuning dataloaders
+    that keep responses intact whenever possible).
+    """
+    if max_seq_len < 2:
+        raise ValueError(f"max_seq_len must be >= 2, got {max_seq_len}")
+    result: list[Sample] = []
+    for sample in samples:
+        if decoder_only:
+            if sample.total_tokens <= max_seq_len:
+                result.append(sample)
+                continue
+            target_budget = min(sample.target_tokens, int(max_seq_len * target_fraction))
+            input_budget = max(1, max_seq_len - target_budget)
+            result.append(
+                Sample(
+                    input_tokens=min(sample.input_tokens, input_budget),
+                    target_tokens=min(sample.target_tokens, max_seq_len - min(sample.input_tokens, input_budget)),
+                    task=sample.task,
+                )
+            )
+        else:
+            result.append(truncate_sample(sample, max_seq_len, max_seq_len))
+    return result

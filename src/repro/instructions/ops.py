@@ -1,0 +1,257 @@
+"""Pipeline instruction definitions.
+
+Instructions are small frozen dataclasses; an execution plan is simply an
+ordered list of them per device.  Communication instructions carry the peer
+stage and the byte count of the transferred tensor so that executors never
+need to exchange tensor shapes at runtime (paper §6, last paragraph).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import MicroBatchShape
+
+
+class InstructionKind(str, enum.Enum):
+    """Discriminator for instruction (de)serialisation and execution."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    SEND_ACT_START = "send_act_start"
+    RECV_ACT_START = "recv_act_start"
+    SEND_GRAD_START = "send_grad_start"
+    RECV_GRAD_START = "recv_grad_start"
+    WAIT_SEND_ACT = "wait_send_act"
+    WAIT_RECV_ACT = "wait_recv_act"
+    WAIT_SEND_GRAD = "wait_send_grad"
+    WAIT_RECV_GRAD = "wait_recv_grad"
+
+
+class CommDirection(str, enum.Enum):
+    """Whether a transfer carries activations (forward) or gradients (backward)."""
+
+    ACTIVATION = "activation"
+    GRADIENT = "gradient"
+
+
+@dataclass(frozen=True)
+class PipelineInstruction:
+    """Base class of all pipeline instructions.
+
+    Attributes:
+        microbatch: Index of the micro-batch the instruction operates on.
+        stage: Pipeline stage (device) executing the instruction.
+    """
+
+    microbatch: int
+    stage: int
+
+    kind: InstructionKind = field(init=False, repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def is_compute(self) -> bool:
+        """Whether the instruction occupies the compute stream."""
+        return isinstance(self, (ForwardPass, BackwardPass))
+
+    @property
+    def is_comm_start(self) -> bool:
+        """Whether the instruction launches a transfer on the comm stream."""
+        return isinstance(self, _CommStart)
+
+    @property
+    def is_wait(self) -> bool:
+        """Whether the instruction blocks compute on a previously launched transfer."""
+        return isinstance(self, _CommWait)
+
+
+@dataclass(frozen=True)
+class ForwardPass(PipelineInstruction):
+    """Run the forward computation of a micro-batch on this stage.
+
+    Attributes:
+        shape: Padded micro-batch tensor shape (drives execution time).
+        recompute: Activation checkpointing mode used for this micro-batch.
+    """
+
+    shape: MicroBatchShape = None  # type: ignore[assignment]
+    recompute: RecomputeMode = RecomputeMode.NONE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", InstructionKind.FORWARD)
+        if self.shape is None:
+            raise ValueError("ForwardPass requires a micro-batch shape")
+
+
+@dataclass(frozen=True)
+class BackwardPass(PipelineInstruction):
+    """Run the backward computation of a micro-batch on this stage."""
+
+    shape: MicroBatchShape = None  # type: ignore[assignment]
+    recompute: RecomputeMode = RecomputeMode.NONE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", InstructionKind.BACKWARD)
+        if self.shape is None:
+            raise ValueError("BackwardPass requires a micro-batch shape")
+
+
+@dataclass(frozen=True)
+class _CommStart(PipelineInstruction):
+    """Base class of Start communication instructions.
+
+    Attributes:
+        peer: The pipeline stage on the other side of the transfer.
+        nbytes: Size of the transferred tensor in bytes.
+    """
+
+    peer: int = -1
+    nbytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peer < 0:
+            raise ValueError(f"{type(self).__name__} requires a valid peer stage")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+    @property
+    def direction(self) -> CommDirection:
+        """Whether this transfer carries activations or gradients."""
+        raise NotImplementedError
+
+    @property
+    def is_send(self) -> bool:
+        """Whether this device is the sender of the transfer."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _CommWait(PipelineInstruction):
+    """Base class of Wait communication instructions."""
+
+    peer: int = -1
+
+    def __post_init__(self) -> None:
+        if self.peer < 0:
+            raise ValueError(f"{type(self).__name__} requires a valid peer stage")
+
+
+@dataclass(frozen=True)
+class SendActStart(_CommStart):
+    """Launch the send of a micro-batch's output activation to ``peer``."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", InstructionKind.SEND_ACT_START)
+
+    @property
+    def direction(self) -> CommDirection:
+        return CommDirection.ACTIVATION
+
+    @property
+    def is_send(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RecvActStart(_CommStart):
+    """Launch the receive of a micro-batch's input activation from ``peer``."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", InstructionKind.RECV_ACT_START)
+
+    @property
+    def direction(self) -> CommDirection:
+        return CommDirection.ACTIVATION
+
+    @property
+    def is_send(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class SendGradStart(_CommStart):
+    """Launch the send of a micro-batch's input gradient to ``peer``."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", InstructionKind.SEND_GRAD_START)
+
+    @property
+    def direction(self) -> CommDirection:
+        return CommDirection.GRADIENT
+
+    @property
+    def is_send(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RecvGradStart(_CommStart):
+    """Launch the receive of a micro-batch's output gradient from ``peer``."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", InstructionKind.RECV_GRAD_START)
+
+    @property
+    def direction(self) -> CommDirection:
+        return CommDirection.GRADIENT
+
+    @property
+    def is_send(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class WaitSendAct(_CommWait):
+    """Wait for a previously launched activation send to complete."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", InstructionKind.WAIT_SEND_ACT)
+
+
+@dataclass(frozen=True)
+class WaitRecvAct(_CommWait):
+    """Wait for a previously launched activation receive to complete."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", InstructionKind.WAIT_RECV_ACT)
+
+
+@dataclass(frozen=True)
+class WaitSendGrad(_CommWait):
+    """Wait for a previously launched gradient send to complete."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", InstructionKind.WAIT_SEND_GRAD)
+
+
+@dataclass(frozen=True)
+class WaitRecvGrad(_CommWait):
+    """Wait for a previously launched gradient receive to complete."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "kind", InstructionKind.WAIT_RECV_GRAD)
+
+
+#: Mapping from instruction kind to class, used by deserialisation.
+INSTRUCTION_CLASSES: dict[InstructionKind, type[PipelineInstruction]] = {
+    InstructionKind.FORWARD: ForwardPass,
+    InstructionKind.BACKWARD: BackwardPass,
+    InstructionKind.SEND_ACT_START: SendActStart,
+    InstructionKind.RECV_ACT_START: RecvActStart,
+    InstructionKind.SEND_GRAD_START: SendGradStart,
+    InstructionKind.RECV_GRAD_START: RecvGradStart,
+    InstructionKind.WAIT_SEND_ACT: WaitSendAct,
+    InstructionKind.WAIT_RECV_ACT: WaitRecvAct,
+    InstructionKind.WAIT_SEND_GRAD: WaitSendGrad,
+    InstructionKind.WAIT_RECV_GRAD: WaitRecvGrad,
+}

@@ -1,0 +1,74 @@
+"""Instruction and execution-plan (de)serialisation.
+
+The real DynaPipe pushes execution plans to a Redis instance where the
+executors fetch them; the plans therefore must be serialisable.  The same
+constraint is kept here: every instruction round-trips through plain
+dictionaries (JSON compatible), which also makes plans easy to inspect and
+diff in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.instructions.ops import (
+    INSTRUCTION_CLASSES,
+    BackwardPass,
+    ForwardPass,
+    InstructionKind,
+    PipelineInstruction,
+    _CommStart,
+    _CommWait,
+)
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import MicroBatchShape
+
+
+def instruction_to_dict(instruction: PipelineInstruction) -> dict[str, Any]:
+    """Convert an instruction to a JSON-compatible dictionary."""
+    payload: dict[str, Any] = {
+        "kind": instruction.kind.value,
+        "microbatch": instruction.microbatch,
+        "stage": instruction.stage,
+    }
+    if isinstance(instruction, (ForwardPass, BackwardPass)):
+        payload["shape"] = {
+            "batch_size": instruction.shape.batch_size,
+            "enc_seq_len": instruction.shape.enc_seq_len,
+            "dec_seq_len": instruction.shape.dec_seq_len,
+        }
+        payload["recompute"] = instruction.recompute.value
+    elif isinstance(instruction, _CommStart):
+        payload["peer"] = instruction.peer
+        payload["nbytes"] = instruction.nbytes
+    elif isinstance(instruction, _CommWait):
+        payload["peer"] = instruction.peer
+    return payload
+
+
+def instruction_from_dict(payload: dict[str, Any]) -> PipelineInstruction:
+    """Rebuild an instruction from :func:`instruction_to_dict` output."""
+    kind = InstructionKind(payload["kind"])
+    cls = INSTRUCTION_CLASSES[kind]
+    common = {"microbatch": int(payload["microbatch"]), "stage": int(payload["stage"])}
+    if kind in (InstructionKind.FORWARD, InstructionKind.BACKWARD):
+        shape = MicroBatchShape(
+            batch_size=int(payload["shape"]["batch_size"]),
+            enc_seq_len=int(payload["shape"]["enc_seq_len"]),
+            dec_seq_len=int(payload["shape"]["dec_seq_len"]),
+        )
+        recompute = RecomputeMode(payload.get("recompute", RecomputeMode.NONE.value))
+        return cls(shape=shape, recompute=recompute, **common)  # type: ignore[call-arg]
+    if issubclass(cls, _CommStart):
+        return cls(peer=int(payload["peer"]), nbytes=float(payload["nbytes"]), **common)  # type: ignore[call-arg]
+    return cls(peer=int(payload["peer"]), **common)  # type: ignore[call-arg]
+
+
+def instructions_to_dicts(instructions: Iterable[PipelineInstruction]) -> list[dict[str, Any]]:
+    """Serialise a sequence of instructions."""
+    return [instruction_to_dict(instruction) for instruction in instructions]
+
+
+def instructions_from_dicts(payloads: Sequence[dict[str, Any]]) -> list[PipelineInstruction]:
+    """Deserialise a sequence of instructions."""
+    return [instruction_from_dict(payload) for payload in payloads]

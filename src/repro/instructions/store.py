@@ -1,0 +1,78 @@
+"""Distributed instruction store.
+
+The real system uses Redis in the host memory of one machine: planners push
+serialised execution plans keyed by (iteration, executor) and executors
+pre-fetch them.  The reproduction keeps the same interface over an
+in-process dictionary, including the "plan not ready yet" condition an
+executor can observe when planning for a future iteration has not finished.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+
+class PlanNotReadyError(KeyError):
+    """Raised when an executor fetches a plan that has not been pushed yet."""
+
+
+class InstructionStore:
+    """Key/value store for serialised execution plans.
+
+    Keys are ``(iteration, executor_rank)`` pairs; values are arbitrary
+    JSON-compatible payloads (typically the output of
+    :func:`repro.instructions.serialization.instructions_to_dicts` plus plan
+    metadata).  The store is thread-safe so that a planner thread pool and
+    executor threads can share it, mirroring the CPU-planner / GPU-executor
+    overlap of the real system.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._plans: dict[tuple[int, int], Any] = {}
+
+    def push(self, iteration: int, executor_rank: int, plan: Any) -> None:
+        """Store the plan for ``executor_rank`` at ``iteration``."""
+        with self._lock:
+            self._plans[(iteration, executor_rank)] = plan
+
+    def fetch(self, iteration: int, executor_rank: int) -> Any:
+        """Fetch a plan; raises :class:`PlanNotReadyError` if absent."""
+        with self._lock:
+            try:
+                return self._plans[(iteration, executor_rank)]
+            except KeyError as exc:
+                raise PlanNotReadyError(
+                    f"no plan for iteration {iteration}, executor {executor_rank}"
+                ) from exc
+
+    def ready(self, iteration: int, executor_rank: int) -> bool:
+        """Whether a plan is available for ``(iteration, executor_rank)``."""
+        with self._lock:
+            return (iteration, executor_rank) in self._plans
+
+    def evict_iteration(self, iteration: int) -> int:
+        """Remove all plans of ``iteration``; returns the number removed.
+
+        Executors call this after an iteration completes so the store does
+        not grow with the length of training.
+        """
+        with self._lock:
+            keys = [key for key in self._plans if key[0] == iteration]
+            for key in keys:
+                del self._plans[key]
+            return len(keys)
+
+    def iterations(self) -> list[int]:
+        """Sorted list of iterations that currently have at least one plan."""
+        with self._lock:
+            return sorted({iteration for iteration, _ in self._plans})
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        with self._lock:
+            return iter(list(self._plans))

@@ -1,0 +1,58 @@
+"""Transformer model substrate.
+
+Provides the model configurations evaluated in the paper (Table 1), analytic
+FLOP and memory formulas per Transformer layer, and a layer-level structural
+description of encoder-only (GPT-style decoder-only, in the paper's naming)
+and encoder-decoder (T5-style) models used to assign layers to pipeline
+stages.
+"""
+
+from repro.model.config import (
+    GPT_CONFIGS,
+    T5_CONFIGS,
+    ModelArch,
+    ModelConfig,
+    get_model_config,
+)
+from repro.model.flops import LayerFlops, decoder_layer_flops, encoder_layer_flops
+from repro.model.memory import (
+    ActivationComponents,
+    RecomputeMode,
+    activation_bytes_per_layer,
+    activation_components,
+    optimizer_state_bytes,
+    parameter_bytes,
+    static_stage_bytes,
+    weight_gradient_bytes,
+)
+from repro.model.transformer import (
+    LayerAssignment,
+    MicroBatchShape,
+    StageModel,
+    assign_layers,
+    build_stage_models,
+)
+
+__all__ = [
+    "ModelArch",
+    "ModelConfig",
+    "GPT_CONFIGS",
+    "T5_CONFIGS",
+    "get_model_config",
+    "LayerFlops",
+    "encoder_layer_flops",
+    "decoder_layer_flops",
+    "parameter_bytes",
+    "activation_bytes_per_layer",
+    "activation_components",
+    "ActivationComponents",
+    "RecomputeMode",
+    "optimizer_state_bytes",
+    "static_stage_bytes",
+    "weight_gradient_bytes",
+    "LayerAssignment",
+    "MicroBatchShape",
+    "StageModel",
+    "assign_layers",
+    "build_stage_models",
+]

@@ -1,0 +1,169 @@
+"""Model configurations (paper Table 1).
+
+The paper evaluates GPT (decoder-only) at 3.35 B / 6.7 B / 13 B / 29 B
+parameters and T5 (encoder-decoder) at 5.5 B / 11 B / 22 B / 44 B, paired
+with cluster sizes of 4 / 8 / 16 / 32 GPUs.  The exact layer counts, hidden
+sizes, head counts, KV channels and FFN sizes from Table 1 are reproduced
+here, together with a parameter-count estimator used to verify them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+class ModelArch(str, enum.Enum):
+    """Transformer architecture family."""
+
+    GPT = "gpt"
+    """Decoder-only architecture (GPT-3 style)."""
+
+    T5 = "t5"
+    """Encoder-decoder architecture (T5 style)."""
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Static description of a Transformer model.
+
+    Attributes:
+        name: Human readable name (e.g. ``"gpt-6.7b"``).
+        arch: Architecture family.
+        num_layers: For GPT, the number of decoder layers.  For T5, the
+            number of layers in *each* of the encoder and decoder (matching
+            the paper's Table 1 note).
+        hidden_size: Model (embedding) dimension.
+        num_heads: Number of attention heads.
+        kv_channels: Per-head key/value projection width.
+        ffn_hidden_size: Feed-forward inner dimension.
+        vocab_size: Vocabulary size (used for embedding parameters and the
+            output projection cost).
+    """
+
+    name: str
+    arch: ModelArch
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    kv_channels: int
+    ffn_hidden_size: int
+    vocab_size: int = 32768
+
+    def __post_init__(self) -> None:
+        check_positive("num_layers", self.num_layers)
+        check_positive("hidden_size", self.hidden_size)
+        check_positive("num_heads", self.num_heads)
+        check_positive("kv_channels", self.kv_channels)
+        check_positive("ffn_hidden_size", self.ffn_hidden_size)
+        check_positive("vocab_size", self.vocab_size)
+
+    @property
+    def attention_projection_size(self) -> int:
+        """Total width of the Q/K/V projections (heads × kv_channels)."""
+        return self.num_heads * self.kv_channels
+
+    @property
+    def is_encoder_decoder(self) -> bool:
+        """Whether the model has a separate encoder and decoder stack."""
+        return self.arch is ModelArch.T5
+
+    @property
+    def total_layer_count(self) -> int:
+        """Total number of Transformer layers across all stacks."""
+        if self.is_encoder_decoder:
+            return 2 * self.num_layers
+        return self.num_layers
+
+    def parameter_count(self, include_embedding: bool = True) -> int:
+        """Approximate total parameter count.
+
+        Per layer: attention has Q, K, V and output projections
+        (``4 · h · p`` where ``p`` is the attention projection size; for T5
+        decoder layers the cross-attention adds another ``4 · h · p``), and
+        the FFN contributes ``2 · h · f``.  Embeddings add ``v · h``.
+        """
+        h = self.hidden_size
+        p = self.attention_projection_size
+        f = self.ffn_hidden_size
+        self_attn = 4 * h * p
+        ffn = 2 * h * f
+        if self.is_encoder_decoder:
+            encoder_layer = self_attn + ffn
+            decoder_layer = self_attn + 4 * h * p + ffn
+            params = self.num_layers * (encoder_layer + decoder_layer)
+        else:
+            params = self.num_layers * (self_attn + ffn)
+        if include_embedding:
+            params += self.vocab_size * h
+        return params
+
+
+def _gpt(name: str, layers: int, hidden: int, heads: int, ffn: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        arch=ModelArch.GPT,
+        num_layers=layers,
+        hidden_size=hidden,
+        num_heads=heads,
+        kv_channels=128,
+        ffn_hidden_size=ffn,
+    )
+
+
+def _t5(name: str, layers: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        arch=ModelArch.T5,
+        num_layers=layers,
+        hidden_size=1024,
+        num_heads=128,
+        kv_channels=128,
+        ffn_hidden_size=65536,
+    )
+
+
+#: GPT configurations from Table 1, keyed by the cluster size they pair with.
+GPT_CONFIGS: dict[int, ModelConfig] = {
+    4: _gpt("gpt-3.35b", layers=16, hidden=4096, heads=32, ffn=16384),
+    8: _gpt("gpt-6.7b", layers=32, hidden=4096, heads=32, ffn=16384),
+    16: _gpt("gpt-13b", layers=40, hidden=5140, heads=40, ffn=20560),
+    32: _gpt("gpt-29b", layers=16, hidden=12288, heads=96, ffn=49152),
+}
+
+#: T5 configurations from Table 1, keyed by the cluster size they pair with.
+T5_CONFIGS: dict[int, ModelConfig] = {
+    4: _t5("t5-5.5b", layers=12),
+    8: _t5("t5-11b", layers=24),
+    16: _t5("t5-22b", layers=48),
+    32: _t5("t5-44b", layers=96),
+}
+
+#: Paper-reported parameter counts in billions, for verification (Table 1).
+PAPER_PARAM_BILLIONS: dict[str, float] = {
+    "gpt-3.35b": 3.35,
+    "gpt-6.7b": 6.7,
+    "gpt-13b": 13.0,
+    "gpt-29b": 29.0,
+    "t5-5.5b": 5.5,
+    "t5-11b": 11.0,
+    "t5-22b": 22.0,
+    "t5-44b": 44.0,
+}
+
+
+def get_model_config(arch: ModelArch | str, num_gpus: int) -> ModelConfig:
+    """Return the Table-1 configuration of ``arch`` paired with ``num_gpus``.
+
+    Raises ``KeyError`` for cluster sizes not evaluated in the paper.
+    """
+    arch = ModelArch(arch)
+    table = GPT_CONFIGS if arch is ModelArch.GPT else T5_CONFIGS
+    if num_gpus not in table:
+        raise KeyError(
+            f"no Table-1 configuration for {arch.value} on {num_gpus} GPUs; "
+            f"available cluster sizes: {sorted(table)}"
+        )
+    return table[num_gpus]

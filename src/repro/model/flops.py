@@ -1,0 +1,132 @@
+"""Analytic FLOP and byte counts for Transformer layers.
+
+The counts follow the standard decomposition of a Transformer layer into
+dense projections (linear in sequence length) and attention score/context
+matmuls (quadratic in sequence length).  The quadratic term is what makes
+packing expensive at long maximum sequence lengths (paper Fig. 3/4) and is
+therefore the part that must be modelled faithfully.
+
+All functions take the number of tokens actually present in the micro-batch
+tensor (i.e. *after* padding), because the hardware processes padding tokens
+like any other — that is exactly the waste the paper is eliminating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import ModelConfig
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Bytes per element for the mixed-precision activations/weights (fp16).
+DTYPE_BYTES = 2
+
+
+@dataclass(frozen=True)
+class LayerFlops:
+    """FLOPs and HBM traffic of one Transformer layer for one micro-batch.
+
+    Attributes:
+        flops: Total floating point operations for the forward pass.
+        bytes_moved: Approximate bytes read + written from device memory for
+            the forward pass.
+        kernels: Number of kernel launches (used for fixed overheads).
+    """
+
+    flops: float
+    bytes_moved: float
+    kernels: int
+
+    def scaled(self, factor: float) -> "LayerFlops":
+        """Return a copy with flops and bytes scaled by ``factor``.
+
+        The backward pass is conventionally modelled as 2× the forward
+        FLOPs; recomputation adds another forward.
+        """
+        return LayerFlops(self.flops * factor, self.bytes_moved * factor, self.kernels)
+
+    def __add__(self, other: "LayerFlops") -> "LayerFlops":
+        return LayerFlops(
+            self.flops + other.flops,
+            self.bytes_moved + other.bytes_moved,
+            self.kernels + other.kernels,
+        )
+
+
+def _attention_flops(
+    config: ModelConfig, batch: int, query_len: int, kv_len: int
+) -> tuple[float, float, int]:
+    """FLOPs / bytes / kernels of one (self or cross) attention block."""
+    h = config.hidden_size
+    p = config.attention_projection_size
+    # Q, K, V projections + output projection: 4 matmuls of [b*q, h] x [h, p].
+    proj_flops = 2.0 * batch * (query_len * h * p * 2 + kv_len * h * p * 2)
+    # Attention scores and context: 2 matmuls of [b, heads, q, d] x [b, heads, d, kv].
+    score_flops = 2.0 * batch * config.num_heads * query_len * kv_len * config.kv_channels * 2
+    flops = proj_flops + score_flops
+    act_bytes = DTYPE_BYTES * batch * (
+        query_len * h * 4 + kv_len * p * 2 + config.num_heads * query_len * kv_len * 2
+    )
+    weight_bytes = DTYPE_BYTES * 4 * h * p
+    return flops, act_bytes + weight_bytes, 6
+
+
+def _ffn_flops(config: ModelConfig, batch: int, seq_len: int) -> tuple[float, float, int]:
+    """FLOPs / bytes / kernels of the position-wise feed-forward block."""
+    h = config.hidden_size
+    f = config.ffn_hidden_size
+    flops = 2.0 * batch * seq_len * h * f * 2
+    act_bytes = DTYPE_BYTES * batch * seq_len * (h * 2 + f * 2)
+    weight_bytes = DTYPE_BYTES * 2 * h * f
+    return flops, act_bytes + weight_bytes, 3
+
+
+def encoder_layer_flops(config: ModelConfig, batch: int, seq_len: int) -> LayerFlops:
+    """Forward-pass cost of one encoder (or GPT decoder-only) layer.
+
+    For GPT the "encoder layer" terminology is a slight abuse: a decoder-only
+    layer has the same structure (self-attention + FFN); causal masking does
+    not change the dense FLOP count in standard implementations.
+    """
+    check_positive("batch", batch)
+    check_non_negative("seq_len", seq_len)
+    if seq_len == 0:
+        return LayerFlops(0.0, 0.0, 0)
+    attn_f, attn_b, attn_k = _attention_flops(config, batch, seq_len, seq_len)
+    ffn_f, ffn_b, ffn_k = _ffn_flops(config, batch, seq_len)
+    return LayerFlops(attn_f + ffn_f, attn_b + ffn_b, attn_k + ffn_k)
+
+
+def decoder_layer_flops(
+    config: ModelConfig, batch: int, target_len: int, source_len: int
+) -> LayerFlops:
+    """Forward-pass cost of one encoder-decoder (T5) decoder layer.
+
+    A T5 decoder layer has self-attention over the target sequence,
+    cross-attention from target queries to encoder keys/values, and an FFN.
+    """
+    check_positive("batch", batch)
+    check_non_negative("target_len", target_len)
+    check_non_negative("source_len", source_len)
+    if target_len == 0:
+        return LayerFlops(0.0, 0.0, 0)
+    self_f, self_b, self_k = _attention_flops(config, batch, target_len, target_len)
+    cross_f, cross_b, cross_k = _attention_flops(config, batch, target_len, source_len)
+    ffn_f, ffn_b, ffn_k = _ffn_flops(config, batch, target_len)
+    return LayerFlops(
+        self_f + cross_f + ffn_f,
+        self_b + cross_b + ffn_b,
+        self_k + cross_k + ffn_k,
+    )
+
+
+def embedding_flops(config: ModelConfig, batch: int, seq_len: int) -> LayerFlops:
+    """Cost of the output projection to the vocabulary (logits matmul)."""
+    check_positive("batch", batch)
+    check_non_negative("seq_len", seq_len)
+    flops = 2.0 * batch * seq_len * config.hidden_size * config.vocab_size
+    nbytes = DTYPE_BYTES * (
+        batch * seq_len * (config.hidden_size + config.vocab_size)
+        + config.hidden_size * config.vocab_size
+    )
+    return LayerFlops(flops, nbytes, 1)

@@ -1,0 +1,22 @@
+"""3D parallelism configuration and grid search.
+
+The paper grid-searches data/tensor/pipeline parallelism combinations (powers
+of two, tensor parallelism restricted to intra-node) for both DynaPipe and
+the baselines, and reports each system under its best configuration (plus
+the baseline under DynaPipe's best configuration, "MLM+DS (c)").  This
+package provides the configuration object, its enumeration, the
+data-parallel gradient synchronisation cost model, and the grid search
+driver shared by the benchmark harnesses.
+"""
+
+from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
+from repro.parallel.dataparallel import gradient_allreduce_ms
+from repro.parallel.grid_search import GridSearchResult, grid_search
+
+__all__ = [
+    "ParallelConfig",
+    "enumerate_parallel_configs",
+    "gradient_allreduce_ms",
+    "grid_search",
+    "GridSearchResult",
+]

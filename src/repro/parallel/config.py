@@ -1,0 +1,97 @@
+"""3D parallel configuration.
+
+A configuration assigns the cluster's GPUs to data, pipeline and tensor
+parallelism; the product of the three degrees must equal the number of GPUs.
+Following the paper's search space, all degrees are powers of two and tensor
+parallelism never crosses node boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True, order=True)
+class ParallelConfig:
+    """One point of the 3D parallelism search space.
+
+    Attributes:
+        data_parallel: Number of model replicas.
+        pipeline_parallel: Number of pipeline stages per replica.
+        tensor_parallel: Tensor-parallel degree within each stage.
+    """
+
+    data_parallel: int
+    pipeline_parallel: int
+    tensor_parallel: int
+
+    def __post_init__(self) -> None:
+        for name in ("data_parallel", "pipeline_parallel", "tensor_parallel"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    @property
+    def num_gpus(self) -> int:
+        """Total GPUs the configuration occupies."""
+        return self.data_parallel * self.pipeline_parallel * self.tensor_parallel
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``"dp2-pp2-tp2"``."""
+        return f"dp{self.data_parallel}-pp{self.pipeline_parallel}-tp{self.tensor_parallel}"
+
+    def fits_model(self, model: ModelConfig) -> bool:
+        """Whether the model has enough layers for the pipeline depth."""
+        return model.total_layer_count >= self.pipeline_parallel
+
+
+def _powers_of_two_up_to(limit: int) -> list[int]:
+    values = []
+    v = 1
+    while v <= limit:
+        values.append(v)
+        v *= 2
+    return values
+
+
+def enumerate_parallel_configs(
+    num_gpus: int,
+    gpus_per_node: int = 8,
+    max_tensor_parallel: int | None = None,
+    model: ModelConfig | None = None,
+) -> list[ParallelConfig]:
+    """Enumerate the power-of-two 3D parallel configurations for ``num_gpus``.
+
+    Args:
+        num_gpus: Cluster size; must be a power of two (the paper's sizes are
+            4, 8, 16 and 32).
+        gpus_per_node: Node size; tensor parallelism is limited to this.
+        max_tensor_parallel: Optional tighter cap on tensor parallelism.
+        model: Optional model configuration used to drop pipeline depths
+            exceeding the model's layer count.
+    """
+    if num_gpus < 1:
+        raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+    if num_gpus & (num_gpus - 1) != 0:
+        raise ValueError(f"num_gpus must be a power of two, got {num_gpus}")
+    tp_cap = min(gpus_per_node, num_gpus)
+    if max_tensor_parallel is not None:
+        tp_cap = min(tp_cap, max_tensor_parallel)
+    configs = []
+    for tensor_parallel in _powers_of_two_up_to(tp_cap):
+        remaining = num_gpus // tensor_parallel
+        for pipeline_parallel in _powers_of_two_up_to(remaining):
+            data_parallel = remaining // pipeline_parallel
+            config = ParallelConfig(
+                data_parallel=data_parallel,
+                pipeline_parallel=pipeline_parallel,
+                tensor_parallel=tensor_parallel,
+            )
+            if config.num_gpus != num_gpus:
+                continue
+            if model is not None and not config.fits_model(model):
+                continue
+            configs.append(config)
+    return sorted(set(configs))

@@ -1,0 +1,202 @@
+"""Grid search over 3D parallelism (and baseline hyper-parameters).
+
+The paper reports each system under its best grid-searched configuration:
+powers of two in each parallel dimension (tensor parallelism intra-node
+only), and, for the packing baseline, additionally the micro-batch size and
+activation checkpointing strategy (§8, "Baselines").  The search evaluates a
+handful of mini-batches per candidate using the planners' own cost models —
+no instruction-level execution — which is fast enough to sweep the whole
+space inside the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.device import A100_40GB, DeviceSpec
+from repro.costmodel.cost_model import CostModel
+from repro.data.tasks import Sample
+from repro.model.config import ModelConfig
+from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
+from repro.parallel.dataparallel import gradient_allreduce_ms
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search.
+
+    Attributes:
+        best_config: The best parallel configuration found.
+        best_throughput: Estimated throughput (actual tokens/s) of the best
+            configuration.
+        best_options: Extra hyper-parameters of the best configuration (for
+            the baseline: micro-batch size and recompute mode).
+        evaluations: One record per evaluated candidate with its outcome.
+    """
+
+    best_config: ParallelConfig | None
+    best_throughput: float
+    best_options: dict = field(default_factory=dict)
+    evaluations: list[dict] = field(default_factory=list)
+
+
+def _build_cost_model(
+    model: ModelConfig,
+    config: ParallelConfig,
+    max_seq_len: int,
+    device_spec: DeviceSpec,
+) -> CostModel | None:
+    """Cost model for one parallel configuration, or None if it cannot fit."""
+    if not config.fits_model(model):
+        return None
+    cost_model = CostModel(
+        model,
+        num_stages=config.pipeline_parallel,
+        tensor_parallel=config.tensor_parallel,
+        zero_shards=config.data_parallel,
+        device_spec=device_spec,
+        max_profile_seq_len=max(max_seq_len, 32),
+    )
+    # Static memory alone must leave room for at least some activations.
+    if cost_model.min_activation_budget_bytes() <= 0:
+        return None
+    return cost_model
+
+
+def _estimate_throughput(planner, minibatches: Sequence[list[Sample]]) -> float:
+    """Tokens/s estimate from the planner's own predictions (no execution)."""
+    from repro.core.recomputation import OutOfMemoryError
+
+    total_tokens = 0
+    total_ms = 0.0
+    for iteration, samples in enumerate(minibatches):
+        try:
+            plan = planner.plan(samples, iteration=iteration)
+        except (OutOfMemoryError, ValueError):
+            return 0.0
+        total_tokens += sum(s.total_tokens for s in samples)
+        total_ms += plan.predicted_iteration_ms
+    if total_ms <= 0:
+        return 0.0
+    return total_tokens / (total_ms / 1e3)
+
+
+def _sample_minibatches(
+    samples: Sequence[Sample],
+    global_batch_tokens: int,
+    count: int,
+    seed: int,
+) -> list[list[Sample]]:
+    from repro.data.sampler import MiniBatchSampler
+
+    sampler = MiniBatchSampler(samples, global_batch_tokens, seed=seed)
+    minibatches = []
+    for minibatch in sampler.epoch(0):
+        minibatches.append(minibatch.samples)
+        if len(minibatches) >= count:
+            break
+    return minibatches
+
+
+def grid_search(
+    model: ModelConfig,
+    num_gpus: int,
+    samples: Sequence[Sample],
+    global_batch_tokens: int,
+    max_seq_len: int,
+    system: str = "dynapipe",
+    gpus_per_node: int = 8,
+    device_spec: DeviceSpec = A100_40GB,
+    evaluation_iterations: int = 2,
+    micro_batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    seed: int = 0,
+    configs: Sequence[ParallelConfig] | None = None,
+) -> GridSearchResult:
+    """Search parallel configurations for ``system`` on ``num_gpus`` GPUs.
+
+    Args:
+        model: Model configuration (Table 1).
+        num_gpus: Cluster size.
+        samples: Dataset samples (already truncated to ``max_seq_len``).
+        global_batch_tokens: Global batch size in tokens.
+        max_seq_len: Maximum sequence length of the run.
+        system: ``"dynapipe"`` or ``"baseline"``.
+        gpus_per_node: Node size (limits tensor parallelism).
+        device_spec: Device the cluster is built from.
+        evaluation_iterations: Mini-batches used to score each candidate.
+        micro_batch_sizes: Baseline micro-batch-size candidates.
+        seed: Sampling seed.
+        configs: Optional explicit list of parallel configurations to search
+            (used by "MLM+DS (c)" to force DynaPipe's configuration).
+
+    Returns:
+        A :class:`GridSearchResult`; ``best_config`` is ``None`` when no
+        candidate is feasible.
+    """
+    from repro.baselines.mlm_ds import BaselineConfig, MLMDeepSpeedBaseline
+    from repro.core.planner import DynaPipePlanner
+    from repro.model.memory import RecomputeMode
+
+    if system not in ("dynapipe", "baseline"):
+        raise ValueError(f"unknown system {system!r}; expected 'dynapipe' or 'baseline'")
+    minibatches = _sample_minibatches(samples, global_batch_tokens, evaluation_iterations, seed)
+    if not minibatches:
+        raise ValueError("no mini-batches could be drawn from the provided samples")
+    candidates = list(configs) if configs is not None else enumerate_parallel_configs(
+        num_gpus, gpus_per_node=gpus_per_node, model=model
+    )
+
+    result = GridSearchResult(best_config=None, best_throughput=0.0)
+    for config in candidates:
+        cost_model = _build_cost_model(model, config, max_seq_len, device_spec)
+        if cost_model is None:
+            result.evaluations.append(
+                {"config": config.describe(), "feasible": False, "reason": "static memory"}
+            )
+            continue
+        if system == "dynapipe":
+            planner = DynaPipePlanner(cost_model, data_parallel_size=config.data_parallel)
+            throughput = _estimate_throughput(planner, minibatches)
+            record = {
+                "config": config.describe(),
+                "feasible": throughput > 0,
+                "throughput": throughput,
+            }
+            result.evaluations.append(record)
+            if throughput > result.best_throughput:
+                result.best_config = config
+                result.best_throughput = throughput
+                result.best_options = {}
+        else:
+            for micro_batch_size in micro_batch_sizes:
+                for recompute in (RecomputeMode.NONE, RecomputeMode.FULL):
+                    baseline = MLMDeepSpeedBaseline(
+                        cost_model,
+                        data_parallel_size=config.data_parallel,
+                        config=BaselineConfig(
+                            max_seq_len=max_seq_len,
+                            micro_batch_size=micro_batch_size,
+                            recompute=recompute,
+                        ),
+                    )
+                    throughput = _estimate_throughput(baseline, minibatches)
+                    record = {
+                        "config": config.describe(),
+                        "micro_batch_size": micro_batch_size,
+                        "recompute": recompute.value,
+                        "feasible": throughput > 0,
+                        "throughput": throughput,
+                    }
+                    result.evaluations.append(record)
+                    if throughput > result.best_throughput:
+                        result.best_config = config
+                        result.best_throughput = throughput
+                        result.best_options = {
+                            "micro_batch_size": micro_batch_size,
+                            "recompute": recompute,
+                        }
+    return result
+
+
+__all__ = ["grid_search", "GridSearchResult", "gradient_allreduce_ms"]

@@ -1,0 +1,32 @@
+"""Planner/executor runtime (paper §3, Fig. 9).
+
+The real DynaPipe hides its per-iteration planning cost by running planners
+on CPU cores concurrently with GPU execution: planners pre-fetch future
+mini-batches, generate execution plans ahead of time, and push them to a
+distributed instruction store from which executors fetch them just in time.
+
+This package reproduces that runtime on top of the in-process substrate:
+
+* :class:`~repro.runtime.planner_pool.PlannerPool` — a thread pool that
+  plans future iterations ahead of the executor and pushes serialised plans
+  to the :class:`~repro.instructions.store.InstructionStore`.
+* :class:`~repro.runtime.executor_service.ExecutorService` — fetches plans
+  from the store (blocking until they are ready), runs them on the
+  instruction-level simulator, and records how long it had to stall waiting
+  for plans — the quantity that must stay near zero for the paper's claim
+  that planning fully overlaps with training.
+* :class:`~repro.runtime.orchestrator.TrainingOrchestrator` — wires the two
+  together for a multi-iteration run and reports the overlap statistics.
+"""
+
+from repro.runtime.executor_service import ExecutorService, ExecutorStats
+from repro.runtime.orchestrator import OrchestratorReport, TrainingOrchestrator
+from repro.runtime.planner_pool import PlannerPool
+
+__all__ = [
+    "PlannerPool",
+    "ExecutorService",
+    "ExecutorStats",
+    "TrainingOrchestrator",
+    "OrchestratorReport",
+]

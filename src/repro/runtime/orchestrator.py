@@ -1,0 +1,129 @@
+"""End-to-end planner/executor overlap (paper §3 and Fig. 17's conclusion).
+
+The orchestrator runs a planner pool and an executor service against the
+same instruction store for a fixed number of iterations and reports how much
+of the planning cost was actually exposed to the executor (stall time).
+With a look-ahead window larger than one iteration, planning and execution
+overlap exactly as the paper describes, and the exposed cost collapses to
+the first iteration's planning latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.costmodel.cost_model import CostModel
+from repro.data.sampler import MiniBatchSampler
+from repro.data.tasks import Sample
+from repro.instructions.store import InstructionStore
+from repro.runtime.executor_service import ExecutorService
+from repro.runtime.planner_pool import PlannerPool
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class OrchestratorReport:
+    """Summary of an overlapped planning/execution run.
+
+    Attributes:
+        iterations: Number of iterations executed.
+        total_planning_s: Sum of per-iteration planning times.
+        exposed_stall_s: Wall-clock time the executor actually waited for
+            plans (the planning cost that was *not* hidden).
+        total_simulated_ms: Total simulated execution time.
+        mean_planning_s: Mean per-iteration planning time.
+    """
+
+    iterations: int
+    total_planning_s: float
+    exposed_stall_s: float
+    total_simulated_ms: float
+    mean_planning_s: float
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of planning time hidden behind execution (1.0 = all)."""
+        if self.total_planning_s <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.exposed_stall_s / self.total_planning_s)
+
+
+class TrainingOrchestrator:
+    """Wires a planner pool and an executor service together.
+
+    Args:
+        planner: The system planner (DynaPipe or baseline).
+        cost_model: Cost model of the pipeline (for the executor side).
+        samples: Dataset samples.
+        global_batch_tokens: Global batch size in tokens.
+        num_iterations: Number of iterations to run.
+        data_parallel_size: Replicas per iteration.
+        planner_workers: Planning threads.
+        lookahead: Plan-ahead window (in iterations).
+        noise_std / seed: Execution noise parameters.
+    """
+
+    def __init__(
+        self,
+        planner,
+        cost_model: CostModel,
+        samples: Sequence[Sample],
+        global_batch_tokens: int,
+        num_iterations: int = 4,
+        data_parallel_size: int = 1,
+        planner_workers: int = 2,
+        lookahead: int = 4,
+        noise_std: float = 0.05,
+        seed: SeedLike = 0,
+    ) -> None:
+        if num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
+        sampler = MiniBatchSampler(samples, global_batch_tokens, seed=seed)
+        minibatches = []
+        for minibatch in sampler.epoch(0):
+            minibatches.append(minibatch.samples)
+            if len(minibatches) >= num_iterations:
+                break
+        if len(minibatches) < num_iterations:
+            raise ValueError(
+                f"dataset only yields {len(minibatches)} mini-batches, "
+                f"requested {num_iterations}"
+            )
+        self.store = InstructionStore()
+        self.pool = PlannerPool(
+            planner=planner,
+            minibatches=minibatches,
+            store=self.store,
+            num_workers=planner_workers,
+            lookahead=lookahead,
+        )
+        self.executor = ExecutorService(
+            cost_model=cost_model,
+            store=self.store,
+            data_parallel_size=data_parallel_size,
+            noise_std=noise_std,
+            seed=seed,
+        )
+        self.num_iterations = num_iterations
+
+    def run(self) -> OrchestratorReport:
+        """Run the overlapped planning/execution loop."""
+        self.pool.start()
+        try:
+            for iteration in range(self.num_iterations):
+                self.executor.run_iteration(iteration)
+                self.pool.notify_consumed(iteration)
+        finally:
+            self.pool.stop()
+        if self.pool.errors:
+            iteration, error = self.pool.errors[0]
+            raise RuntimeError(f"planning failed for iteration {iteration}: {error}") from error
+        total_planning = sum(record.planning_time_s for record in self.pool.records)
+        return OrchestratorReport(
+            iterations=self.num_iterations,
+            total_planning_s=total_planning,
+            exposed_stall_s=self.executor.total_stall_s(),
+            total_simulated_ms=self.executor.total_simulated_ms(),
+            mean_planning_s=total_planning / max(len(self.pool.records), 1),
+        )

@@ -1,0 +1,150 @@
+"""Asynchronous planning ahead of execution.
+
+A :class:`PlannerPool` owns a planner (DynaPipe's or the baseline's), a
+sequence of mini-batches, and the shared instruction store.  Worker threads
+pull iteration indices from a queue, plan them, and push the serialised
+plans to the store keyed by (iteration, replica).  Because planning is pure
+Python the threads do not add raw parallel speed-up (the GIL), but they do
+exactly what the paper's planners do architecturally: plans for future
+iterations are produced while earlier iterations execute, so the executor
+never waits as long as planning keeps up on average.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.core.planner import IterationPlan
+from repro.data.tasks import Sample
+from repro.instructions.store import InstructionStore
+
+
+class _Planner(Protocol):
+    def plan(self, samples: list[Sample], iteration: int = 0) -> IterationPlan:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class PlanningRecord:
+    """Bookkeeping for one planned iteration."""
+
+    iteration: int
+    planning_time_s: float
+    num_microbatches: int
+    pushed_at: float
+
+
+@dataclass
+class PlannerPool:
+    """Plans iterations ahead of time and pushes them to the store.
+
+    Attributes:
+        planner: The system planner used for every iteration.
+        minibatches: The samples of each iteration, indexed by iteration.
+        store: The shared instruction store plans are pushed to.
+        num_workers: Number of planning threads (the paper parallelises
+            planning over CPU cores / machines).
+        lookahead: Maximum number of iterations planned beyond the last one
+            the executor has consumed (bounds plan memory, like the paper's
+            prefetch window).
+    """
+
+    planner: _Planner
+    minibatches: Sequence[Sequence[Sample]]
+    store: InstructionStore
+    num_workers: int = 2
+    lookahead: int = 4
+    records: list[PlanningRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {self.lookahead}")
+        self._queue: queue.Queue[int | None] = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._consumed = -1
+        self._next_to_enqueue = 0
+        self._errors: list[tuple[int, Exception]] = []
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ worker
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            try:
+                iteration = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            if iteration is None:
+                break
+            try:
+                start = time.perf_counter()
+                plan = self.planner.plan(list(self.minibatches[iteration]), iteration=iteration)
+                elapsed = time.perf_counter() - start
+                for replica_index, replica_plan in enumerate(plan.plans):
+                    self.store.push(iteration, replica_index, replica_plan.to_dict())
+                with self._lock:
+                    self.records.append(
+                        PlanningRecord(
+                            iteration=iteration,
+                            planning_time_s=elapsed,
+                            num_microbatches=plan.num_microbatches,
+                            pushed_at=time.perf_counter(),
+                        )
+                    )
+            except Exception as error:  # noqa: BLE001 - surfaced via .errors
+                with self._lock:
+                    self._errors.append((iteration, error))
+
+    # ------------------------------------------------------------------ control
+
+    def start(self) -> None:
+        """Start the worker threads and enqueue the initial look-ahead window."""
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"planner-{i}", daemon=True)
+            for i in range(self.num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._refill()
+
+    def _refill(self) -> None:
+        with self._lock:
+            limit = min(len(self.minibatches), self._consumed + 1 + self.lookahead)
+            while self._next_to_enqueue < limit:
+                self._queue.put(self._next_to_enqueue)
+                self._next_to_enqueue += 1
+
+    def notify_consumed(self, iteration: int) -> None:
+        """Tell the pool the executor finished ``iteration`` (advances the window)."""
+        with self._lock:
+            self._consumed = max(self._consumed, iteration)
+        self.store.evict_iteration(iteration)
+        self._refill()
+
+    def stop(self) -> None:
+        """Stop the workers (pending queue items are abandoned)."""
+        self._stop.set()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ status
+
+    @property
+    def errors(self) -> list[tuple[int, Exception]]:
+        """Planning failures, as (iteration, exception) pairs."""
+        with self._lock:
+            return list(self._errors)
+
+    def planned_iterations(self) -> list[int]:
+        """Iterations whose plans have been pushed so far."""
+        with self._lock:
+            return sorted(record.iteration for record in self.records)

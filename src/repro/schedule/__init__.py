@@ -1,0 +1,33 @@
+"""Pipeline schedules.
+
+A *pipeline schedule* fixes, for every device (stage), the order in which
+the forward and backward passes of the micro-batches execute on it.  The
+actual start/end times then follow from micro-batch execution times and
+cross-stage dependencies, which the simulator resolves.
+
+This package contains the schedule representation, the standard 1F1B
+schedule used by the baselines, the plain cyclic schedule that DynaPipe's
+memory-aware adaptive schedule builds on, the safety-stock analysis of
+§5, and structural validation helpers.  The memory-aware adaptive schedule
+itself (Alg. 1) lives in :mod:`repro.core.adaptive_schedule` because it is
+part of the paper's primary contribution.
+"""
+
+from repro.schedule.events import ComputeOp, OpType, PipelineSchedule, StageSchedule
+from repro.schedule.one_f_one_b import one_f_one_b_schedule
+from repro.schedule.cyclic import cyclic_schedule
+from repro.schedule.safety_stock import SafetyStockProfile, safety_stock_profile
+from repro.schedule.validation import ScheduleValidationError, validate_schedule
+
+__all__ = [
+    "OpType",
+    "ComputeOp",
+    "StageSchedule",
+    "PipelineSchedule",
+    "one_f_one_b_schedule",
+    "cyclic_schedule",
+    "SafetyStockProfile",
+    "safety_stock_profile",
+    "ScheduleValidationError",
+    "validate_schedule",
+]

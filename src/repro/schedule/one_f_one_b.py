@@ -1,0 +1,53 @@
+"""The 1F1B pipeline schedule (PipeDream-flush / Megatron-LM default).
+
+Stage ``j`` of ``c`` stages (0-based) performs ``c - 1 - j`` warm-up forward
+passes, then alternates one forward and one backward pass until all forwards
+are issued, and finally drains the remaining backward passes.  The schedule
+keeps at most ``c - j`` micro-batch activations alive on stage ``j``, which
+is its main attraction; its weakness under dynamic micro-batching is the
+zero safety stock in the steady state (paper §5, Fig. 11a).
+"""
+
+from __future__ import annotations
+
+from repro.schedule.events import OpType, PipelineSchedule, StageSchedule
+
+
+def one_f_one_b_schedule(num_stages: int, num_microbatches: int) -> PipelineSchedule:
+    """Construct the 1F1B schedule for the given pipeline dimensions.
+
+    Args:
+        num_stages: Number of pipeline stages (devices).
+        num_microbatches: Number of micro-batches in the iteration.
+
+    Returns:
+        A :class:`~repro.schedule.events.PipelineSchedule` where every stage
+        executes every micro-batch's forward and backward exactly once.
+    """
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    if num_microbatches < 1:
+        raise ValueError(f"num_microbatches must be >= 1, got {num_microbatches}")
+
+    stages = []
+    for stage in range(num_stages):
+        schedule = StageSchedule(stage=stage)
+        num_warmup = min(num_stages - 1 - stage, num_microbatches)
+        next_forward = 0
+        next_backward = 0
+        # Warm-up: forwards only.
+        for _ in range(num_warmup):
+            schedule.append(next_forward, OpType.FORWARD)
+            next_forward += 1
+        # Steady state: alternate 1 forward, 1 backward.
+        while next_forward < num_microbatches:
+            schedule.append(next_forward, OpType.FORWARD)
+            next_forward += 1
+            schedule.append(next_backward, OpType.BACKWARD)
+            next_backward += 1
+        # Cool-down: drain the remaining backwards.
+        while next_backward < num_microbatches:
+            schedule.append(next_backward, OpType.BACKWARD)
+            next_backward += 1
+        stages.append(schedule)
+    return PipelineSchedule(stages=stages, num_microbatches=num_microbatches, name="1f1b")

@@ -1,0 +1,100 @@
+"""Safety-stock analysis (paper §5).
+
+The *safety stock* of a device at a point in time is the number of compute
+ops that are already ready for execution on that device (their cross-stage
+dependencies are satisfied) but have not started yet.  A device whose safety
+stock hits zero will idle the moment its current op finishes if its upstream
+neighbour is late — which is exactly what happens to 1F1B in its steady
+state under dynamic micro-batching, and what the adaptive schedule's early
+injection fixes.
+
+The profile is computed from a schedule plus a simulated timeline (op start
+and end times); the heavy lifting of producing the timeline is the execution
+simulator's job, so this module only needs plain dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.events import ComputeOp, OpType, PipelineSchedule
+
+
+@dataclass(frozen=True)
+class SafetyStockProfile:
+    """Safety-stock observations for one pipeline execution.
+
+    Attributes:
+        per_stage_samples: For each stage, the list of safety-stock values
+            observed each time the stage started executing an op (excluding
+            the very first op of the stage).
+        per_stage_minimum: Minimum observed safety stock per stage during the
+            steady state.
+        per_stage_mean: Mean observed safety stock per stage.
+    """
+
+    per_stage_samples: list[list[int]]
+    per_stage_minimum: list[int]
+    per_stage_mean: list[float]
+
+
+def _op_dependencies(op: ComputeOp, num_stages: int) -> list[ComputeOp]:
+    """Cross-stage dependencies of ``op`` (excluding same-device ordering)."""
+    deps = []
+    if op.op_type is OpType.FORWARD:
+        if op.stage > 0:
+            deps.append(ComputeOp(op.microbatch, op.stage - 1, OpType.FORWARD))
+    else:
+        if op.stage < num_stages - 1:
+            deps.append(ComputeOp(op.microbatch, op.stage + 1, OpType.BACKWARD))
+        else:
+            deps.append(ComputeOp(op.microbatch, op.stage, OpType.FORWARD))
+    return deps
+
+
+def safety_stock_profile(
+    schedule: PipelineSchedule,
+    op_times: dict[ComputeOp, tuple[float, float]],
+) -> SafetyStockProfile:
+    """Compute the safety-stock profile of a simulated execution.
+
+    Args:
+        schedule: The pipeline schedule that was executed.
+        op_times: Mapping from compute op to its simulated (start, end) time.
+
+    Returns:
+        A :class:`SafetyStockProfile` with per-stage samples and summaries.
+    """
+    num_stages = schedule.num_stages
+    per_stage_samples: list[list[int]] = []
+    for stage_schedule in schedule.stages:
+        samples: list[int] = []
+        ops = stage_schedule.ops
+        for position, op in enumerate(ops):
+            if position == 0:
+                continue
+            start_time = op_times[op][0]
+            # Count *strictly later* ops on this stage whose dependencies had
+            # already completed when this op started — they were sitting in
+            # the device's ready buffer at that moment.  The op being started
+            # itself is excluded: an op that becomes ready exactly when the
+            # device needs it corresponds to a zero safety stock (the 1F1B
+            # steady state of paper §5).
+            stock = 0
+            for later in ops[position + 1 :]:
+                deps = _op_dependencies(later, num_stages)
+                if all(op_times[d][1] <= start_time + 1e-9 for d in deps if d in op_times):
+                    if all(d in op_times for d in deps):
+                        stock += 1
+            samples.append(stock)
+        per_stage_samples.append(samples)
+
+    minimums = [min(samples) if samples else 0 for samples in per_stage_samples]
+    means = [
+        (sum(samples) / len(samples)) if samples else 0.0 for samples in per_stage_samples
+    ]
+    return SafetyStockProfile(
+        per_stage_samples=per_stage_samples,
+        per_stage_minimum=minimums,
+        per_stage_mean=means,
+    )

@@ -1,0 +1,107 @@
+"""Structural validation of pipeline schedules.
+
+A schedule is structurally valid when it could possibly be executed,
+regardless of timing:
+
+* every stage executes every micro-batch's forward and backward exactly once;
+* on each stage, a micro-batch's forward precedes its backward;
+* forward passes of a micro-batch appear in non-decreasing stage order when
+  projected on any single stage pair (guaranteed by per-stage uniqueness);
+* the per-stage order is consistent with the pipeline dependency graph,
+  i.e. the dependency graph plus the per-stage orders is acyclic (otherwise
+  execution would deadlock even with perfect communication).
+"""
+
+from __future__ import annotations
+
+from repro.schedule.events import ComputeOp, OpType, PipelineSchedule
+
+
+class ScheduleValidationError(ValueError):
+    """Raised when a pipeline schedule is structurally invalid."""
+
+
+def _dependency_edges(schedule: PipelineSchedule) -> list[tuple[ComputeOp, ComputeOp]]:
+    """Data-dependency edges between compute ops of the pipeline."""
+    edges = []
+    c = schedule.num_stages
+    for mb in range(schedule.num_microbatches):
+        for j in range(c - 1):
+            edges.append(
+                (ComputeOp(mb, j, OpType.FORWARD), ComputeOp(mb, j + 1, OpType.FORWARD))
+            )
+            edges.append(
+                (ComputeOp(mb, j + 1, OpType.BACKWARD), ComputeOp(mb, j, OpType.BACKWARD))
+            )
+        edges.append(
+            (ComputeOp(mb, c - 1, OpType.FORWARD), ComputeOp(mb, c - 1, OpType.BACKWARD))
+        )
+    return edges
+
+
+def validate_schedule(schedule: PipelineSchedule) -> None:
+    """Validate ``schedule``; raises :class:`ScheduleValidationError` if invalid."""
+    c = schedule.num_stages
+    m = schedule.num_microbatches
+    if c < 1:
+        raise ScheduleValidationError("schedule has no stages")
+
+    # Completeness and per-stage ordering.
+    for stage_schedule in schedule.stages:
+        forwards = stage_schedule.forward_positions()
+        backwards = stage_schedule.backward_positions()
+        expected = set(range(m))
+        if set(forwards) != expected:
+            raise ScheduleValidationError(
+                f"stage {stage_schedule.stage} forward passes cover {sorted(forwards)} "
+                f"instead of all {m} micro-batches"
+            )
+        if set(backwards) != expected:
+            raise ScheduleValidationError(
+                f"stage {stage_schedule.stage} backward passes cover {sorted(backwards)} "
+                f"instead of all {m} micro-batches"
+            )
+        if len(stage_schedule.ops) != 2 * m:
+            raise ScheduleValidationError(
+                f"stage {stage_schedule.stage} has {len(stage_schedule.ops)} ops, expected {2 * m}"
+            )
+        for mb in range(m):
+            if forwards[mb] > backwards[mb]:
+                raise ScheduleValidationError(
+                    f"stage {stage_schedule.stage} schedules backward of micro-batch {mb} "
+                    "before its forward"
+                )
+
+    # Deadlock-freedom of the combined order (dependencies + device order):
+    # topologically sort the union graph.
+    order_edges: list[tuple[ComputeOp, ComputeOp]] = []
+    for stage_schedule in schedule.stages:
+        for previous, current in zip(stage_schedule.ops, stage_schedule.ops[1:]):
+            order_edges.append((previous, current))
+    edges = _dependency_edges(schedule) + order_edges
+
+    successors: dict[ComputeOp, list[ComputeOp]] = {}
+    indegree: dict[ComputeOp, int] = {}
+    for op in schedule.all_ops():
+        successors.setdefault(op, [])
+        indegree.setdefault(op, 0)
+    for src, dst in edges:
+        successors.setdefault(src, []).append(dst)
+        indegree.setdefault(dst, indegree.get(dst, 0))
+        indegree[dst] += 1
+        indegree.setdefault(src, indegree.get(src, 0))
+
+    ready = [op for op, degree in indegree.items() if degree == 0]
+    visited = 0
+    while ready:
+        op = ready.pop()
+        visited += 1
+        for nxt in successors.get(op, []):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if visited != len(indegree):
+        raise ScheduleValidationError(
+            "schedule order conflicts with pipeline dependencies (cycle detected): "
+            "execution would deadlock"
+        )

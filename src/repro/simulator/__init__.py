@@ -1,0 +1,38 @@
+"""Discrete-event simulation of pipeline execution.
+
+Two levels of fidelity are provided:
+
+* :mod:`repro.simulator.engine` simulates a *compute-op schedule* (the
+  output of 1F1B / adaptive scheduling) against per-op durations and
+  cross-stage dependencies, producing a timeline, makespan, bubble (idle)
+  time and peak activation memory.  This is the fast path used inside the
+  planner (e.g. to score micro-batch injection orders) and by the schedule
+  robustness experiments (Fig. 7).
+
+* :mod:`repro.simulator.executor` interprets full *instruction streams*
+  (compute + communication Start/Wait ops) with NCCL-like single-channel
+  semantics per device pair.  It faithfully reproduces the deadlocks that
+  naive communication ordering causes in dynamic pipelines (§6) and is used
+  to validate DynaPipe's communication plans and to "run" training
+  iterations with execution-time noise.
+"""
+
+from repro.simulator.engine import SimulationResult, simulate_schedule
+from repro.simulator.executor import (
+    CommunicationDeadlockError,
+    ExecutionResult,
+    InstructionExecutor,
+)
+from repro.simulator.memory_tracker import MemoryTracker
+from repro.simulator.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "simulate_schedule",
+    "SimulationResult",
+    "InstructionExecutor",
+    "ExecutionResult",
+    "CommunicationDeadlockError",
+    "MemoryTracker",
+    "ExecutionTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,60 @@
+"""Chrome-trace export of execution traces.
+
+Converts an :class:`~repro.simulator.trace.ExecutionTrace` into the Chrome
+trace-event JSON format so pipelines can be inspected interactively in
+``chrome://tracing`` or Perfetto — the standard way real training systems
+visualise their timelines.  Each device becomes a "thread"; compute and
+communication events are separated into two tracks per device.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.simulator.trace import ExecutionTrace
+
+#: Microseconds per millisecond (trace events use microseconds).
+_US_PER_MS = 1000.0
+
+
+def trace_to_chrome_events(trace: ExecutionTrace, process_id: int = 0) -> list[dict[str, Any]]:
+    """Convert a trace to a list of Chrome trace-event dictionaries."""
+    events: list[dict[str, Any]] = []
+    devices = sorted({event.device for event in trace.events})
+    for device in devices:
+        for suffix, category in (("compute", "compute"), ("comm", "comm")):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": process_id,
+                    "tid": device * 2 + (0 if category == "compute" else 1),
+                    "args": {"name": f"device {device} ({suffix})"},
+                }
+            )
+    for event in trace.events:
+        tid = event.device * 2 + (0 if event.category == "compute" else 1)
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.category,
+                "ph": "X",
+                "pid": process_id,
+                "tid": tid,
+                "ts": event.start_ms * _US_PER_MS,
+                "dur": event.duration_ms * _US_PER_MS,
+                "args": {"microbatch": event.microbatch},
+            }
+        )
+    return events
+
+
+def save_chrome_trace(trace: ExecutionTrace, path: str | Path) -> Path:
+    """Write the trace as a ``chrome://tracing`` compatible JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traceEvents": trace_to_chrome_events(trace), "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload))
+    return path

@@ -1,0 +1,317 @@
+"""Instruction-stream executor with NCCL-like communication semantics.
+
+Each (virtual) device executes its instruction stream in order:
+
+* ``ForwardPass`` / ``BackwardPass`` occupy the compute stream for the
+  duration given by the caller's duration function;
+* ``*Start`` communication instructions post a transfer onto the single
+  communication channel shared with the peer device and return immediately
+  (asynchronous launch on the communication stream);
+* ``Wait*`` instructions block the compute stream until the corresponding
+  transfer has completed.
+
+The channel between each pair of adjacent devices processes transfers
+strictly in the order they were posted by each side — the NCCL constraint
+the paper describes in §2.3/§6.  If the two sides post mismatching heads
+(device 1's next posted op is "send activation of micro-batch 1" while
+device 2's next posted op is "send gradient of micro-batch 7"), neither
+transfer can ever complete and the execution deadlocks.  The executor
+detects this and raises :class:`CommunicationDeadlockError`, which is how
+the reproduction demonstrates that naive communication ordering breaks
+dynamic pipelines while DynaPipe's planned ordering does not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.instructions.ops import (
+    BackwardPass,
+    CommDirection,
+    ForwardPass,
+    PipelineInstruction,
+    RecvActStart,
+    RecvGradStart,
+    SendActStart,
+    SendGradStart,
+    WaitRecvAct,
+    WaitRecvGrad,
+    WaitSendAct,
+    WaitSendGrad,
+    _CommStart,
+    _CommWait,
+)
+from repro.simulator.memory_tracker import MemoryTracker
+from repro.simulator.trace import ExecutionTrace, TraceEvent
+
+#: Duration provider for compute instructions, in milliseconds.
+ComputeDurationFn = Callable[[PipelineInstruction], float]
+#: Transfer time provider: (nbytes, src_stage, dst_stage) -> milliseconds.
+TransferTimeFn = Callable[[float, int, int], float]
+
+#: A transfer is identified by (sender, receiver, microbatch, direction).
+TransferKey = tuple[int, int, int, CommDirection]
+
+
+class CommunicationDeadlockError(RuntimeError):
+    """Raised when the posted communication orders can never be matched."""
+
+    def __init__(self, message: str, blocked_devices: list[int] | None = None) -> None:
+        super().__init__(message)
+        self.blocked_devices = blocked_devices or []
+
+
+@dataclass
+class ExecutionResult:
+    """Output of :meth:`InstructionExecutor.run`.
+
+    Attributes:
+        makespan_ms: Completion time of the last instruction.
+        device_finish_ms: Per-device completion time.
+        device_compute_ms: Per-device total compute-stream busy time.
+        peak_memory_bytes: Per-device peak (static + activation) memory.
+        transfer_log: Completed transfers as (key, start, end) tuples.
+        trace: Execution trace of compute and communication events.
+    """
+
+    makespan_ms: float
+    device_finish_ms: list[float]
+    device_compute_ms: list[float]
+    peak_memory_bytes: list[float]
+    transfer_log: list[tuple[TransferKey, float, float]]
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Average idle fraction of the compute streams."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        idle = [
+            max(self.makespan_ms - busy, 0.0) for busy in self.device_compute_ms
+        ]
+        return sum(idle) / (len(idle) * self.makespan_ms)
+
+
+def _transfer_key_for_start(instr: _CommStart) -> TransferKey:
+    """Canonical transfer key for a Start instruction."""
+    if instr.is_send:
+        return (instr.stage, instr.peer, instr.microbatch, instr.direction)
+    return (instr.peer, instr.stage, instr.microbatch, instr.direction)
+
+
+def _transfer_key_for_wait(instr: _CommWait) -> TransferKey:
+    """Canonical transfer key for a Wait instruction."""
+    if isinstance(instr, (WaitSendAct, WaitSendGrad)):
+        direction = (
+            CommDirection.ACTIVATION if isinstance(instr, WaitSendAct) else CommDirection.GRADIENT
+        )
+        return (instr.stage, instr.peer, instr.microbatch, direction)
+    direction = (
+        CommDirection.ACTIVATION if isinstance(instr, WaitRecvAct) else CommDirection.GRADIENT
+    )
+    return (instr.peer, instr.stage, instr.microbatch, direction)
+
+
+@dataclass
+class _PostedOp:
+    """A communication op posted to a channel by one device."""
+
+    key: TransferKey
+    is_send: bool
+    post_time: float
+    nbytes: float
+
+
+class InstructionExecutor:
+    """Executes per-device instruction streams against simulated devices.
+
+    Args:
+        compute_duration_fn: Maps Forward/Backward instructions to ms.
+        transfer_time_fn: Maps (nbytes, src, dst) to transfer ms.
+        activation_bytes_fn: Maps Forward/Backward instructions to the
+            activation bytes they allocate/free on their stage; optional.
+        static_bytes: Per-device static memory for the trackers.
+        device_capacity: Optional per-device capacity; exceeding it is
+            recorded in the memory trackers (not fatal, matching how the
+            planner treats predicted OOM as a constraint rather than the
+            executor crashing).
+    """
+
+    def __init__(
+        self,
+        compute_duration_fn: ComputeDurationFn,
+        transfer_time_fn: TransferTimeFn | None = None,
+        activation_bytes_fn: Callable[[PipelineInstruction], float] | None = None,
+        static_bytes: Sequence[float] | None = None,
+        device_capacity: float | None = None,
+    ) -> None:
+        self.compute_duration_fn = compute_duration_fn
+        self.transfer_time_fn = transfer_time_fn or (lambda nbytes, src, dst: 0.0)
+        self.activation_bytes_fn = activation_bytes_fn
+        self.static_bytes = static_bytes
+        self.device_capacity = device_capacity
+
+    def run(self, device_instructions: Sequence[Sequence[PipelineInstruction]]) -> ExecutionResult:
+        """Execute the instruction streams of all devices.
+
+        Raises:
+            CommunicationDeadlockError: If the communication orders posted by
+                adjacent devices can never be matched, or every device is
+                blocked on a transfer that will never be posted.
+        """
+        num_devices = len(device_instructions)
+        pointers = [0] * num_devices
+        clocks = [0.0] * num_devices
+        compute_busy = [0.0] * num_devices
+        trackers = [
+            MemoryTracker(
+                capacity=self.device_capacity,
+                static_bytes=(self.static_bytes[d] if self.static_bytes else 0.0),
+            )
+            for d in range(num_devices)
+        ]
+        trace = ExecutionTrace()
+
+        # Channel state: per unordered device pair, a FIFO of posted ops per side.
+        posted: dict[tuple[int, int], dict[int, deque[_PostedOp]]] = {}
+        channel_free: dict[tuple[int, int], float] = {}
+        completed: dict[TransferKey, tuple[float, float]] = {}
+        transfer_log: list[tuple[TransferKey, float, float]] = []
+
+        def pair_of(a: int, b: int) -> tuple[int, int]:
+            return (a, b) if a < b else (b, a)
+
+        def post(device: int, instr: _CommStart) -> None:
+            key = _transfer_key_for_start(instr)
+            pair = pair_of(instr.stage, instr.peer)
+            queues = posted.setdefault(pair, {pair[0]: deque(), pair[1]: deque()})
+            queues[device].append(
+                _PostedOp(key=key, is_send=instr.is_send, post_time=clocks[device], nbytes=instr.nbytes)
+            )
+
+        def try_match_channels() -> bool:
+            """Complete transfers whose heads match on both sides."""
+            progressed = False
+            for pair, queues in posted.items():
+                a, b = pair
+                while queues[a] and queues[b]:
+                    head_a, head_b = queues[a][0], queues[b][0]
+                    if head_a.key == head_b.key and head_a.is_send != head_b.is_send:
+                        start = max(
+                            head_a.post_time, head_b.post_time, channel_free.get(pair, 0.0)
+                        )
+                        nbytes = max(head_a.nbytes, head_b.nbytes)
+                        sender, receiver = head_a.key[0], head_a.key[1]
+                        end = start + max(self.transfer_time_fn(nbytes, sender, receiver), 0.0)
+                        completed[head_a.key] = (start, end)
+                        transfer_log.append((head_a.key, start, end))
+                        channel_free[pair] = end
+                        direction = "act" if head_a.key[3] is CommDirection.ACTIVATION else "grad"
+                        trace.add(
+                            TraceEvent(
+                                device=sender,
+                                name=f"send-{direction}-{head_a.key[2]}",
+                                start_ms=start,
+                                end_ms=end,
+                                category="comm",
+                                microbatch=head_a.key[2],
+                            )
+                        )
+                        queues[a].popleft()
+                        queues[b].popleft()
+                        progressed = True
+                    else:
+                        break
+            return progressed
+
+        def head_mismatch_pairs() -> list[tuple[int, int]]:
+            """Pairs whose heads are both posted but can never match."""
+            mismatched = []
+            for pair, queues in posted.items():
+                a, b = pair
+                if queues[a] and queues[b]:
+                    head_a, head_b = queues[a][0], queues[b][0]
+                    if not (head_a.key == head_b.key and head_a.is_send != head_b.is_send):
+                        mismatched.append(pair)
+            return mismatched
+
+        total_instructions = sum(len(stream) for stream in device_instructions)
+        executed = 0
+
+        while executed < total_instructions:
+            progressed = False
+            for device in range(num_devices):
+                stream = device_instructions[device]
+                while pointers[device] < len(stream):
+                    instr = stream[pointers[device]]
+                    if isinstance(instr, (ForwardPass, BackwardPass)):
+                        duration = max(self.compute_duration_fn(instr), 0.0)
+                        start = clocks[device]
+                        end = start + duration
+                        clocks[device] = end
+                        compute_busy[device] += duration
+                        if self.activation_bytes_fn is not None:
+                            nbytes = self.activation_bytes_fn(instr)
+                            if isinstance(instr, ForwardPass):
+                                trackers[device].allocate(("act", instr.microbatch), nbytes)
+                            else:
+                                trackers[device].free(("act", instr.microbatch))
+                        label = "F" if isinstance(instr, ForwardPass) else "B"
+                        trace.add(
+                            TraceEvent(
+                                device=device,
+                                name=f"{label}{instr.microbatch}",
+                                start_ms=start,
+                                end_ms=end,
+                                category="compute",
+                                microbatch=instr.microbatch,
+                            )
+                        )
+                        pointers[device] += 1
+                        executed += 1
+                        progressed = True
+                    elif isinstance(instr, _CommStart):
+                        post(device, instr)
+                        pointers[device] += 1
+                        executed += 1
+                        progressed = True
+                    elif isinstance(instr, _CommWait):
+                        key = _transfer_key_for_wait(instr)
+                        if key in completed:
+                            clocks[device] = max(clocks[device], completed[key][1])
+                            pointers[device] += 1
+                            executed += 1
+                            progressed = True
+                        else:
+                            break  # device blocked on an incomplete transfer
+                    else:  # pragma: no cover - defensive
+                        raise TypeError(f"unknown instruction type {type(instr).__name__}")
+            if try_match_channels():
+                progressed = True
+            if not progressed:
+                mismatched = head_mismatch_pairs()
+                blocked = [d for d in range(num_devices) if pointers[d] < len(device_instructions[d])]
+                if mismatched:
+                    detail = ", ".join(f"devices {a}<->{b}" for a, b in mismatched)
+                    raise CommunicationDeadlockError(
+                        f"communication order mismatch on channel(s): {detail}; "
+                        "the posted send/receive orders of the two sides can never match",
+                        blocked_devices=blocked,
+                    )
+                raise CommunicationDeadlockError(
+                    "execution stalled: devices are waiting on transfers whose peer "
+                    "operation is never posted (missing or mis-ordered Start ops)",
+                    blocked_devices=blocked,
+                )
+
+        makespan = max(clocks) if clocks else 0.0
+        return ExecutionResult(
+            makespan_ms=makespan,
+            device_finish_ms=list(clocks),
+            device_compute_ms=compute_busy,
+            peak_memory_bytes=[tracker.peak_bytes for tracker in trackers],
+            transfer_log=transfer_log,
+            trace=trace,
+        )

@@ -1,0 +1,78 @@
+"""Per-device activation memory accounting.
+
+Both simulation levels use the same tracker: a forward pass allocates the
+micro-batch's activation footprint on the stage, the matching backward pass
+frees it, and the tracker records the peak.  The peak (plus the stage's
+static memory) is what is compared against device capacity to decide whether
+a plan would OOM — the memory side of the paper's Fig. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class MemoryAccountingError(RuntimeError):
+    """Raised when frees do not match allocations (a planner/executor bug)."""
+
+
+@dataclass
+class MemoryTracker:
+    """Tracks live activation allocations and their peak on one device.
+
+    Attributes:
+        capacity: Optional capacity in bytes; exceeding it is recorded (and
+            optionally raises) rather than silently ignored.
+        static_bytes: Constant memory always resident on the device.
+    """
+
+    capacity: float | None = None
+    static_bytes: float = 0.0
+    _live: dict[object, float] = field(default_factory=dict)
+    _current: float = 0.0
+    _peak: float = 0.0
+    _over_capacity_events: int = 0
+
+    def __post_init__(self) -> None:
+        self._current = self.static_bytes
+        self._peak = self.static_bytes
+
+    def allocate(self, key: object, nbytes: float) -> None:
+        """Allocate ``nbytes`` under ``key`` (e.g. a micro-batch index)."""
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be >= 0, got {nbytes}")
+        if key in self._live:
+            raise MemoryAccountingError(f"allocation key {key!r} is already live")
+        self._live[key] = nbytes
+        self._current += nbytes
+        self._peak = max(self._peak, self._current)
+        if self.capacity is not None and self._current > self.capacity:
+            self._over_capacity_events += 1
+
+    def free(self, key: object) -> float:
+        """Free the allocation under ``key``; returns its size."""
+        if key not in self._live:
+            raise MemoryAccountingError(f"freeing unknown allocation key {key!r}")
+        nbytes = self._live.pop(key)
+        self._current -= nbytes
+        return nbytes
+
+    @property
+    def current_bytes(self) -> float:
+        """Currently allocated bytes (including static memory)."""
+        return self._current
+
+    @property
+    def peak_bytes(self) -> float:
+        """Peak allocated bytes observed so far (including static memory)."""
+        return self._peak
+
+    @property
+    def live_allocations(self) -> int:
+        """Number of live (unfreed) allocations."""
+        return len(self._live)
+
+    @property
+    def exceeded_capacity(self) -> bool:
+        """Whether any allocation pushed usage above the capacity."""
+        return self._over_capacity_events > 0

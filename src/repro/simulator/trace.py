@@ -1,0 +1,120 @@
+"""Execution traces.
+
+A trace is a flat list of timed events (compute ops and transfers) that can
+be rendered as a text Gantt chart or exported as dictionaries for plotting.
+Traces are produced by both simulation levels and consumed by examples and
+by the safety-stock analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed event on a device.
+
+    Attributes:
+        device: Device (stage) index the event occupies.
+        name: Short label, e.g. ``"F3"`` or ``"send-act-2"``.
+        start_ms: Start time in milliseconds.
+        end_ms: End time in milliseconds.
+        category: ``"compute"`` or ``"comm"``.
+        microbatch: Micro-batch index the event belongs to (if applicable).
+    """
+
+    device: int
+    name: str
+    start_ms: float
+    end_ms: float
+    category: str = "compute"
+    microbatch: int | None = None
+
+    @property
+    def duration_ms(self) -> float:
+        """Duration of the event."""
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class ExecutionTrace:
+    """A collection of trace events for one simulated iteration."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Append many events."""
+        self.events.extend(events)
+
+    def makespan_ms(self) -> float:
+        """End time of the latest event (0 for an empty trace)."""
+        return max((event.end_ms for event in self.events), default=0.0)
+
+    def device_events(self, device: int) -> list[TraceEvent]:
+        """Events of one device sorted by start time."""
+        return sorted(
+            (event for event in self.events if event.device == device),
+            key=lambda event: event.start_ms,
+        )
+
+    def device_busy_ms(self, device: int, category: str = "compute") -> float:
+        """Total busy time of a device for a given event category."""
+        return sum(
+            event.duration_ms
+            for event in self.events
+            if event.device == device and event.category == category
+        )
+
+    def num_devices(self) -> int:
+        """Number of distinct devices appearing in the trace."""
+        return len({event.device for event in self.events})
+
+    def to_dicts(self) -> list[dict]:
+        """Export the trace as JSON-compatible dictionaries."""
+        return [
+            {
+                "device": event.device,
+                "name": event.name,
+                "start_ms": event.start_ms,
+                "end_ms": event.end_ms,
+                "category": event.category,
+                "microbatch": event.microbatch,
+            }
+            for event in self.events
+        ]
+
+    def render_gantt(self, width: int = 100, compute_only: bool = True) -> str:
+        """Render a coarse text Gantt chart (one row per device).
+
+        Intended for examples and debugging; each character cell covers
+        ``makespan / width`` milliseconds and shows the micro-batch index of
+        the op occupying it (``.`` for idle).
+        """
+        makespan = self.makespan_ms()
+        if makespan <= 0:
+            return "(empty trace)"
+        devices = sorted({event.device for event in self.events})
+        lines = []
+        cell = makespan / width
+        for device in devices:
+            row = ["."] * width
+            for event in self.device_events(device):
+                if compute_only and event.category != "compute":
+                    continue
+                start_cell = int(event.start_ms / cell)
+                end_cell = max(start_cell + 1, int(event.end_ms / cell))
+                label = "?"
+                if event.microbatch is not None:
+                    label = str(event.microbatch % 10)
+                if event.name.startswith("B"):
+                    label = label.lower() if label.isalpha() else label
+                for position in range(start_cell, min(end_cell, width)):
+                    row[position] = label
+            lines.append(f"dev{device:2d} |" + "".join(row) + "|")
+        return "\n".join(lines)

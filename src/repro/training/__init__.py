@@ -1,0 +1,14 @@
+"""End-to-end (simulated) training runs.
+
+A training run wires a planner (DynaPipe or the MLM+DS baseline) to the
+synthetic dataset, executes every iteration's plans on the instruction-level
+executor with execution-time noise, and aggregates the metrics the paper
+reports: throughput in real (non-padding) tokens per second, padding
+efficiency, planning time, and the accuracy of the planner's time/memory
+predictions against the simulated execution.
+"""
+
+from repro.training.throughput import IterationRecord, TrainingReport
+from repro.training.trainer import TrainingSession, TrainerConfig
+
+__all__ = ["TrainingSession", "TrainerConfig", "TrainingReport", "IterationRecord"]

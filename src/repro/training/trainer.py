@@ -1,0 +1,217 @@
+"""Simulated training loop.
+
+:class:`TrainingSession` drives a planner (DynaPipe's
+:class:`~repro.core.planner.DynaPipePlanner` or the
+:class:`~repro.baselines.mlm_ds.MLMDeepSpeedBaseline`) over a dataset epoch:
+for every mini-batch the planner produces execution plans, the plans are run
+on the instruction-level executor against the *analytic* stage models (the
+ground truth the cost model only approximates) with multiplicative
+execution-time noise, and the resulting iteration times, memory peaks and
+padding statistics are aggregated into a :class:`~repro.training.throughput.TrainingReport`.
+
+The split between "predicted" (interpolated cost model, no noise) and
+"measured" (analytic model + noise) is what gives the cost-model accuracy
+experiment (Fig. 18) meaningful error bars, exactly as profiling-based
+prediction differs from real execution on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.batching.metrics import padding_stats
+from repro.cluster.device import SimulatedGPU
+from repro.cluster.network import NetworkModel
+from repro.core.planner import IterationPlan
+from repro.data.sampler import MiniBatch, MiniBatchSampler
+from repro.data.tasks import Sample
+from repro.data.truncation import truncate_samples
+from repro.instructions.ops import BackwardPass, ForwardPass, PipelineInstruction
+from repro.model.transformer import build_stage_models
+from repro.simulator.executor import ExecutionResult, InstructionExecutor
+from repro.training.throughput import IterationRecord, TrainingReport
+from repro.utils.rng import SeedLike, new_rng
+
+
+class IterationPlanner(Protocol):
+    """Anything that can plan a training iteration (DynaPipe or baseline)."""
+
+    cost_model: object
+    data_parallel_size: int
+
+    def plan(self, samples: list[Sample], iteration: int = 0) -> IterationPlan:
+        """Produce the iteration's execution plans."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class TrainerConfig:
+    """Configuration of a simulated training run.
+
+    Attributes:
+        max_iterations: Number of mini-batches to process (None = full epoch).
+        noise_std: Standard deviation of the multiplicative execution-time
+            noise applied by the simulated devices.
+        seed: Seed for the noise and the mini-batch sampler.
+        max_seq_len: Maximum sequence length; longer samples are truncated
+            before planning (both systems truncate, §8.1).
+        stages_same_node: Link class for inter-stage transfers at execution.
+        execute_plans: When False, skip the instruction-level execution and
+            use the planner's predictions as the measured time (useful for
+            fast sweeps where only relative planning output matters).
+    """
+
+    max_iterations: int | None = 20
+    noise_std: float = 0.05
+    seed: SeedLike = 0
+    max_seq_len: int | None = None
+    stages_same_node: bool = True
+    execute_plans: bool = True
+
+
+class TrainingSession:
+    """Runs a planner over a dataset epoch on the simulated cluster.
+
+    Args:
+        planner: The system under test (must expose ``plan`` and ``cost_model``).
+        samples: Dataset samples for the epoch.
+        global_batch_tokens: Global batch size in tokens per iteration.
+        config: Trainer configuration.
+        system_name: Label used in the report.
+        network: Communication model used at execution time.
+    """
+
+    def __init__(
+        self,
+        planner: IterationPlanner,
+        samples: Sequence[Sample],
+        global_batch_tokens: int,
+        config: TrainerConfig | None = None,
+        system_name: str = "dynapipe",
+        network: NetworkModel | None = None,
+    ) -> None:
+        self.planner = planner
+        self.config = config or TrainerConfig()
+        self.system_name = system_name
+        self.network = network or NetworkModel()
+        cost_model = planner.cost_model
+        self.cost_model = cost_model
+        decoder_only = not cost_model.config.is_encoder_decoder
+        if self.config.max_seq_len is not None:
+            samples = truncate_samples(
+                samples, self.config.max_seq_len, decoder_only=decoder_only
+            )
+        self.samples = list(samples)
+        self.sampler = MiniBatchSampler(
+            self.samples, global_batch_tokens, seed=self.config.seed
+        )
+        # Ground-truth stage models driven by a *noisy* device: this is what
+        # "really" happens when a plan executes.
+        self.stage_models = build_stage_models(
+            cost_model.config,
+            cost_model.num_stages,
+            tensor_parallel=cost_model.tensor_parallel,
+            zero_shards=cost_model.zero_shards,
+        )
+        self._noise_rng = new_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ execution
+
+    def _make_executor(self) -> InstructionExecutor:
+        """Executor with fresh per-iteration noise."""
+        noisy_gpu = SimulatedGPU(
+            self.cost_model.device_spec,
+            noise_std=self.config.noise_std,
+            seed=int(self._noise_rng.integers(0, 2**31 - 1)),
+        )
+
+        def duration(instr: PipelineInstruction) -> float:
+            stage_model = self.stage_models[instr.stage]
+            if isinstance(instr, ForwardPass):
+                return stage_model.forward_time_ms(noisy_gpu, instr.shape)
+            if isinstance(instr, BackwardPass):
+                return stage_model.backward_time_ms(noisy_gpu, instr.shape, instr.recompute)
+            raise TypeError(f"not a compute instruction: {type(instr).__name__}")
+
+        def activation(instr: PipelineInstruction) -> float:
+            return self.stage_models[instr.stage].activation_bytes(instr.shape, instr.recompute)
+
+        def transfer(nbytes: float, src: int, dst: int) -> float:
+            return self.network.p2p_time_ms(nbytes, same_node=self.config.stages_same_node)
+
+        static = [
+            self.cost_model.stage_static_bytes(j) for j in range(self.cost_model.num_stages)
+        ]
+        return InstructionExecutor(
+            compute_duration_fn=duration,
+            transfer_time_fn=transfer,
+            activation_bytes_fn=activation,
+            static_bytes=static,
+        )
+
+    def execute_iteration(self, plan: IterationPlan) -> tuple[float, float]:
+        """Execute an iteration's plans; returns (iteration ms, peak memory bytes)."""
+        if not self.config.execute_plans:
+            peak = max(
+                max(r.plan.metadata.predicted_peak_memory_bytes or [0.0])
+                for r in plan.replicas
+            )
+            return plan.predicted_iteration_ms, peak
+        replica_times = []
+        peak_memory = 0.0
+        for replica in plan.replicas:
+            executor = self._make_executor()
+            result: ExecutionResult = executor.run(replica.plan.device_instructions)
+            replica_times.append(result.makespan_ms)
+            peak_memory = max(peak_memory, max(result.peak_memory_bytes))
+        exposed_dp = plan.data_parallel_comm_ms * 0.5
+        return max(replica_times) + exposed_dp, peak_memory
+
+    # ------------------------------------------------------------------ run loop
+
+    def run(self) -> TrainingReport:
+        """Process the epoch (or the configured number of iterations)."""
+        report = TrainingReport(system=self.system_name)
+        enc_eff: list[float] = []
+        dec_eff: list[float] = []
+        for minibatch in self.sampler.epoch(0):
+            if (
+                self.config.max_iterations is not None
+                and minibatch.index >= self.config.max_iterations
+            ):
+                break
+            record = self.run_iteration(minibatch)
+            report.records.append(record)
+            stats = self._last_padding_stats
+            enc_eff.append(stats.encoder_efficiency)
+            if stats.decoder_efficiency is not None:
+                dec_eff.append(stats.decoder_efficiency)
+        if enc_eff:
+            report.encoder_padding_efficiency = sum(enc_eff) / len(enc_eff)
+        if dec_eff:
+            report.decoder_padding_efficiency = sum(dec_eff) / len(dec_eff)
+        return report
+
+    def run_iteration(self, minibatch: MiniBatch) -> IterationRecord:
+        """Plan and execute one mini-batch, returning its record."""
+        plan = self.planner.plan(minibatch.samples, iteration=minibatch.index)
+        measured_ms, measured_peak = self.execute_iteration(plan)
+        self._last_padding_stats = plan.padding
+        predicted_peak = max(
+            max(r.plan.metadata.predicted_peak_memory_bytes or [0.0]) for r in plan.replicas
+        )
+        micro_batches = plan.all_micro_batches()
+        stats = padding_stats(micro_batches)
+        return IterationRecord(
+            iteration=minibatch.index,
+            actual_tokens=stats.actual_tokens,
+            padded_tokens=stats.padded_tokens,
+            predicted_ms=plan.predicted_iteration_ms,
+            measured_ms=measured_ms,
+            predicted_peak_bytes=predicted_peak,
+            measured_peak_bytes=measured_peak,
+            planning_time_s=plan.planning_time_s,
+            num_microbatches=plan.num_microbatches,
+            recompute=plan.recompute.value,
+        )

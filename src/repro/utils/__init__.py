@@ -1,0 +1,34 @@
+"""Shared utilities for the DynaPipe reproduction.
+
+The utilities are intentionally small and dependency free: deterministic
+random number helpers, light-weight statistics, and a logging shim that the
+rest of the package uses instead of configuring the root logger.
+"""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rng
+from repro.utils.stats import (
+    RunningStat,
+    geometric_mean,
+    mean,
+    mean_percentage_error,
+    percentile,
+)
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rng",
+    "RunningStat",
+    "geometric_mean",
+    "mean",
+    "mean_percentage_error",
+    "percentile",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

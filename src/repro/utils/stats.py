@@ -1,0 +1,129 @@
+"""Small statistics helpers used throughout the reproduction.
+
+These exist so that benchmark harnesses and cost-model accuracy reports
+(Fig. 18 in the paper) compute their summary statistics the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty iterable."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean() of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean() requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``."""
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(data[lo])
+    frac = rank - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+def mean_percentage_error(predicted: Sequence[float], measured: Sequence[float]) -> float:
+    """Mean absolute percentage error (in percent) of predictions.
+
+    This is the metric the paper reports for cost-model accuracy
+    (Fig. 18): ``mean(|pred - meas| / meas) * 100``.
+    """
+    if len(predicted) != len(measured):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} predictions vs {len(measured)} measurements"
+        )
+    if not predicted:
+        raise ValueError("mean_percentage_error() of empty sequences")
+    errors = []
+    for p, m in zip(predicted, measured):
+        if m == 0:
+            raise ValueError("measured value of zero makes percentage error undefined")
+        errors.append(abs(p - m) / abs(m))
+    return 100.0 * mean(errors)
+
+
+@dataclass
+class RunningStat:
+    """Streaming mean/variance/min/max accumulator (Welford's algorithm)."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    min_value: float = field(default=math.inf)
+    max_value: float = field(default=-math.inf)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations seen so far (0.0 if none)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Return a new accumulator combining ``self`` and ``other``."""
+        if self.count == 0:
+            return RunningStat(
+                other.count, other._mean, other._m2, other.min_value, other.max_value
+            )
+        if other.count == 0:
+            return RunningStat(
+                self.count, self._mean, self._m2, self.min_value, self.max_value
+            )
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        merged_mean = self._mean + delta * other.count / total
+        merged_m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        return RunningStat(
+            total,
+            merged_mean,
+            merged_m2,
+            min(self.min_value, other.min_value),
+            max(self.max_value, other.max_value),
+        )

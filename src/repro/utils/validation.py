@@ -1,0 +1,29 @@
+"""Argument validation helpers shared by the public API.
+
+Raising early with a precise message is preferred over letting a bad
+parameter propagate into the planner where the failure mode would be an
+opaque scheduling error.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value

@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite.
+
+Tests use deliberately tiny model configurations so that profiling and
+planning stay fast; the Table-1 configurations are exercised by dedicated
+tests and by the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.device import DeviceSpec
+from repro.costmodel.cost_model import CostModel
+from repro.data.flan import SyntheticFlanDataset
+from repro.data.truncation import truncate_samples
+from repro.model.config import ModelArch, ModelConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_gpt_config() -> ModelConfig:
+    """A small decoder-only model used throughout the tests."""
+    return ModelConfig(
+        name="gpt-tiny",
+        arch=ModelArch.GPT,
+        num_layers=8,
+        hidden_size=512,
+        num_heads=8,
+        kv_channels=64,
+        ffn_hidden_size=2048,
+        vocab_size=32000,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_t5_config() -> ModelConfig:
+    """A small encoder-decoder model used throughout the tests."""
+    return ModelConfig(
+        name="t5-tiny",
+        arch=ModelArch.T5,
+        num_layers=4,
+        hidden_size=512,
+        num_heads=8,
+        kv_channels=64,
+        ffn_hidden_size=2048,
+        vocab_size=32000,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_device() -> DeviceSpec:
+    """A device with a small memory capacity so memory limits bind in tests."""
+    return DeviceSpec(
+        name="test-gpu-8GB",
+        peak_flops=100e12,
+        memory_bandwidth=1e12,
+        memory_capacity=8 * 1024**3,
+    )
+
+
+@pytest.fixture(scope="session")
+def gpt_cost_model(tiny_gpt_config, small_device) -> CostModel:
+    """Cost model of the tiny GPT on a 4-stage pipeline."""
+    return CostModel(
+        tiny_gpt_config,
+        num_stages=4,
+        device_spec=small_device,
+        max_profile_batch_size=32,
+        max_profile_seq_len=2048,
+    )
+
+
+@pytest.fixture(scope="session")
+def t5_cost_model(tiny_t5_config, small_device) -> CostModel:
+    """Cost model of the tiny T5 on a 4-stage pipeline."""
+    return CostModel(
+        tiny_t5_config,
+        num_stages=4,
+        device_spec=small_device,
+        max_profile_batch_size=32,
+        max_profile_seq_len=2048,
+    )
+
+
+@pytest.fixture(scope="session")
+def flan_samples():
+    """A small synthetic multi-task sample set truncated to 1024 tokens."""
+    dataset = SyntheticFlanDataset(num_samples=600, seed=7)
+    return truncate_samples(dataset.samples, 1024, decoder_only=False)
+
+
+@pytest.fixture(scope="session")
+def flan_samples_gpt():
+    """The same sample set truncated for decoder-only (concatenated) use."""
+    dataset = SyntheticFlanDataset(num_samples=600, seed=7)
+    return truncate_samples(dataset.samples, 1024, decoder_only=True)

@@ -1,0 +1,97 @@
+"""Tests for repro.batching.base (MicroBatch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batching.base import BatchingResult, MicroBatch
+from repro.data.tasks import Sample
+
+
+class TestMicroBatchConstruction:
+    def test_from_samples_one_row_each(self):
+        mb = MicroBatch.from_samples([Sample(10, 2), Sample(20, 4)])
+        assert mb.batch_size == 2
+        assert mb.num_samples == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatch.from_samples([])
+        with pytest.raises(ValueError):
+            MicroBatch(rows=[[]])
+
+
+class TestShapes:
+    def test_encoder_decoder_shape(self):
+        mb = MicroBatch.from_samples([Sample(10, 2), Sample(20, 8)], decoder_only=False)
+        shape = mb.shape()
+        assert shape.batch_size == 2
+        assert shape.enc_seq_len == 20
+        assert shape.dec_seq_len == 8
+
+    def test_decoder_only_shape_concatenates(self):
+        mb = MicroBatch.from_samples([Sample(10, 2), Sample(20, 8)], decoder_only=True)
+        shape = mb.shape()
+        assert shape.enc_seq_len == 28
+        assert shape.dec_seq_len == 0
+
+    def test_pad_override(self):
+        mb = MicroBatch(
+            rows=[[Sample(10, 2)]], decoder_only=False, pad_enc_to=128, pad_dec_to=16
+        )
+        assert mb.enc_seq_len == 128
+        assert mb.dec_seq_len == 16
+
+    def test_pad_override_too_small_rejected(self):
+        mb = MicroBatch(rows=[[Sample(100, 2)]], pad_enc_to=50)
+        with pytest.raises(ValueError):
+            _ = mb.enc_seq_len
+
+    def test_packed_row_lengths_summed(self):
+        # Two samples packed into one row: the row length is the sum.
+        mb = MicroBatch(rows=[[Sample(10, 2), Sample(30, 4)]], decoder_only=False)
+        assert mb.enc_seq_len == 40
+        assert mb.dec_seq_len == 6
+        assert mb.batch_size == 1
+        assert mb.num_samples == 2
+
+
+class TestTokenAccounting:
+    def test_actual_tokens(self):
+        mb = MicroBatch.from_samples([Sample(10, 2), Sample(20, 8)])
+        assert mb.actual_tokens() == 40
+
+    def test_padded_tokens_encoder_decoder(self):
+        mb = MicroBatch.from_samples([Sample(10, 2), Sample(20, 8)], decoder_only=False)
+        assert mb.padded_tokens() == 2 * (20 + 8)
+
+    def test_padding_efficiency_perfect_when_uniform(self):
+        mb = MicroBatch.from_samples([Sample(16, 4), Sample(16, 4)], decoder_only=False)
+        assert mb.padding_efficiency() == pytest.approx(1.0)
+
+    def test_padding_efficiency_decreases_with_mismatch(self):
+        uniform = MicroBatch.from_samples([Sample(16, 4), Sample(16, 4)])
+        skewed = MicroBatch.from_samples([Sample(16, 4), Sample(160, 40)])
+        assert skewed.padding_efficiency() < uniform.padding_efficiency()
+
+    def test_enc_dec_token_split(self):
+        mb = MicroBatch.from_samples([Sample(10, 2), Sample(20, 8)], decoder_only=False)
+        assert mb.actual_enc_tokens() == 30
+        assert mb.actual_dec_tokens() == 10
+
+    def test_decoder_only_all_tokens_count_as_encoder(self):
+        mb = MicroBatch.from_samples([Sample(10, 2)], decoder_only=True)
+        assert mb.actual_enc_tokens() == 12
+        assert mb.actual_dec_tokens() == 0
+
+
+class TestBatchingResult:
+    def test_totals(self):
+        result = BatchingResult(
+            micro_batches=[
+                MicroBatch.from_samples([Sample(10, 0)]),
+                MicroBatch.from_samples([Sample(30, 0)]),
+            ]
+        )
+        assert result.total_actual_tokens() == 40
+        assert result.total_padded_tokens() == 40

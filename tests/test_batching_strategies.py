@@ -1,0 +1,209 @@
+"""Tests for the baseline batching strategies (padding, packing, token-based,
+fixed-size) and the padding metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batching.fixed_size import FixedSizeBatching
+from repro.batching.metrics import padding_stats
+from repro.batching.packing import PackingBatching
+from repro.batching.padding import NaivePaddingBatching
+from repro.batching.token_based import TokenBasedBatching, sort_by_length
+from repro.data.tasks import Sample
+
+
+def mixed_samples() -> list[Sample]:
+    """A small mixture of short and long samples (both dimensions)."""
+    return [
+        Sample(20, 4, "short"),
+        Sample(35, 6, "short"),
+        Sample(900, 60, "summ"),
+        Sample(50, 8, "qa"),
+        Sample(400, 30, "summ"),
+        Sample(25, 4, "short"),
+        Sample(1000, 70, "summ"),
+        Sample(60, 10, "qa"),
+    ]
+
+
+def samples_strategy():
+    return st.lists(
+        st.builds(
+            Sample,
+            input_tokens=st.integers(min_value=1, max_value=2048),
+            target_tokens=st.integers(min_value=0, max_value=512),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+
+class TestNaivePadding:
+    def test_every_sample_in_exactly_one_microbatch(self):
+        result = NaivePaddingBatching(micro_batch_size=3).split(mixed_samples())
+        assert sum(mb.num_samples for mb in result.micro_batches) == len(mixed_samples())
+
+    def test_all_microbatches_padded_to_global_max(self):
+        result = NaivePaddingBatching(micro_batch_size=3).split(mixed_samples())
+        max_input = max(s.input_tokens for s in mixed_samples())
+        assert all(mb.enc_seq_len == max_input for mb in result.micro_batches)
+
+    def test_extreme_padding_waste_on_mixed_lengths(self):
+        """Naive padding on FLAN-like mixtures wastes most tokens (paper §2.1)."""
+        result = NaivePaddingBatching(micro_batch_size=4).split(mixed_samples())
+        stats = padding_stats(result.micro_batches)
+        assert stats.overall_efficiency < 0.5
+
+    def test_micro_batch_size_respected(self):
+        result = NaivePaddingBatching(micro_batch_size=3).split(mixed_samples())
+        assert all(mb.batch_size <= 3 for mb in result.micro_batches)
+
+    def test_empty_input(self):
+        assert NaivePaddingBatching(4).split([]).micro_batches == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            NaivePaddingBatching(0)
+
+
+class TestPacking:
+    def test_rows_fit_within_budget(self):
+        packer = PackingBatching(max_seq_len=1024, micro_batch_size=4)
+        rows, dropped = packer.pack_rows(mixed_samples())
+        assert not dropped
+        for row in rows:
+            assert sum(s.input_tokens for s in row) <= 1024
+
+    def test_packing_reduces_rows_vs_samples(self):
+        packer = PackingBatching(max_seq_len=1024, micro_batch_size=4)
+        rows, _ = packer.pack_rows(mixed_samples())
+        assert len(rows) < len(mixed_samples())
+
+    def test_oversized_sample_dropped(self):
+        packer = PackingBatching(max_seq_len=128, micro_batch_size=4)
+        rows, dropped = packer.pack_rows([Sample(1000, 1), Sample(50, 1)])
+        assert len(dropped) == 1
+        assert dropped[0].input_tokens == 1000
+
+    def test_padding_efficiency_better_than_naive(self):
+        samples = mixed_samples() * 4
+        packing = PackingBatching(max_seq_len=1024, micro_batch_size=4).split(samples)
+        naive = NaivePaddingBatching(micro_batch_size=4).split(samples)
+        assert (
+            padding_stats(packing.micro_batches).overall_efficiency
+            > padding_stats(naive.micro_batches).overall_efficiency
+        )
+
+    def test_all_rows_padded_to_max_seq_len(self):
+        result = PackingBatching(max_seq_len=1024, micro_batch_size=2).split(mixed_samples())
+        assert all(mb.enc_seq_len == 1024 for mb in result.micro_batches)
+
+    def test_decoder_only_packs_concatenated_length(self):
+        packer = PackingBatching(max_seq_len=100, micro_batch_size=2, decoder_only=True)
+        rows, dropped = packer.pack_rows([Sample(60, 30), Sample(50, 40), Sample(5, 4)])
+        assert not dropped
+        for row in rows:
+            assert sum(s.total_tokens for s in row) <= 100
+
+    def test_t5_target_budget_respected(self):
+        packer = PackingBatching(max_seq_len=1024, micro_batch_size=2, max_target_len=64)
+        rows, _ = packer.pack_rows(mixed_samples())
+        for row in rows:
+            assert sum(s.target_tokens for s in row) <= 64
+
+    @given(samples=samples_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_packing_conserves_samples(self, samples):
+        packer = PackingBatching(max_seq_len=2048, micro_batch_size=4, max_target_len=512)
+        rows, dropped = packer.pack_rows(samples)
+        packed = [s for row in rows for s in row]
+        assert sorted(packed + dropped) == sorted(samples)
+
+
+class TestTokenBased:
+    def test_budget_respected(self):
+        strategy = TokenBasedBatching(tokens_per_micro_batch=2048)
+        result = strategy.split(mixed_samples())
+        for mb in result.micro_batches:
+            if mb.batch_size > 1:
+                assert mb.padded_tokens() <= 2048
+
+    def test_single_long_sample_gets_own_microbatch(self):
+        strategy = TokenBasedBatching(tokens_per_micro_batch=256)
+        result = strategy.split(mixed_samples())
+        # The 1000-token sample cannot share a 256-token budget; it must appear alone.
+        singles = [mb for mb in result.micro_batches if mb.batch_size == 1]
+        assert any(mb.samples()[0].input_tokens == 1000 for mb in singles)
+
+    def test_all_samples_preserved(self):
+        result = TokenBasedBatching(2048).split(mixed_samples())
+        assert sorted(s for mb in result.micro_batches for s in mb.samples()) == sorted(
+            mixed_samples()
+        )
+
+    def test_sorted_ordering_groups_similar_lengths(self):
+        result = TokenBasedBatching(4096, ordering=sort_by_length).split(mixed_samples())
+        stats_sorted = padding_stats(result.micro_batches)
+        unsorted = TokenBasedBatching(4096, ordering=list).split(mixed_samples())
+        stats_unsorted = padding_stats(unsorted.micro_batches)
+        assert stats_sorted.overall_efficiency >= stats_unsorted.overall_efficiency
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            TokenBasedBatching(0)
+
+
+class TestFixedSize:
+    def test_chunk_sizes(self):
+        result = FixedSizeBatching(micro_batch_size=3).split(mixed_samples())
+        sizes = [mb.batch_size for mb in result.micro_batches]
+        assert sizes == [3, 3, 2]
+
+    def test_keeps_sampling_order_by_default(self):
+        result = FixedSizeBatching(micro_batch_size=3).split(mixed_samples())
+        flattened = [s for mb in result.micro_batches for s in mb.samples()]
+        assert flattened == mixed_samples()
+
+    def test_with_sorting(self):
+        result = FixedSizeBatching(micro_batch_size=3, ordering=sort_by_length).split(
+            mixed_samples()
+        )
+        flattened = [s for mb in result.micro_batches for s in mb.samples()]
+        assert flattened == sort_by_length(mixed_samples())
+
+    def test_empty(self):
+        assert FixedSizeBatching(2).split([]).micro_batches == []
+
+
+class TestPaddingStats:
+    def test_empty(self):
+        stats = padding_stats([])
+        assert stats.actual_tokens == 0
+        assert stats.overall_efficiency == 0.0
+
+    def test_decoder_only_has_no_decoder_efficiency(self):
+        from repro.batching.base import MicroBatch
+
+        mb = MicroBatch.from_samples([Sample(10, 5)], decoder_only=True)
+        assert padding_stats([mb]).decoder_efficiency is None
+
+    def test_encoder_decoder_efficiencies_separate(self):
+        from repro.batching.base import MicroBatch
+
+        mb = MicroBatch.from_samples([Sample(100, 10), Sample(100, 50)], decoder_only=False)
+        stats = padding_stats([mb])
+        assert stats.encoder_efficiency == pytest.approx(1.0)
+        assert stats.decoder_efficiency == pytest.approx(60 / 100)
+
+    @given(samples=samples_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_efficiency_bounded(self, samples):
+        from repro.batching.base import MicroBatch
+
+        mb = MicroBatch.from_samples(samples, decoder_only=False)
+        stats = padding_stats([mb])
+        assert 0.0 < stats.overall_efficiency <= 1.0
+        assert stats.actual_tokens <= stats.padded_tokens

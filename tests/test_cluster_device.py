@@ -1,0 +1,91 @@
+"""Tests for repro.cluster.device."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.device import A100_40GB, DeviceSpec, SimulatedGPU
+
+
+class TestDeviceSpec:
+    def test_a100_constants(self):
+        assert A100_40GB.peak_flops == pytest.approx(312e12)
+        assert A100_40GB.memory_capacity == 40 * 1024**3
+
+    def test_achievable_rates_below_peak(self):
+        assert A100_40GB.achievable_flops < A100_40GB.peak_flops
+        assert A100_40GB.achievable_bandwidth < A100_40GB.memory_bandwidth
+
+    def test_with_memory_capacity(self):
+        smaller = A100_40GB.with_memory_capacity(10 * 1024**3)
+        assert smaller.memory_capacity == 10 * 1024**3
+        assert smaller.peak_flops == A100_40GB.peak_flops
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", peak_flops=0, memory_bandwidth=1, memory_capacity=1)
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", peak_flops=1, memory_bandwidth=-1, memory_capacity=1)
+
+
+class TestSimulatedGPU:
+    def test_compute_bound_kernel(self):
+        gpu = SimulatedGPU(A100_40GB)
+        # Very high arithmetic intensity -> time dominated by FLOPs.
+        flops = A100_40GB.achievable_flops  # one second of compute
+        time_ms = gpu.kernel_time_ms(flops, bytes_moved=1.0)
+        assert time_ms == pytest.approx(1000.0, rel=1e-3)
+
+    def test_memory_bound_kernel(self):
+        gpu = SimulatedGPU(A100_40GB)
+        nbytes = A100_40GB.achievable_bandwidth  # one second of traffic
+        time_ms = gpu.kernel_time_ms(flops=1.0, bytes_moved=nbytes)
+        assert time_ms == pytest.approx(1000.0, rel=1e-3)
+
+    def test_kernel_overhead_added(self):
+        gpu = SimulatedGPU(A100_40GB)
+        base = gpu.kernel_time_ms(0.0, 0.0, kernels=1)
+        assert base == pytest.approx(A100_40GB.kernel_overhead_ms)
+        assert gpu.kernel_time_ms(0.0, 0.0, kernels=5) == pytest.approx(5 * base)
+
+    def test_noise_free_is_deterministic(self):
+        gpu = SimulatedGPU(A100_40GB, noise_std=0.0)
+        a = gpu.kernel_time_ms(1e12, 1e9)
+        b = gpu.kernel_time_ms(1e12, 1e9)
+        assert a == b
+
+    def test_noise_changes_time_but_stays_positive(self):
+        gpu = SimulatedGPU(A100_40GB, noise_std=0.5, seed=0)
+        times = [gpu.kernel_time_ms(1e12, 1e9) for _ in range(50)]
+        assert len(set(times)) > 1
+        assert all(t > 0 for t in times)
+
+    def test_noise_reproducible_with_seed(self):
+        a = SimulatedGPU(A100_40GB, noise_std=0.2, seed=11)
+        b = SimulatedGPU(A100_40GB, noise_std=0.2, seed=11)
+        assert [a.kernel_time_ms(1e12, 1e9) for _ in range(5)] == [
+            b.kernel_time_ms(1e12, 1e9) for _ in range(5)
+        ]
+
+    def test_negative_inputs_rejected(self):
+        gpu = SimulatedGPU(A100_40GB)
+        with pytest.raises(ValueError):
+            gpu.kernel_time_ms(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            gpu.kernel_time_ms(0.0, -1.0)
+        with pytest.raises(ValueError):
+            gpu.kernel_time_ms(0.0, 0.0, kernels=0)
+
+    @given(
+        flops=st.floats(min_value=0, max_value=1e18),
+        nbytes=st.floats(min_value=0, max_value=1e15),
+    )
+    def test_time_monotone_in_work(self, flops, nbytes):
+        gpu = SimulatedGPU(A100_40GB)
+        base = gpu.kernel_time_ms(flops, nbytes)
+        more_flops = gpu.kernel_time_ms(flops * 2, nbytes)
+        more_bytes = gpu.kernel_time_ms(flops, nbytes * 2)
+        assert more_flops >= base
+        assert more_bytes >= base

@@ -1,0 +1,97 @@
+"""Tests for repro.cluster.topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology, DeviceCoordinate
+
+
+class TestConstruction:
+    def test_explicit_construction(self):
+        topo = ClusterTopology(num_nodes=4, gpus_per_node=8)
+        assert topo.num_gpus == 32
+
+    def test_for_num_gpus_sub_node(self):
+        topo = ClusterTopology.for_num_gpus(4)
+        assert topo.num_nodes == 1
+        assert topo.gpus_per_node == 4
+
+    def test_for_num_gpus_multi_node(self):
+        topo = ClusterTopology.for_num_gpus(32)
+        assert topo.num_nodes == 4
+        assert topo.gpus_per_node == 8
+
+    def test_for_num_gpus_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            ClusterTopology.for_num_gpus(12)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0, 8)
+        with pytest.raises(ValueError):
+            ClusterTopology(1, 0)
+        with pytest.raises(ValueError):
+            ClusterTopology.for_num_gpus(0)
+
+
+class TestIndexing:
+    def test_global_index_roundtrip(self):
+        topo = ClusterTopology(num_nodes=2, gpus_per_node=4)
+        for device in topo.devices():
+            index = topo.global_index(device)
+            assert topo.device_of_global_index(index) == device
+
+    def test_devices_count(self):
+        topo = ClusterTopology(num_nodes=2, gpus_per_node=4)
+        assert len(list(topo.devices())) == 8
+
+    def test_global_index_out_of_range(self):
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=4)
+        with pytest.raises(ValueError):
+            topo.device_of_global_index(4)
+
+    def test_same_node(self):
+        topo = ClusterTopology(num_nodes=2, gpus_per_node=8)
+        assert topo.same_node(0, 7)
+        assert not topo.same_node(7, 8)
+
+
+class TestCoordinateMapping:
+    def test_tensor_ranks_contiguous(self):
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=8)
+        indices = [
+            topo.map_coordinate(
+                DeviceCoordinate(data_rank=0, pipeline_rank=0, tensor_rank=t),
+                pipeline_parallel=2,
+                tensor_parallel=4,
+            )
+            for t in range(4)
+        ]
+        assert indices == [0, 1, 2, 3]
+
+    def test_pipeline_ranks_after_tensor(self):
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=8)
+        stage0 = topo.map_coordinate(
+            DeviceCoordinate(0, 0, 0), pipeline_parallel=2, tensor_parallel=4
+        )
+        stage1 = topo.map_coordinate(
+            DeviceCoordinate(0, 1, 0), pipeline_parallel=2, tensor_parallel=4
+        )
+        assert stage1 - stage0 == 4
+
+    def test_out_of_range_coordinate(self):
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=8)
+        with pytest.raises(ValueError):
+            topo.map_coordinate(DeviceCoordinate(0, 0, 4), pipeline_parallel=2, tensor_parallel=4)
+        with pytest.raises(ValueError):
+            topo.map_coordinate(DeviceCoordinate(4, 0, 0), pipeline_parallel=2, tensor_parallel=4)
+
+    def test_stage_adjacency_intra_node(self):
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=8)
+        assert topo.stage_adjacent_same_node(pipeline_parallel=2, tensor_parallel=4)
+
+    def test_stage_adjacency_inter_node(self):
+        topo = ClusterTopology(num_nodes=4, gpus_per_node=8)
+        # tp=8 fills a node, so adjacent pipeline stages live on different nodes.
+        assert not topo.stage_adjacent_same_node(pipeline_parallel=4, tensor_parallel=8)

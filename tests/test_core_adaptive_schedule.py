@@ -1,0 +1,129 @@
+"""Tests for the memory-aware adaptive scheduler wrapper (paper §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive_schedule import AdaptiveScheduler, ScheduleKind, build_schedule
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import MicroBatchShape
+from repro.schedule.events import OpType
+from repro.schedule.validation import validate_schedule
+from repro.simulator.engine import simulate_schedule
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return [
+        MicroBatchShape(batch_size=4, enc_seq_len=128),
+        MicroBatchShape(batch_size=2, enc_seq_len=512),
+        MicroBatchShape(batch_size=1, enc_seq_len=1024),
+        MicroBatchShape(batch_size=8, enc_seq_len=64),
+        MicroBatchShape(batch_size=2, enc_seq_len=256),
+        MicroBatchShape(batch_size=1, enc_seq_len=896),
+    ]
+
+
+class TestInputs:
+    def test_activation_matrix_shape(self, gpt_cost_model, shapes):
+        scheduler = AdaptiveScheduler(gpt_cost_model)
+        matrix = scheduler.activation_matrix(shapes, RecomputeMode.NONE)
+        assert len(matrix) == len(shapes)
+        assert all(len(row) == gpt_cost_model.num_stages for row in matrix)
+        assert all(value > 0 for row in matrix for value in row)
+
+    def test_duration_map_complete(self, gpt_cost_model, shapes):
+        scheduler = AdaptiveScheduler(gpt_cost_model)
+        durations = scheduler.duration_map(shapes, RecomputeMode.NONE)
+        assert len(durations) == 2 * len(shapes) * gpt_cost_model.num_stages
+        assert all(value > 0 for value in durations.values())
+
+    def test_memory_limits_match_budget(self, gpt_cost_model):
+        scheduler = AdaptiveScheduler(gpt_cost_model, device_memory_bytes=6 * 1024**3)
+        limits = scheduler.memory_limits()
+        for stage, limit in enumerate(limits):
+            assert limit == pytest.approx(
+                gpt_cost_model.activation_budget_bytes(stage, 6 * 1024**3)
+            )
+
+
+class TestBuild:
+    @pytest.mark.parametrize("kind", list(ScheduleKind))
+    def test_all_kinds_produce_valid_schedules(self, gpt_cost_model, shapes, kind):
+        result = build_schedule(gpt_cost_model, shapes, kind=kind)
+        validate_schedule(result.schedule)
+        assert result.schedule.num_microbatches == len(shapes)
+
+    def test_1f1b_has_no_memory_limits(self, gpt_cost_model, shapes):
+        result = build_schedule(gpt_cost_model, shapes, kind=ScheduleKind.ONE_F_ONE_B)
+        assert result.memory_limits is None
+        assert result.schedule.name == "1f1b"
+
+    def test_memory_aware_records_limits(self, gpt_cost_model, shapes):
+        result = build_schedule(gpt_cost_model, shapes, kind=ScheduleKind.MEMORY_AWARE_ADAPTIVE)
+        assert result.memory_limits is not None
+        assert len(result.memory_limits) == gpt_cost_model.num_stages
+
+    def test_injection_order_honoured(self, gpt_cost_model, shapes):
+        order = [3, 0, 5, 1, 4, 2]
+        result = build_schedule(
+            gpt_cost_model, shapes, kind=ScheduleKind.ADAPTIVE, injection_order=order
+        )
+        assert result.schedule.injection_order() == order
+
+    def test_empty_shapes_rejected(self, gpt_cost_model):
+        with pytest.raises(ValueError):
+            build_schedule(gpt_cost_model, [])
+
+    def test_memory_aware_peak_below_1f1b_when_memory_tight(self, gpt_cost_model):
+        """With a small device the memory-aware schedule's simulated peak
+        activation memory stays within budget and below the unrestricted
+        adaptive schedule's peak (Fig. 11c vs 11b)."""
+        shapes = [MicroBatchShape(batch_size=8, enc_seq_len=512)] * 8
+        scheduler = AdaptiveScheduler(gpt_cost_model)
+        budget = scheduler.memory_limits()
+
+        unrestricted = scheduler.build(shapes, kind=ScheduleKind.ADAPTIVE)
+        aware = scheduler.build(shapes, kind=ScheduleKind.MEMORY_AWARE_ADAPTIVE)
+
+        sim_unrestricted = simulate_schedule(
+            unrestricted.schedule, unrestricted.durations,
+            activation_bytes=unrestricted.activation_bytes,
+        )
+        sim_aware = simulate_schedule(
+            aware.schedule, aware.durations, activation_bytes=aware.activation_bytes
+        )
+        assert max(sim_aware.peak_activation_bytes) <= max(
+            sim_unrestricted.peak_activation_bytes
+        )
+        for stage, peak in enumerate(sim_aware.peak_activation_bytes):
+            assert peak <= budget[stage] * (1 + 1e-9)
+
+    def test_recompute_mode_shrinks_activations(self, gpt_cost_model, shapes):
+        scheduler = AdaptiveScheduler(gpt_cost_model)
+        none_matrix = scheduler.activation_matrix(shapes, RecomputeMode.NONE)
+        full_matrix = scheduler.activation_matrix(shapes, RecomputeMode.FULL)
+        assert all(
+            full < none
+            for none_row, full_row in zip(none_matrix, full_matrix)
+            for none, full in zip(none_row, full_row)
+        )
+
+    def test_adaptive_injects_before_1f1b(self, gpt_cost_model, shapes):
+        """The unrestricted adaptive schedule runs more forwards before the
+        first backward on the first stage than 1F1B does (its safety-stock
+        advantage comes from early injection)."""
+        adaptive = build_schedule(gpt_cost_model, shapes * 2, kind=ScheduleKind.ADAPTIVE)
+        one_f = build_schedule(gpt_cost_model, shapes * 2, kind=ScheduleKind.ONE_F_ONE_B)
+
+        def forwards_before_first_backward(schedule):
+            count = 0
+            for op in schedule.stage(0).ops:
+                if op.op_type is OpType.BACKWARD:
+                    break
+                count += 1
+            return count
+
+        assert forwards_before_first_backward(adaptive.schedule) >= forwards_before_first_backward(
+            one_f.schedule
+        )

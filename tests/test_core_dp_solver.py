@@ -1,0 +1,198 @@
+"""Tests for the dynamic-programming micro-batch partitioner (paper §4)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp_solver import PartitionError, solve_partition
+
+
+def window_time_from_lengths(lengths, cost_per_token: float = 1.0):
+    """Window time model: padded tokens of the window (batch * max length)."""
+
+    def time_fn(start: int, end: int) -> float:
+        window = lengths[start:end]
+        return cost_per_token * len(window) * max(window)
+
+    return time_fn
+
+
+def brute_force_best(lengths, num_stages, sum_weight=1.0):
+    """Exhaustive search over all contiguous partitions (small N only)."""
+    n = len(lengths)
+    time_fn = window_time_from_lengths(lengths)
+    best = None
+    for split_mask in itertools.product([0, 1], repeat=n - 1):
+        boundaries = [0] + [i + 1 for i, bit in enumerate(split_mask) if bit] + [n]
+        times = [time_fn(a, b) for a, b in zip(boundaries, boundaries[1:])]
+        objective = (num_stages - 1) * max(times) + sum_weight * sum(times)
+        if best is None or objective < best:
+            best = objective
+    return best
+
+
+class TestBasicPartitioning:
+    def test_uniform_lengths_grouped_together(self):
+        """With identical samples and a per-micro-batch launch overhead, the
+        optimum groups several samples per micro-batch rather than one each
+        (fewer micro-batches amortise the overhead)."""
+        lengths = [100] * 16
+
+        def time_with_overhead(start: int, end: int) -> float:
+            return 50.0 + window_time_from_lengths(lengths)(start, end)
+
+        solution = solve_partition(16, num_stages=4, time_fn=time_with_overhead)
+        assert solution.num_microbatches < 16
+
+    def test_single_sample(self):
+        solution = solve_partition(1, 4, time_fn=window_time_from_lengths([100]))
+        assert solution.boundaries == [(0, 1)]
+        assert solution.num_microbatches == 1
+
+    def test_boundaries_cover_all_samples_contiguously(self):
+        lengths = [10, 20, 500, 30, 40, 600, 50]
+        solution = solve_partition(
+            len(lengths), 3, time_fn=window_time_from_lengths(lengths)
+        )
+        expected_start = 0
+        for start, end in solution.boundaries:
+            assert start == expected_start
+            assert end > start
+            expected_start = end
+        assert expected_start == len(lengths)
+
+    def test_times_match_time_fn(self):
+        lengths = [10, 20, 500, 30]
+        time_fn = window_time_from_lengths(lengths)
+        solution = solve_partition(4, 3, time_fn=time_fn)
+        for (start, end), recorded in zip(solution.boundaries, solution.times):
+            assert recorded == pytest.approx(time_fn(start, end))
+
+    def test_objective_consistent_with_partition(self):
+        lengths = [10, 20, 500, 30, 40]
+        solution = solve_partition(5, 4, time_fn=window_time_from_lengths(lengths))
+        expected = 3 * solution.max_time + solution.total_time
+        assert solution.objective == pytest.approx(expected)
+
+    def test_metadata_populated(self):
+        solution = solve_partition(6, 2, time_fn=window_time_from_lengths([10] * 6))
+        assert solution.candidates_evaluated >= 1
+        assert solution.cost_evaluations > 0
+        assert solution.tmax_used >= solution.max_time - 1e-9
+
+
+class TestOptimality:
+    @pytest.mark.parametrize(
+        "lengths",
+        [
+            [100, 100, 100, 100],
+            [10, 20, 1000, 30],
+            [500, 20, 20, 20, 500],
+            [64, 64, 256, 256, 1024, 16],
+            [1, 1, 1, 1000, 1, 1, 1],
+        ],
+    )
+    @pytest.mark.parametrize("num_stages", [1, 2, 4])
+    def test_matches_brute_force(self, lengths, num_stages):
+        """With enough t_max candidates the DP matches exhaustive search."""
+        solution = solve_partition(
+            len(lengths),
+            num_stages,
+            time_fn=window_time_from_lengths(lengths),
+            tmax_sample_count=256,
+        )
+        assert solution.objective == pytest.approx(
+            brute_force_best(lengths, num_stages), rel=1e-6
+        )
+
+    def test_sum_weight_changes_optimum(self):
+        """A small Σ-weight (many data-parallel replicas) favours more, smaller
+        micro-batches because the max-term dominates."""
+        lengths = [100] * 12
+        heavy_sum = solve_partition(
+            12, 8, time_fn=window_time_from_lengths(lengths), sum_weight=1.0
+        )
+        light_sum = solve_partition(
+            12, 8, time_fn=window_time_from_lengths(lengths), sum_weight=1.0 / 8
+        )
+        assert light_sum.num_microbatches >= heavy_sum.num_microbatches
+
+    def test_more_stages_prefer_smaller_max(self):
+        """With more stages the (c-1)*max term grows, so the largest
+        micro-batch shrinks (or stays the same)."""
+        lengths = [50, 60, 70, 80, 500, 90, 100, 110]
+        few = solve_partition(8, 2, time_fn=window_time_from_lengths(lengths))
+        many = solve_partition(8, 16, time_fn=window_time_from_lengths(lengths))
+        assert many.max_time <= few.max_time + 1e-9
+
+
+class TestConstraints:
+    def test_memory_limit_respected(self):
+        lengths = [100] * 10
+
+        def feasible(start: int, end: int) -> bool:
+            return (end - start) <= 3  # at most 3 samples per micro-batch
+
+        solution = solve_partition(
+            10, 2, time_fn=window_time_from_lengths(lengths), feasible_fn=feasible
+        )
+        assert all(end - start <= 3 for start, end in solution.boundaries)
+
+    def test_max_microbatch_size_respected(self):
+        lengths = [10] * 20
+        solution = solve_partition(
+            20, 1, time_fn=window_time_from_lengths(lengths), max_microbatch_size=4
+        )
+        assert all(end - start <= 4 for start, end in solution.boundaries)
+
+    def test_infeasible_singleton_raises(self):
+        with pytest.raises(PartitionError):
+            solve_partition(
+                3,
+                2,
+                time_fn=window_time_from_lengths([10, 10, 10]),
+                feasible_fn=lambda start, end: False,
+            )
+
+    def test_invalid_arguments(self):
+        time_fn = window_time_from_lengths([1])
+        with pytest.raises(ValueError):
+            solve_partition(0, 1, time_fn=time_fn)
+        with pytest.raises(ValueError):
+            solve_partition(1, 0, time_fn=time_fn)
+        with pytest.raises(ValueError):
+            solve_partition(1, 1, time_fn=time_fn, sum_weight=0.0)
+        with pytest.raises(ValueError):
+            solve_partition(1, 1, time_fn=time_fn, max_microbatch_size=0)
+
+
+class TestProperties:
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=2048), min_size=1, max_size=24),
+        num_stages=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_always_valid(self, lengths, num_stages):
+        """Property: the DP always returns a contiguous cover of the samples
+        whose objective is at least as good as the two trivial partitions
+        (all singletons; one big micro-batch)."""
+        time_fn = window_time_from_lengths(lengths)
+        solution = solve_partition(
+            len(lengths), num_stages, time_fn=time_fn, tmax_sample_count=64
+        )
+        # Contiguous cover.
+        assert solution.boundaries[0][0] == 0
+        assert solution.boundaries[-1][1] == len(lengths)
+        for (a, b), (c, d) in zip(solution.boundaries, solution.boundaries[1:]):
+            assert b == c
+        # No worse than the trivial partitions.
+        singleton_times = [time_fn(i, i + 1) for i in range(len(lengths))]
+        singleton_obj = (num_stages - 1) * max(singleton_times) + sum(singleton_times)
+        whole_time = time_fn(0, len(lengths))
+        whole_obj = (num_stages - 1) * whole_time + whole_time
+        assert solution.objective <= singleton_obj + 1e-6
+        assert solution.objective <= whole_obj + 1e-6

@@ -1,0 +1,143 @@
+"""Tests for DynaPipe's dynamic micro-batch construction front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batching.metrics import padding_stats
+from repro.batching.packing import PackingBatching
+from repro.batching.token_based import TokenBasedBatching
+from repro.core.microbatch import DynamicMicroBatcher
+from repro.core.ordering import OrderingMethod
+from repro.data.tasks import Sample
+from repro.model.memory import RecomputeMode
+
+
+@pytest.fixture(scope="module")
+def gpt_batcher(gpt_cost_model):
+    return DynamicMicroBatcher(gpt_cost_model, tmax_sample_count=12)
+
+
+class TestSplit:
+    def test_all_samples_preserved(self, gpt_batcher, flan_samples_gpt):
+        samples = flan_samples_gpt[:80]
+        result = gpt_batcher.split(samples)
+        produced = sorted(s for mb in result.micro_batches for s in mb.samples())
+        assert produced == sorted(samples)
+
+    def test_empty_input(self, gpt_batcher):
+        assert gpt_batcher.split([]).micro_batches == []
+
+    def test_solution_metadata_recorded(self, gpt_batcher, flan_samples_gpt):
+        gpt_batcher.split(flan_samples_gpt[:40])
+        assert gpt_batcher.last_solution is not None
+        assert gpt_batcher.last_solution.num_microbatches >= 1
+        assert gpt_batcher.last_solution.cost_evaluations > 0
+
+    def test_microbatches_ordered_by_length(self, gpt_cost_model, flan_samples_gpt):
+        """With sorted ordering, consecutive micro-batches have non-decreasing
+        padded sequence lengths."""
+        batcher = DynamicMicroBatcher(gpt_cost_model, ordering=OrderingMethod.SORT)
+        result = batcher.split(flan_samples_gpt[:60])
+        lengths = [mb.enc_seq_len for mb in result.micro_batches]
+        assert lengths == sorted(lengths)
+
+    def test_decoder_only_flag_follows_model(self, gpt_batcher, t5_cost_model):
+        assert gpt_batcher.decoder_only is True
+        t5_batcher = DynamicMicroBatcher(t5_cost_model)
+        assert t5_batcher.decoder_only is False
+
+    def test_t5_split_works(self, t5_cost_model, flan_samples):
+        batcher = DynamicMicroBatcher(t5_cost_model, tmax_sample_count=10)
+        result = batcher.split(flan_samples[:60])
+        assert result.micro_batches
+        produced = sorted(s for mb in result.micro_batches for s in mb.samples())
+        assert produced == sorted(flan_samples[:60])
+
+
+class TestQuality:
+    def test_padding_and_modelled_time_vs_packing(self, gpt_cost_model, flan_samples_gpt):
+        """DynaPipe's padding efficiency is in the same ballpark as packing
+        while its modelled time per real token is lower, because packing pays
+        quadratic attention over the full packed length (paper Fig. 4)."""
+        samples = flan_samples_gpt[:120]
+        dp = DynamicMicroBatcher(gpt_cost_model, tmax_sample_count=12).split(samples)
+        packing = PackingBatching(max_seq_len=1024, micro_batch_size=4, decoder_only=True).split(
+            samples
+        )
+        dp_stats = padding_stats(dp.micro_batches)
+        packing_stats = padding_stats(packing.micro_batches)
+        assert dp_stats.overall_efficiency >= packing_stats.overall_efficiency - 0.15
+        assert dp_stats.overall_efficiency > 0.75
+
+        dp_time = gpt_cost_model.iteration_time_ms([mb.shape() for mb in dp.micro_batches])
+        packing_time = gpt_cost_model.iteration_time_ms(
+            [mb.shape() for mb in packing.micro_batches]
+        )
+        dp_time_per_token = dp_time / dp_stats.actual_tokens
+        packing_time_per_token = packing_time / packing_stats.actual_tokens
+        assert dp_time_per_token < packing_time_per_token
+
+    def test_modelled_iteration_time_beats_token_based(self, gpt_cost_model, flan_samples_gpt):
+        """The DP objective value (Eq. 1) should not be worse than what the
+        token-based heuristic achieves on the same cost model (Fig. 16a)."""
+        samples = flan_samples_gpt[:100]
+        dp = DynamicMicroBatcher(gpt_cost_model, tmax_sample_count=16)
+        dp_result = dp.split(samples)
+        dp_time = gpt_cost_model.iteration_time_ms([mb.shape() for mb in dp_result.micro_batches])
+
+        best_tb_time = float("inf")
+        for budget in (2048, 4096, 8192, 16384, 32768):
+            tb = TokenBasedBatching(budget, decoder_only=True).split(samples)
+            tb_time = gpt_cost_model.iteration_time_ms([mb.shape() for mb in tb.micro_batches])
+            best_tb_time = min(best_tb_time, tb_time)
+        assert dp_time <= best_tb_time * 1.05
+
+    def test_memory_limit_restricts_microbatch_size(self, gpt_cost_model, flan_samples_gpt):
+        samples = flan_samples_gpt[:60]
+        tight = DynamicMicroBatcher(
+            gpt_cost_model,
+            per_microbatch_memory_bytes=gpt_cost_model.min_activation_budget_bytes() / 16,
+        )
+        loose = DynamicMicroBatcher(
+            gpt_cost_model,
+            per_microbatch_memory_bytes=gpt_cost_model.min_activation_budget_bytes(),
+        )
+        tight_result = tight.split(samples)
+        loose_result = loose.split(samples)
+        assert len(tight_result.micro_batches) >= len(loose_result.micro_batches)
+        for mb in tight_result.micro_batches:
+            activation = gpt_cost_model.microbatch_activation_bytes(mb.shape())
+            assert activation <= tight.per_microbatch_memory_bytes * (1 + 1e-9)
+
+    def test_recompute_mode_changes_feasibility(self, gpt_cost_model, flan_samples_gpt):
+        """A memory limit too tight for NONE-mode partitioning can still be
+        satisfiable under FULL recomputation, which stores far fewer
+        activations — the mechanism behind dynamic recomputation (§7)."""
+        from repro.core.dp_solver import PartitionError
+        from repro.model.transformer import MicroBatchShape
+
+        samples = flan_samples_gpt[:60]
+        largest = max(samples, key=lambda s: s.total_tokens)
+        single_shape = MicroBatchShape(batch_size=1, enc_seq_len=largest.total_tokens)
+        none_need = gpt_cost_model.microbatch_activation_bytes(single_shape, RecomputeMode.NONE)
+        full_need = gpt_cost_model.microbatch_activation_bytes(single_shape, RecomputeMode.FULL)
+        assert full_need < none_need
+        limit = (full_need + none_need) / 2.0
+
+        with pytest.raises(PartitionError):
+            DynamicMicroBatcher(
+                gpt_cost_model, per_microbatch_memory_bytes=limit, recompute=RecomputeMode.NONE
+            ).split(samples)
+        full_mode = DynamicMicroBatcher(
+            gpt_cost_model, per_microbatch_memory_bytes=limit, recompute=RecomputeMode.FULL
+        ).split(samples)
+        assert full_mode.micro_batches
+
+    def test_sum_weight_for_data_parallelism(self, gpt_cost_model, flan_samples_gpt):
+        """With many replicas (small Σ weight) the partition never has fewer
+        micro-batches than the single-replica partition."""
+        samples = flan_samples_gpt[:80]
+        single = DynamicMicroBatcher(gpt_cost_model, sum_weight=1.0).split(samples)
+        many = DynamicMicroBatcher(gpt_cost_model, sum_weight=1.0 / 8).split(samples)
+        assert len(many.micro_batches) >= len(single.micro_batches)

@@ -1,0 +1,108 @@
+"""Tests for repro.core.ordering (sample ordering before DP partitioning)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ordering import OrderingMethod, order_samples, path_length
+from repro.data.tasks import Sample
+
+
+def mixed() -> list[Sample]:
+    return [
+        Sample(900, 60),
+        Sample(20, 4),
+        Sample(400, 30),
+        Sample(25, 4),
+        Sample(1000, 70),
+        Sample(50, 8),
+        Sample(35, 6),
+        Sample(60, 10),
+    ]
+
+
+class TestSortOrdering:
+    def test_sorted_by_input_then_target(self):
+        ordered = order_samples(mixed(), OrderingMethod.SORT)
+        keys = [(s.input_tokens, s.target_tokens) for s in ordered]
+        assert keys == sorted(keys)
+
+    def test_decoder_only_sorts_by_total(self):
+        samples = [Sample(10, 100), Sample(50, 5), Sample(30, 10)]
+        ordered = order_samples(samples, OrderingMethod.SORT, decoder_only=True)
+        totals = [s.total_tokens for s in ordered]
+        assert totals == sorted(totals)
+
+    def test_is_permutation(self):
+        ordered = order_samples(mixed(), OrderingMethod.SORT)
+        assert sorted(ordered) == sorted(mixed())
+
+    def test_none_keeps_order(self):
+        assert order_samples(mixed(), OrderingMethod.NONE) == mixed()
+
+    def test_accepts_string_method(self):
+        assert order_samples(mixed(), "sort") == order_samples(mixed(), OrderingMethod.SORT)
+
+    def test_short_lists_returned_unchanged(self):
+        one = [Sample(5, 1)]
+        assert order_samples(one, OrderingMethod.SORT) == one
+
+
+class TestTspOrdering:
+    def test_is_permutation(self):
+        ordered = order_samples(mixed(), OrderingMethod.TSP)
+        assert sorted(ordered) == sorted(mixed())
+
+    def test_tsp_not_longer_than_random_order(self):
+        """The TSP heuristic's path should be no longer than the raw
+        (sampling) order's path."""
+        samples = mixed() * 3
+        tsp = order_samples(samples, OrderingMethod.TSP)
+        assert path_length(tsp) <= path_length(samples)
+
+    def test_tsp_comparable_to_sort(self):
+        """The paper's ablation finds sorting and TSP ordering comparable; the
+        heuristic path should be within 2x of the sort path."""
+        samples = mixed() * 4
+        tsp_len = path_length(order_samples(samples, OrderingMethod.TSP))
+        sort_len = path_length(order_samples(samples, OrderingMethod.SORT))
+        assert tsp_len <= 2.0 * max(sort_len, 1.0)
+
+    def test_deterministic(self):
+        assert order_samples(mixed(), OrderingMethod.TSP, seed=0) == order_samples(
+            mixed(), OrderingMethod.TSP, seed=0
+        )
+
+    @given(
+        samples=st.lists(
+            st.builds(
+                Sample,
+                input_tokens=st.integers(1, 4000),
+                target_tokens=st.integers(0, 500),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        method=st.sampled_from(list(OrderingMethod)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_method_returns_permutation(self, samples, method):
+        ordered = order_samples(samples, method)
+        assert sorted(ordered) == sorted(samples)
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length([]) == 0.0
+        assert path_length([Sample(10, 2)]) == 0.0
+
+    def test_known_value(self):
+        samples = [Sample(10, 5), Sample(20, 10), Sample(15, 5)]
+        # |20-10| + |10-5| + |15-20| + |5-10| = 10 + 5 + 5 + 5 = 25
+        assert path_length(samples) == pytest.approx(25.0)
+
+    def test_decoder_only_uses_total(self):
+        samples = [Sample(10, 5), Sample(20, 10)]
+        assert path_length(samples, decoder_only=True) == pytest.approx(15.0)

@@ -1,0 +1,82 @@
+"""Tests for dynamic recomputation selection (paper §7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive_schedule import AdaptiveScheduler, ScheduleKind
+from repro.core.recomputation import OutOfMemoryError, select_recompute_mode
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import MicroBatchShape
+
+
+def small_shapes():
+    return [MicroBatchShape(batch_size=2, enc_seq_len=128)] * 4
+
+
+def large_shapes():
+    return [MicroBatchShape(batch_size=16, enc_seq_len=1024)] * 8
+
+
+class TestSelection:
+    def test_abundant_memory_selects_none(self, gpt_cost_model):
+        """With plenty of memory the cheapest mode (no recomputation) wins."""
+        scheduler = AdaptiveScheduler(gpt_cost_model, device_memory_bytes=400 * 1024**3)
+        decision = select_recompute_mode(scheduler, small_shapes())
+        assert decision.mode is RecomputeMode.NONE
+        assert not decision.rejected
+
+    def test_memory_pressure_selects_heavier_mode(self, gpt_cost_model):
+        """When the iteration cannot fit without checkpointing, a heavier
+        recomputation mode is selected instead of failing."""
+        static = max(
+            gpt_cost_model.stage_static_bytes(j) for j in range(gpt_cost_model.num_stages)
+        )
+        shapes = large_shapes()
+        full_activation = max(
+            gpt_cost_model.microbatch_activation_bytes(s, RecomputeMode.FULL) for s in shapes
+        )
+        none_activation = max(
+            gpt_cost_model.microbatch_activation_bytes(s, RecomputeMode.NONE) for s in shapes
+        )
+        # Enough room for one FULL-mode activation but not one NONE-mode activation.
+        device_memory = static + (full_activation + none_activation) / 2
+        scheduler = AdaptiveScheduler(gpt_cost_model, device_memory_bytes=device_memory)
+        decision = select_recompute_mode(scheduler, shapes)
+        assert decision.mode in (RecomputeMode.SELECTIVE, RecomputeMode.FULL)
+        assert RecomputeMode.NONE in decision.rejected
+
+    def test_impossible_memory_raises(self, gpt_cost_model):
+        static = max(
+            gpt_cost_model.stage_static_bytes(j) for j in range(gpt_cost_model.num_stages)
+        )
+        scheduler = AdaptiveScheduler(gpt_cost_model, device_memory_bytes=static * 1.0001)
+        with pytest.raises(OutOfMemoryError):
+            select_recompute_mode(scheduler, large_shapes())
+
+    def test_peak_memory_within_budget(self, gpt_cost_model):
+        scheduler = AdaptiveScheduler(gpt_cost_model)
+        decision = select_recompute_mode(scheduler, large_shapes())
+        assert all(
+            peak <= scheduler.device_memory_bytes * (1 + 1e-9)
+            for peak in decision.peak_memory_bytes
+        )
+
+    def test_decision_contains_simulation(self, gpt_cost_model):
+        scheduler = AdaptiveScheduler(gpt_cost_model)
+        decision = select_recompute_mode(scheduler, small_shapes())
+        assert decision.simulation.makespan_ms > 0
+        assert decision.build.schedule.num_microbatches == len(small_shapes())
+
+    def test_respects_injection_order(self, gpt_cost_model):
+        scheduler = AdaptiveScheduler(gpt_cost_model, device_memory_bytes=400 * 1024**3)
+        order = [3, 2, 1, 0]
+        decision = select_recompute_mode(
+            scheduler, small_shapes(), kind=ScheduleKind.ADAPTIVE, injection_order=order
+        )
+        assert decision.build.schedule.injection_order() == order
+
+    def test_1f1b_kind_supported(self, gpt_cost_model):
+        scheduler = AdaptiveScheduler(gpt_cost_model, device_memory_bytes=400 * 1024**3)
+        decision = select_recompute_mode(scheduler, small_shapes(), kind=ScheduleKind.ONE_F_ONE_B)
+        assert decision.build.schedule.name == "1f1b"

@@ -1,0 +1,100 @@
+"""Tests for the Karmarkar–Karp replica balancing (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replica_balance import karmarkar_karp_partition
+
+
+class TestBasics:
+    def test_single_part_gets_everything(self):
+        result = karmarkar_karp_partition([3.0, 1.0, 2.0], 1)
+        assert result.groups == [[0, 1, 2]]
+        assert result.sums == [6.0]
+
+    def test_empty_values(self):
+        result = karmarkar_karp_partition([], 4)
+        assert result.groups == [[], [], [], []]
+        assert result.sums == [0.0] * 4
+
+    def test_every_item_assigned_exactly_once(self):
+        values = [5.0, 3.0, 8.0, 1.0, 7.0, 2.0]
+        result = karmarkar_karp_partition(values, 3)
+        assigned = sorted(i for group in result.groups for i in group)
+        assert assigned == list(range(len(values)))
+
+    def test_sums_match_groups(self):
+        values = [5.0, 3.0, 8.0, 1.0, 7.0, 2.0]
+        result = karmarkar_karp_partition(values, 2)
+        for group, total in zip(result.groups, result.sums):
+            assert total == pytest.approx(sum(values[i] for i in group))
+
+    def test_perfectly_splittable(self):
+        result = karmarkar_karp_partition([4.0, 4.0, 4.0, 4.0], 2)
+        assert result.sums == [8.0, 8.0]
+        assert result.imbalance == 0.0
+
+    def test_classic_example(self):
+        """KK on {8,7,6,5,4} with 2 parts yields the textbook difference of 2
+        (the differencing method is a heuristic; the true optimum is 0)."""
+        result = karmarkar_karp_partition([8.0, 7.0, 6.0, 5.0, 4.0], 2)
+        assert result.imbalance == pytest.approx(2.0)
+        assert result.makespan == pytest.approx(16.0)
+
+    def test_more_parts_than_items(self):
+        result = karmarkar_karp_partition([3.0, 5.0], 4)
+        assert sorted(map(len, result.groups)) == [0, 0, 1, 1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            karmarkar_karp_partition([1.0], 0)
+        with pytest.raises(ValueError):
+            karmarkar_karp_partition([-1.0], 2)
+
+    def test_groups_sorted_by_descending_load(self):
+        result = karmarkar_karp_partition([9.0, 1.0, 1.0], 2)
+        assert result.sums == sorted(result.sums, reverse=True)
+        assert result.makespan == max(result.sums)
+
+
+class TestQuality:
+    def test_better_than_worst_case(self):
+        """KK's makespan is no worse than putting everything on one replica."""
+        values = [10.0, 2.0, 7.0, 3.0, 9.0, 1.0, 4.0]
+        result = karmarkar_karp_partition(values, 3)
+        assert result.makespan < sum(values)
+
+    def test_close_to_lower_bound_on_uniform_values(self):
+        values = [1.0] * 64
+        result = karmarkar_karp_partition(values, 4)
+        assert result.makespan == pytest.approx(16.0)
+
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=0, max_size=40),
+        parts=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_partition_invariants(self, values, parts):
+        """Property: the partition covers every index once, preserves total
+        load, and its makespan is between the trivial lower and upper bounds."""
+        result = karmarkar_karp_partition(values, parts)
+        assigned = sorted(i for group in result.groups for i in group)
+        assert assigned == list(range(len(values)))
+        assert sum(result.sums) == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+        if values:
+            lower = max(max(values), sum(values) / parts)
+            assert result.makespan >= lower - 1e-6
+            assert result.makespan <= sum(values) + 1e-6
+
+    @given(
+        values=st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=8, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_way_split_not_worse_than_greedy_lpt_worst_case(self, values):
+        """KK's 2-way imbalance never exceeds the largest item (a well-known
+        guarantee of the differencing method)."""
+        result = karmarkar_karp_partition(values, 2)
+        assert result.imbalance <= max(values) + 1e-6

@@ -1,0 +1,104 @@
+"""Tests for repro.costmodel.interpolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.interpolation import GridInterpolator
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GridInterpolator([[1, 2]], np.zeros((3,)))
+
+    def test_non_monotone_axis_rejected(self):
+        with pytest.raises(ValueError):
+            GridInterpolator([[2, 1]], np.zeros((2,)))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            GridInterpolator([], np.zeros(()))
+
+    def test_wrong_coordinate_count(self):
+        interp = GridInterpolator([[0, 1], [0, 1]], np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            interp(0.5)
+
+
+class Test1D:
+    def test_exact_grid_points(self):
+        interp = GridInterpolator([[1, 2, 4]], np.array([10.0, 20.0, 40.0]))
+        assert interp(1) == 10.0
+        assert interp(2) == 20.0
+        assert interp(4) == 40.0
+
+    def test_midpoint(self):
+        interp = GridInterpolator([[0, 10]], np.array([0.0, 100.0]))
+        assert interp(5) == pytest.approx(50.0)
+
+    def test_extrapolation_above(self):
+        interp = GridInterpolator([[0, 10]], np.array([0.0, 100.0]))
+        assert interp(20) == pytest.approx(200.0)
+
+    def test_extrapolation_below(self):
+        interp = GridInterpolator([[10, 20]], np.array([100.0, 200.0]))
+        assert interp(0) == pytest.approx(0.0)
+
+    def test_single_point_axis(self):
+        interp = GridInterpolator([[5]], np.array([42.0]))
+        assert interp(3) == 42.0
+        assert interp(100) == 42.0
+
+
+class Test2D:
+    def test_bilinear_center(self):
+        interp = GridInterpolator(
+            [[0, 1], [0, 1]], np.array([[0.0, 1.0], [1.0, 2.0]])
+        )
+        assert interp(0.5, 0.5) == pytest.approx(1.0)
+
+    def test_corner_values(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        interp = GridInterpolator([[0, 1], [0, 1]], values)
+        assert interp(0, 0) == 1.0
+        assert interp(1, 1) == 4.0
+
+    def test_linear_function_reproduced_exactly(self):
+        """Multi-linear interpolation is exact for linear functions."""
+        xs, ys = [1, 3, 7], [2, 5, 11]
+        values = np.array([[2 * x + 3 * y for y in ys] for x in xs], dtype=float)
+        interp = GridInterpolator([xs, ys], values)
+        assert interp(4.5, 6.2) == pytest.approx(2 * 4.5 + 3 * 6.2)
+
+    def test_max_value(self):
+        values = np.array([[1.0, 9.0], [3.0, 4.0]])
+        interp = GridInterpolator([[0, 1], [0, 1]], values)
+        assert interp.max_value() == 9.0
+
+
+class Test3D:
+    def test_trilinear_linear_function(self):
+        xs, ys, zs = [1, 2], [4, 8], [16, 32]
+        values = np.array(
+            [[[x + 2 * y + 4 * z for z in zs] for y in ys] for x in xs], dtype=float
+        )
+        interp = GridInterpolator([xs, ys, zs], values)
+        assert interp(1.5, 6.0, 24.0) == pytest.approx(1.5 + 12.0 + 96.0)
+
+    @given(
+        x=st.floats(min_value=1, max_value=2),
+        y=st.floats(min_value=4, max_value=8),
+        z=st.floats(min_value=16, max_value=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interpolation_bounded_by_grid_values(self, x, y, z):
+        """Within the grid, interpolated values never leave the value range."""
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 100.0, size=(2, 2, 2))
+        interp = GridInterpolator([[1, 2], [4, 8], [16, 32]], values)
+        result = interp(x, y, z)
+        assert values.min() - 1e-9 <= result <= values.max() + 1e-9

@@ -1,0 +1,88 @@
+"""Tests for repro.data.flan (synthetic FLANv2-like mixture)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.flan import FLAN_TASK_SPECS, SyntheticFlanDataset
+
+
+class TestTaskMixture:
+    def test_mixture_covers_short_and_long_tasks(self):
+        means = [spec.mean_input_tokens for spec in FLAN_TASK_SPECS]
+        assert min(means) < 60  # classification-style tasks
+        assert max(means) > 2000  # long-document tasks
+
+    def test_summarization_task_matches_paper_statistics(self):
+        cnn = next(s for s in FLAN_TASK_SPECS if "cnn_dailymail" in s.name)
+        assert cnn.mean_input_tokens == pytest.approx(977.7)
+
+    def test_mnli_matches_paper_statistics(self):
+        mnli = next(s for s in FLAN_TASK_SPECS if "mnli" in s.name)
+        assert mnli.mean_input_tokens == pytest.approx(51.6)
+
+
+class TestSyntheticFlanDataset:
+    def test_len_and_iteration(self):
+        dataset = SyntheticFlanDataset(num_samples=500, seed=0)
+        assert len(dataset) == 500
+        assert len(list(dataset)) == 500
+        assert dataset[0].input_tokens >= 1
+
+    def test_reproducible_with_seed(self):
+        a = SyntheticFlanDataset(num_samples=200, seed=42)
+        b = SyntheticFlanDataset(num_samples=200, seed=42)
+        assert a.samples == b.samples
+
+    def test_different_seeds_differ(self):
+        a = SyntheticFlanDataset(num_samples=200, seed=1)
+        b = SyntheticFlanDataset(num_samples=200, seed=2)
+        assert a.samples != b.samples
+
+    def test_heavy_tailed_length_distribution(self):
+        """Like FLANv2 (Fig. 1b): the p99 input length is far above the median."""
+        dataset = SyntheticFlanDataset(num_samples=5000, seed=0)
+        stats = dataset.input_length_statistics()
+        assert stats["p99"] > 10 * stats["p50"]
+        assert stats["max"] > stats["p95"]
+
+    def test_task_histogram_covers_most_tasks(self):
+        dataset = SyntheticFlanDataset(num_samples=5000, seed=0)
+        histogram = dataset.task_histogram()
+        assert len(histogram) >= len(FLAN_TASK_SPECS) - 1
+        assert sum(histogram.values()) == 5000
+
+    def test_short_tasks_more_frequent_than_long(self):
+        dataset = SyntheticFlanDataset(num_samples=5000, seed=0)
+        histogram = dataset.task_histogram()
+        short = histogram.get("mnli_entailment", 0) + histogram.get("cola_grammaticality", 0)
+        long = histogram.get("scientific_summarization", 0) + histogram.get("long_document_qa", 0)
+        assert short > long
+
+    def test_total_tokens_positive(self):
+        dataset = SyntheticFlanDataset(num_samples=100, seed=0)
+        assert dataset.total_tokens() == sum(s.total_tokens for s in dataset)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SyntheticFlanDataset(num_samples=0)
+        with pytest.raises(ValueError):
+            SyntheticFlanDataset(num_samples=10, task_specs=[])
+
+    def test_custom_task_specs(self):
+        from repro.data.tasks import TaskSpec
+
+        dataset = SyntheticFlanDataset(
+            num_samples=50, task_specs=[TaskSpec("only", 100.0, 10.0)], seed=0
+        )
+        assert set(dataset.task_histogram()) == {"only"}
+
+    def test_mean_input_length_within_mixture_range(self):
+        dataset = SyntheticFlanDataset(num_samples=5000, seed=3)
+        stats = dataset.input_length_statistics()
+        weighted_mean = np.average(
+            [s.mean_input_tokens for s in FLAN_TASK_SPECS],
+            weights=[s.weight for s in FLAN_TASK_SPECS],
+        )
+        assert stats["mean"] == pytest.approx(weighted_mean, rel=0.25)

@@ -1,0 +1,69 @@
+"""Tests for repro.data.sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.sampler import MiniBatchSampler
+from repro.data.tasks import Sample
+
+
+def make_samples(count: int, tokens: int = 100) -> list[Sample]:
+    return [Sample(input_tokens=tokens, target_tokens=0, task=f"t{i}") for i in range(count)]
+
+
+class TestMiniBatchSampler:
+    def test_token_budget_respected(self):
+        sampler = MiniBatchSampler(make_samples(100), global_batch_tokens=1000, seed=0)
+        batches = list(sampler.epoch(0))
+        # Every batch except possibly the last reaches the budget.
+        for batch in batches[:-1]:
+            assert batch.total_tokens() >= 1000
+
+    def test_epoch_covers_all_samples_exactly_once(self):
+        samples = make_samples(57)
+        sampler = MiniBatchSampler(samples, global_batch_tokens=1000, seed=0)
+        seen = [s for batch in sampler.epoch(0) for s in batch.samples]
+        assert sorted(seen) == sorted(samples)
+
+    def test_drop_last(self):
+        samples = make_samples(25)  # 2500 tokens -> 2 full batches + 500 leftover
+        keep = MiniBatchSampler(samples, 1000, seed=0, drop_last=False)
+        drop = MiniBatchSampler(samples, 1000, seed=0, drop_last=True)
+        assert len(list(keep.epoch(0))) == len(list(drop.epoch(0))) + 1
+
+    def test_same_seed_same_epoch(self):
+        samples = make_samples(50)
+        a = MiniBatchSampler(samples, 700, seed=5)
+        b = MiniBatchSampler(samples, 700, seed=5)
+        assert [m.samples for m in a.epoch(0)] == [m.samples for m in b.epoch(0)]
+
+    def test_different_epochs_shuffle_differently(self):
+        samples = [Sample(input_tokens=10 + i, target_tokens=0) for i in range(200)]
+        sampler = MiniBatchSampler(samples, 500, seed=5)
+        first = [m.samples for m in sampler.epoch(0)]
+        second = [m.samples for m in sampler.epoch(1)]
+        assert first != second
+
+    def test_batch_indices_sequential(self):
+        sampler = MiniBatchSampler(make_samples(40), 800, seed=0)
+        indices = [batch.index for batch in sampler.epoch(0)]
+        assert indices == list(range(len(indices)))
+
+    def test_minibatch_accessors(self):
+        samples = [Sample(100, 20), Sample(50, 10)]
+        sampler = MiniBatchSampler(samples, 10_000, seed=0)
+        batch = next(iter(sampler))
+        assert batch.max_input_tokens() == 100
+        assert batch.max_target_tokens() == 20
+        assert len(batch) == 2
+
+    def test_num_batches_estimate(self):
+        sampler = MiniBatchSampler(make_samples(100), 1000, seed=0)
+        assert sampler.num_batches_estimate() == 10
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            MiniBatchSampler([], 100)
+        with pytest.raises(ValueError):
+            MiniBatchSampler(make_samples(2), 0)

@@ -1,0 +1,90 @@
+"""Tests for repro.data.tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tasks import Sample, TaskSpec
+
+
+class TestSample:
+    def test_total_tokens(self):
+        sample = Sample(input_tokens=100, target_tokens=20, task="x")
+        assert sample.total_tokens == 120
+        assert sample.as_decoder_only_length() == 120
+
+    def test_zero_target_allowed(self):
+        assert Sample(input_tokens=5, target_tokens=0).total_tokens == 5
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            Sample(input_tokens=0, target_tokens=1)
+        with pytest.raises(ValueError):
+            Sample(input_tokens=1, target_tokens=-1)
+
+    def test_ordering_by_lengths(self):
+        short = Sample(input_tokens=10, target_tokens=1)
+        long = Sample(input_tokens=100, target_tokens=1)
+        assert short < long
+
+    def test_hashable_and_frozen(self):
+        sample = Sample(10, 5, "t")
+        assert hash(sample) == hash(Sample(10, 5, "t"))
+        with pytest.raises(AttributeError):
+            sample.input_tokens = 7  # type: ignore[misc]
+
+
+class TestTaskSpec:
+    def test_draw_respects_minimums(self):
+        spec = TaskSpec("t", mean_input_tokens=5.0, mean_target_tokens=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            sample = spec.draw(rng)
+            assert sample.input_tokens >= 1
+            assert sample.target_tokens >= 1
+
+    def test_zero_target_mean_yields_zero_targets(self):
+        spec = TaskSpec("t", mean_input_tokens=50.0, mean_target_tokens=0.0)
+        rng = np.random.default_rng(0)
+        assert all(spec.draw(rng).target_tokens == 0 for _ in range(20))
+
+    def test_empirical_mean_close_to_spec(self):
+        spec = TaskSpec("t", mean_input_tokens=200.0, mean_target_tokens=40.0, input_cv=0.5)
+        rng = np.random.default_rng(1)
+        samples = [spec.draw(rng) for _ in range(4000)]
+        mean_input = np.mean([s.input_tokens for s in samples])
+        assert mean_input == pytest.approx(200.0, rel=0.1)
+
+    def test_higher_cv_gives_heavier_tail(self):
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        narrow = TaskSpec("n", 200.0, 10.0, input_cv=0.1)
+        wide = TaskSpec("w", 200.0, 10.0, input_cv=1.5)
+        narrow_max = max(narrow.draw(rng_a).input_tokens for _ in range(2000))
+        wide_max = max(wide.draw(rng_b).input_tokens for _ in range(2000))
+        assert wide_max > narrow_max
+
+    def test_task_name_propagates(self):
+        spec = TaskSpec("my-task", 50.0, 5.0)
+        assert spec.draw(np.random.default_rng(0)).task == "my-task"
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t", mean_input_tokens=0.0, mean_target_tokens=1.0)
+        with pytest.raises(ValueError):
+            TaskSpec("t", mean_input_tokens=1.0, mean_target_tokens=-1.0)
+        with pytest.raises(ValueError):
+            TaskSpec("t", 1.0, 1.0, weight=0.0)
+
+    @given(
+        mean=st.floats(min_value=2.0, max_value=5000.0),
+        cv=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_draw_always_valid(self, mean, cv):
+        spec = TaskSpec("t", mean_input_tokens=mean, mean_target_tokens=mean / 4, input_cv=cv)
+        sample = spec.draw(np.random.default_rng(3))
+        assert sample.input_tokens >= 1
+        assert sample.target_tokens >= 0

@@ -1,0 +1,83 @@
+"""Tests for repro.data.truncation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tasks import Sample
+from repro.data.truncation import truncate_sample, truncate_samples
+
+
+class TestTruncateSample:
+    def test_no_truncation_returns_same_object(self):
+        sample = Sample(100, 20)
+        assert truncate_sample(sample, 1000) is sample
+
+    def test_input_truncated(self):
+        sample = Sample(5000, 20)
+        truncated = truncate_sample(sample, 1024)
+        assert truncated.input_tokens == 1024
+        assert truncated.target_tokens == 20
+
+    def test_target_truncated_when_limit_given(self):
+        truncated = truncate_sample(Sample(100, 500), 1024, max_target_tokens=64)
+        assert truncated.target_tokens == 64
+
+    def test_task_preserved(self):
+        truncated = truncate_sample(Sample(5000, 20, task="summ"), 100)
+        assert truncated.task == "summ"
+
+    def test_invalid_limits(self):
+        with pytest.raises(ValueError):
+            truncate_sample(Sample(10, 10), 0)
+        with pytest.raises(ValueError):
+            truncate_sample(Sample(10, 10), 10, max_target_tokens=-1)
+
+
+class TestTruncateSamples:
+    def test_encoder_decoder_independent_limits(self):
+        samples = [Sample(5000, 3000), Sample(10, 10)]
+        truncated = truncate_samples(samples, 1024, decoder_only=False)
+        assert truncated[0].input_tokens == 1024
+        assert truncated[0].target_tokens == 1024
+        assert truncated[1] == samples[1]
+
+    def test_decoder_only_concatenated_limit(self):
+        samples = [Sample(5000, 3000)]
+        truncated = truncate_samples(samples, 1024, decoder_only=True)
+        assert truncated[0].total_tokens <= 1024
+
+    def test_decoder_only_short_sample_untouched(self):
+        samples = [Sample(500, 100)]
+        assert truncate_samples(samples, 1024, decoder_only=True)[0] == samples[0]
+
+    def test_decoder_only_preserves_some_target(self):
+        """The target is not entirely squeezed out when truncating."""
+        truncated = truncate_samples([Sample(5000, 300)], 1024, decoder_only=True)[0]
+        assert truncated.target_tokens > 0
+
+    def test_invalid_max_seq_len(self):
+        with pytest.raises(ValueError):
+            truncate_samples([Sample(10, 10)], 1)
+
+    @given(
+        input_tokens=st.integers(min_value=1, max_value=100_000),
+        target_tokens=st.integers(min_value=0, max_value=50_000),
+        max_seq_len=st.integers(min_value=2, max_value=8192),
+        decoder_only=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_truncation_invariants(self, input_tokens, target_tokens, max_seq_len, decoder_only):
+        """Truncation never lengthens a sample and always meets the limit."""
+        sample = Sample(input_tokens, target_tokens)
+        truncated = truncate_samples([sample], max_seq_len, decoder_only=decoder_only)[0]
+        assert truncated.input_tokens <= sample.input_tokens
+        assert truncated.target_tokens <= sample.target_tokens
+        assert truncated.input_tokens >= 1
+        if decoder_only:
+            assert truncated.total_tokens <= max_seq_len
+        else:
+            assert truncated.input_tokens <= max_seq_len
+            assert truncated.target_tokens <= max_seq_len

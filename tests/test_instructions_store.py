@@ -1,0 +1,71 @@
+"""Tests for repro.instructions.store."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.instructions.store import InstructionStore, PlanNotReadyError
+
+
+class TestInstructionStore:
+    def test_push_and_fetch(self):
+        store = InstructionStore()
+        store.push(0, 1, {"plan": "x"})
+        assert store.fetch(0, 1) == {"plan": "x"}
+
+    def test_fetch_missing_raises(self):
+        store = InstructionStore()
+        with pytest.raises(PlanNotReadyError):
+            store.fetch(0, 0)
+
+    def test_ready(self):
+        store = InstructionStore()
+        assert not store.ready(3, 0)
+        store.push(3, 0, "plan")
+        assert store.ready(3, 0)
+
+    def test_overwrite(self):
+        store = InstructionStore()
+        store.push(0, 0, "a")
+        store.push(0, 0, "b")
+        assert store.fetch(0, 0) == "b"
+
+    def test_evict_iteration(self):
+        store = InstructionStore()
+        store.push(0, 0, "a")
+        store.push(0, 1, "b")
+        store.push(1, 0, "c")
+        assert store.evict_iteration(0) == 2
+        assert len(store) == 1
+        assert store.iterations() == [1]
+
+    def test_iterations_sorted_unique(self):
+        store = InstructionStore()
+        store.push(5, 0, "a")
+        store.push(2, 0, "b")
+        store.push(2, 1, "c")
+        assert store.iterations() == [2, 5]
+
+    def test_len_and_iter(self):
+        store = InstructionStore()
+        store.push(0, 0, "a")
+        store.push(0, 1, "b")
+        assert len(store) == 2
+        assert set(store) == {(0, 0), (0, 1)}
+
+    def test_thread_safety_under_concurrent_pushes(self):
+        """Concurrent planner threads should not lose plans."""
+        store = InstructionStore()
+
+        def worker(offset: int) -> None:
+            for i in range(200):
+                store.push(offset * 1000 + i, 0, i)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store) == 800

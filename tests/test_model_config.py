@@ -1,0 +1,85 @@
+"""Tests for repro.model.config (paper Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.config import (
+    GPT_CONFIGS,
+    PAPER_PARAM_BILLIONS,
+    T5_CONFIGS,
+    ModelArch,
+    ModelConfig,
+    get_model_config,
+)
+
+
+class TestTable1Configs:
+    @pytest.mark.parametrize("num_gpus", [4, 8, 16, 32])
+    def test_gpt_configs_exist(self, num_gpus):
+        config = get_model_config("gpt", num_gpus)
+        assert config.arch is ModelArch.GPT
+        assert not config.is_encoder_decoder
+
+    @pytest.mark.parametrize("num_gpus", [4, 8, 16, 32])
+    def test_t5_configs_exist(self, num_gpus):
+        config = get_model_config("t5", num_gpus)
+        assert config.arch is ModelArch.T5
+        assert config.is_encoder_decoder
+
+    @pytest.mark.parametrize(
+        "config", list(GPT_CONFIGS.values()) + list(T5_CONFIGS.values()), ids=lambda c: c.name
+    )
+    def test_parameter_counts_match_paper(self, config):
+        """Analytic parameter counts should be within 5% of Table 1."""
+        expected = PAPER_PARAM_BILLIONS[config.name] * 1e9
+        actual = config.parameter_count()
+        assert actual == pytest.approx(expected, rel=0.05)
+
+    def test_t5_layers_count_both_stacks(self):
+        config = get_model_config("t5", 8)
+        assert config.num_layers == 24
+        assert config.total_layer_count == 48
+
+    def test_gpt_total_layers(self):
+        config = get_model_config("gpt", 8)
+        assert config.total_layer_count == config.num_layers == 32
+
+    def test_unknown_cluster_size(self):
+        with pytest.raises(KeyError):
+            get_model_config("gpt", 64)
+
+    def test_arch_accepts_string(self):
+        assert get_model_config("t5", 4) is T5_CONFIGS[4]
+
+    def test_t5_ffn_dim_from_table(self):
+        assert T5_CONFIGS[8].ffn_hidden_size == 65536
+
+    def test_gpt29b_hidden_from_table(self):
+        assert GPT_CONFIGS[32].hidden_size == 12288
+
+
+class TestModelConfig:
+    def test_attention_projection_size(self):
+        config = ModelConfig("x", ModelArch.GPT, 2, 512, 8, 64, 2048)
+        assert config.attention_projection_size == 512
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig("x", ModelArch.GPT, 0, 512, 8, 64, 2048)
+        with pytest.raises(ValueError):
+            ModelConfig("x", ModelArch.GPT, 2, -512, 8, 64, 2048)
+
+    def test_embedding_included_in_parameter_count(self):
+        config = ModelConfig("x", ModelArch.GPT, 2, 512, 8, 64, 2048, vocab_size=1000)
+        with_embedding = config.parameter_count(include_embedding=True)
+        without = config.parameter_count(include_embedding=False)
+        assert with_embedding - without == 1000 * 512
+
+    def test_t5_decoder_layers_heavier_than_encoder(self):
+        """Decoder layers include cross-attention, so an encoder-decoder model
+        has more parameters than a decoder-only model with the same shape and
+        the same total layer count."""
+        t5 = ModelConfig("t5", ModelArch.T5, 4, 512, 8, 64, 2048)
+        gpt = ModelConfig("gpt", ModelArch.GPT, 8, 512, 8, 64, 2048)
+        assert t5.parameter_count(False) > gpt.parameter_count(False)

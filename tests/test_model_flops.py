@@ -1,0 +1,96 @@
+"""Tests for repro.model.flops."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.config import ModelArch, ModelConfig
+from repro.model.flops import (
+    LayerFlops,
+    decoder_layer_flops,
+    embedding_flops,
+    encoder_layer_flops,
+)
+
+
+@pytest.fixture(scope="module")
+def config() -> ModelConfig:
+    return ModelConfig("test", ModelArch.T5, 4, 1024, 16, 64, 4096)
+
+
+class TestLayerFlops:
+    def test_scaled(self):
+        cost = LayerFlops(100.0, 10.0, 3)
+        doubled = cost.scaled(2.0)
+        assert doubled.flops == 200.0
+        assert doubled.bytes_moved == 20.0
+        assert doubled.kernels == 3
+
+    def test_add(self):
+        total = LayerFlops(1.0, 2.0, 3) + LayerFlops(10.0, 20.0, 30)
+        assert (total.flops, total.bytes_moved, total.kernels) == (11.0, 22.0, 33)
+
+
+class TestEncoderLayerFlops:
+    def test_zero_seq_len_is_free(self, config):
+        cost = encoder_layer_flops(config, batch=4, seq_len=0)
+        assert cost.flops == 0.0
+
+    def test_linear_in_batch(self, config):
+        one = encoder_layer_flops(config, batch=1, seq_len=256)
+        four = encoder_layer_flops(config, batch=4, seq_len=256)
+        assert four.flops == pytest.approx(4 * one.flops)
+
+    def test_superlinear_in_seq_len(self, config):
+        """Doubling the sequence length more than doubles the FLOPs because of
+        the quadratic attention term (the effect behind the paper's Fig. 3)."""
+        short = encoder_layer_flops(config, batch=1, seq_len=1024)
+        long = encoder_layer_flops(config, batch=1, seq_len=2048)
+        assert long.flops > 2.0 * short.flops
+
+    def test_attention_share_grows_with_seq_len(self, config):
+        """At long sequence lengths the per-token cost keeps rising."""
+        per_token_short = encoder_layer_flops(config, 1, 512).flops / 512
+        per_token_long = encoder_layer_flops(config, 1, 8192).flops / 8192
+        assert per_token_long > per_token_short
+
+    def test_invalid_batch(self, config):
+        with pytest.raises(ValueError):
+            encoder_layer_flops(config, batch=0, seq_len=128)
+
+    @given(seq=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=25, deadline=None)
+    def test_flops_positive_and_monotone(self, seq):
+        small_config = ModelConfig("test", ModelArch.GPT, 2, 512, 8, 64, 2048)
+        shorter = encoder_layer_flops(small_config, 2, seq)
+        longer = encoder_layer_flops(small_config, 2, seq + 32)
+        assert shorter.flops > 0
+        assert longer.flops > shorter.flops
+
+
+class TestDecoderLayerFlops:
+    def test_cross_attention_adds_cost(self, config):
+        """A decoder layer with a long source sequence costs more than one
+        with a short source (cross attention scales with source length)."""
+        short_source = decoder_layer_flops(config, 2, target_len=128, source_len=64)
+        long_source = decoder_layer_flops(config, 2, target_len=128, source_len=2048)
+        assert long_source.flops > short_source.flops
+
+    def test_zero_target_is_free(self, config):
+        assert decoder_layer_flops(config, 2, 0, 512).flops == 0.0
+
+    def test_decoder_more_expensive_than_encoder_same_lengths(self, config):
+        enc = encoder_layer_flops(config, 2, 256)
+        dec = decoder_layer_flops(config, 2, 256, 256)
+        assert dec.flops > enc.flops
+
+
+class TestEmbeddingFlops:
+    def test_scales_with_vocab(self):
+        small = ModelConfig("s", ModelArch.GPT, 2, 512, 8, 64, 2048, vocab_size=1000)
+        large = ModelConfig("l", ModelArch.GPT, 2, 512, 8, 64, 2048, vocab_size=32000)
+        assert embedding_flops(large, 1, 128).flops == pytest.approx(
+            32 * embedding_flops(small, 1, 128).flops
+        )

@@ -1,0 +1,125 @@
+"""Tests for repro.model.memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.config import ModelArch, ModelConfig
+from repro.model.memory import (
+    RecomputeMode,
+    activation_bytes_per_layer,
+    activation_components,
+    optimizer_state_bytes,
+    parameter_bytes,
+    static_stage_bytes,
+    weight_gradient_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def config() -> ModelConfig:
+    return ModelConfig("test", ModelArch.GPT, 8, 1024, 16, 64, 4096)
+
+
+class TestRecomputeMode:
+    def test_backward_factors_ordered(self):
+        assert (
+            RecomputeMode.NONE.backward_flop_factor
+            < RecomputeMode.SELECTIVE.backward_flop_factor
+            < RecomputeMode.FULL.backward_flop_factor
+        )
+
+    def test_full_factor_is_three(self):
+        assert RecomputeMode.FULL.backward_flop_factor == pytest.approx(3.0)
+
+
+class TestStaticMemory:
+    def test_parameter_bytes_scale_with_layers(self, config):
+        assert parameter_bytes(config, 4) == pytest.approx(2 * parameter_bytes(config, 2))
+
+    def test_tensor_parallel_shards_parameters(self, config):
+        assert parameter_bytes(config, 4, tensor_parallel=2) == pytest.approx(
+            parameter_bytes(config, 4) / 2
+        )
+
+    def test_optimizer_state_larger_than_params(self, config):
+        """Adam fp32 state (12 B/param) dominates fp16 weights (2 B/param)."""
+        assert optimizer_state_bytes(config, 4) == pytest.approx(6 * parameter_bytes(config, 4))
+
+    def test_zero_shards_reduce_optimizer_state(self, config):
+        full = optimizer_state_bytes(config, 4)
+        sharded = optimizer_state_bytes(config, 4, zero_shards=4)
+        assert sharded == pytest.approx(full / 4)
+
+    def test_gradient_bytes_equal_parameter_bytes(self, config):
+        # Both are 2 bytes per parameter in fp16.
+        assert weight_gradient_bytes(config, 4) == pytest.approx(parameter_bytes(config, 4))
+
+    def test_static_stage_bytes_sum(self, config):
+        total = static_stage_bytes(config, 4, workspace_bytes=0.0)
+        expected = (
+            parameter_bytes(config, 4)
+            + weight_gradient_bytes(config, 4)
+            + optimizer_state_bytes(config, 4)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_invalid_inputs(self, config):
+        with pytest.raises(ValueError):
+            parameter_bytes(config, 0)
+        with pytest.raises(ValueError):
+            optimizer_state_bytes(config, 2, zero_shards=0)
+
+
+class TestActivationMemory:
+    def test_components_total_ordering(self, config):
+        components = activation_components(config, batch=2, seq_len=512)
+        none = components.total(RecomputeMode.NONE)
+        selective = components.total(RecomputeMode.SELECTIVE)
+        full = components.total(RecomputeMode.FULL)
+        assert full < selective < none
+
+    def test_full_recompute_keeps_only_boundary(self, config):
+        components = activation_components(config, batch=2, seq_len=512)
+        assert components.total(RecomputeMode.FULL) == pytest.approx(components.boundary)
+
+    def test_selective_drops_quadratic_term(self, config):
+        components = activation_components(config, batch=2, seq_len=512)
+        assert components.total(RecomputeMode.SELECTIVE) == pytest.approx(
+            components.boundary + components.attention_linear + components.ffn
+        )
+
+    def test_scores_scale_quadratically(self, config):
+        short = activation_components(config, 1, 512).attention_scores
+        long = activation_components(config, 1, 1024).attention_scores
+        assert long == pytest.approx(4 * short)
+
+    def test_boundary_scales_linearly(self, config):
+        short = activation_components(config, 1, 512).boundary
+        long = activation_components(config, 1, 1024).boundary
+        assert long == pytest.approx(2 * short)
+
+    def test_zero_seq_len(self, config):
+        assert activation_bytes_per_layer(config, 1, 0) == 0.0
+
+    def test_bool_compatibility(self, config):
+        """The boolean ``recompute`` argument maps to NONE/FULL."""
+        assert activation_bytes_per_layer(config, 2, 256, recompute=True) == pytest.approx(
+            activation_bytes_per_layer(config, 2, 256, recompute=RecomputeMode.FULL)
+        )
+        assert activation_bytes_per_layer(config, 2, 256, recompute=False) == pytest.approx(
+            activation_bytes_per_layer(config, 2, 256, recompute=RecomputeMode.NONE)
+        )
+
+    def test_tensor_parallel_shards_non_boundary(self, config):
+        full = activation_components(config, 2, 512, tensor_parallel=1)
+        sharded = activation_components(config, 2, 512, tensor_parallel=4)
+        assert sharded.boundary == pytest.approx(full.boundary)
+        assert sharded.ffn == pytest.approx(full.ffn / 4)
+        assert sharded.attention_scores == pytest.approx(full.attention_scores / 4)
+
+    def test_cross_attention_kv_len(self, config):
+        """Decoder cross-attention activation grows with the source length."""
+        short = activation_bytes_per_layer(config, 2, 128, kv_len=128)
+        long = activation_bytes_per_layer(config, 2, 128, kv_len=2048)
+        assert long > short

@@ -1,0 +1,150 @@
+"""Tests for repro.model.transformer (layer assignment and stage models)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.device import SimulatedGPU
+from repro.model.config import ModelArch, ModelConfig
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import (
+    MicroBatchShape,
+    StageModel,
+    assign_layers,
+    build_stage_models,
+)
+
+
+@pytest.fixture(scope="module")
+def gpt() -> ModelConfig:
+    return ModelConfig("gpt-test", ModelArch.GPT, 12, 768, 12, 64, 3072)
+
+
+@pytest.fixture(scope="module")
+def t5() -> ModelConfig:
+    return ModelConfig("t5-test", ModelArch.T5, 6, 768, 12, 64, 3072)
+
+
+@pytest.fixture(scope="module")
+def gpu() -> SimulatedGPU:
+    return SimulatedGPU()
+
+
+class TestAssignLayers:
+    def test_gpt_even_split(self, gpt):
+        assignments = assign_layers(gpt, 4)
+        assert [a.total_layers for a in assignments] == [3, 3, 3, 3]
+        assert all(a.encoder_layers == 0 for a in assignments)
+
+    def test_gpt_uneven_split_front_loaded(self, gpt):
+        assignments = assign_layers(gpt, 5)
+        assert [a.total_layers for a in assignments] == [3, 3, 2, 2, 2]
+
+    def test_t5_encoder_precedes_decoder(self, t5):
+        assignments = assign_layers(t5, 4)
+        # 6 encoder + 6 decoder layers over 4 stages of 3 layers each.
+        assert [a.encoder_layers for a in assignments] == [3, 3, 0, 0]
+        assert [a.decoder_layers for a in assignments] == [0, 0, 3, 3]
+
+    def test_t5_mixed_stage(self, t5):
+        assignments = assign_layers(t5, 3)
+        # 12 layers over 3 stages of 4: the middle stage straddles the boundary.
+        assert assignments[1].encoder_layers == 2
+        assert assignments[1].decoder_layers == 2
+
+    def test_last_stage_has_output_projection(self, gpt):
+        assignments = assign_layers(gpt, 4)
+        assert [a.has_output_projection for a in assignments] == [False, False, False, True]
+
+    def test_single_stage(self, gpt):
+        assignments = assign_layers(gpt, 1)
+        assert assignments[0].total_layers == gpt.num_layers
+
+    def test_too_many_stages_rejected(self, gpt):
+        with pytest.raises(ValueError):
+            assign_layers(gpt, gpt.num_layers + 1)
+
+    def test_total_layers_preserved(self, t5):
+        for stages in (1, 2, 3, 4, 6):
+            assignments = assign_layers(t5, stages)
+            assert sum(a.total_layers for a in assignments) == t5.total_layer_count
+
+
+class TestMicroBatchShape:
+    def test_total_tokens(self):
+        shape = MicroBatchShape(batch_size=4, enc_seq_len=128, dec_seq_len=32)
+        assert shape.total_tokens == 4 * 160
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            MicroBatchShape(batch_size=0, enc_seq_len=10)
+
+    def test_negative_seq_len(self):
+        with pytest.raises(ValueError):
+            MicroBatchShape(batch_size=1, enc_seq_len=-1)
+
+
+class TestStageModel:
+    def test_forward_time_positive(self, gpt, gpu):
+        stages = build_stage_models(gpt, 4)
+        shape = MicroBatchShape(batch_size=2, enc_seq_len=256)
+        assert stages[0].forward_time_ms(gpu, shape) > 0
+
+    def test_backward_slower_than_forward(self, gpt, gpu):
+        stage = build_stage_models(gpt, 4)[0]
+        shape = MicroBatchShape(batch_size=2, enc_seq_len=256)
+        assert stage.backward_time_ms(gpu, shape) > stage.forward_time_ms(gpu, shape)
+
+    def test_recompute_increases_backward_time(self, gpt, gpu):
+        stage = build_stage_models(gpt, 4)[0]
+        shape = MicroBatchShape(batch_size=2, enc_seq_len=256)
+        plain = stage.backward_time_ms(gpu, shape, RecomputeMode.NONE)
+        full = stage.backward_time_ms(gpu, shape, RecomputeMode.FULL)
+        assert full > plain
+
+    def test_recompute_decreases_activation(self, gpt):
+        stage = build_stage_models(gpt, 4)[0]
+        shape = MicroBatchShape(batch_size=2, enc_seq_len=256)
+        assert stage.activation_bytes(shape, RecomputeMode.FULL) < stage.activation_bytes(
+            shape, RecomputeMode.NONE
+        )
+
+    def test_t5_encoder_stage_ignores_decoder_length(self, t5, gpu):
+        stages = build_stage_models(t5, 4)
+        encoder_stage = stages[0]
+        a = encoder_stage.forward_time_ms(gpu, MicroBatchShape(2, 256, 32))
+        b = encoder_stage.forward_time_ms(gpu, MicroBatchShape(2, 256, 512))
+        assert a == pytest.approx(b)
+
+    def test_t5_decoder_stage_depends_on_both_lengths(self, t5, gpu):
+        stages = build_stage_models(t5, 4)
+        decoder_stage = stages[-1]
+        short = decoder_stage.forward_time_ms(gpu, MicroBatchShape(2, 128, 64))
+        long_src = decoder_stage.forward_time_ms(gpu, MicroBatchShape(2, 1024, 64))
+        long_tgt = decoder_stage.forward_time_ms(gpu, MicroBatchShape(2, 128, 512))
+        assert long_src > short
+        assert long_tgt > short
+
+    def test_tensor_parallel_reduces_compute_time(self, gpt):
+        gpu = SimulatedGPU()
+        shape = MicroBatchShape(batch_size=4, enc_seq_len=1024)
+        tp1 = build_stage_models(gpt, 4, tensor_parallel=1)[0].forward_time_ms(gpu, shape)
+        tp4 = build_stage_models(gpt, 4, tensor_parallel=4)[0].forward_time_ms(gpu, shape)
+        assert tp4 < tp1
+
+    def test_static_bytes_positive(self, gpt):
+        stage = build_stage_models(gpt, 4)[0]
+        assert stage.static_bytes() > 0
+
+    def test_output_activation_bytes_scale_with_tokens(self, gpt):
+        stage = build_stage_models(gpt, 4)[0]
+        small = stage.output_activation_bytes(MicroBatchShape(1, 128))
+        large = stage.output_activation_bytes(MicroBatchShape(2, 128))
+        assert large == pytest.approx(2 * small)
+
+    def test_gpt_stage_zero_dec_len(self, gpt, gpu):
+        """GPT shapes carry dec_seq_len=0 and still produce valid costs."""
+        stage = build_stage_models(gpt, 2)[1]
+        shape = MicroBatchShape(batch_size=2, enc_seq_len=64, dec_seq_len=0)
+        assert stage.forward_time_ms(gpu, shape) > 0
+        assert stage.activation_bytes(shape) > 0

@@ -1,0 +1,153 @@
+"""Tests for 3D parallel configuration, the data-parallel comm model and the
+grid search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.config import get_model_config
+from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
+from repro.parallel.dataparallel import gradient_allreduce_ms
+from repro.parallel.grid_search import grid_search
+
+
+class TestParallelConfig:
+    def test_num_gpus(self):
+        assert ParallelConfig(2, 2, 2).num_gpus == 8
+
+    def test_describe(self):
+        assert ParallelConfig(2, 4, 1).describe() == "dp2-pp4-tp1"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(0, 1, 1)
+
+    def test_fits_model(self, tiny_gpt_config):
+        assert ParallelConfig(1, 8, 1).fits_model(tiny_gpt_config)
+        assert not ParallelConfig(1, 16, 1).fits_model(tiny_gpt_config)
+
+    def test_ordering_and_hashing(self):
+        configs = {ParallelConfig(1, 2, 4), ParallelConfig(1, 2, 4), ParallelConfig(2, 2, 2)}
+        assert len(configs) == 2
+
+
+class TestEnumeration:
+    def test_all_products_match(self):
+        for config in enumerate_parallel_configs(8):
+            assert config.num_gpus == 8
+
+    def test_counts_for_eight_gpus(self):
+        configs = enumerate_parallel_configs(8, gpus_per_node=8)
+        # tp in {1,2,4,8}, pp divides the remainder -> 4+3+2+1 = 10 configurations.
+        assert len(configs) == 10
+
+    def test_tensor_parallel_limited_to_node(self):
+        configs = enumerate_parallel_configs(32, gpus_per_node=8)
+        assert all(config.tensor_parallel <= 8 for config in configs)
+
+    def test_model_limits_pipeline_depth(self, tiny_gpt_config):
+        configs = enumerate_parallel_configs(32, model=tiny_gpt_config)
+        assert all(config.pipeline_parallel <= tiny_gpt_config.num_layers for config in configs)
+
+    def test_max_tensor_parallel_cap(self):
+        configs = enumerate_parallel_configs(8, max_tensor_parallel=2)
+        assert all(config.tensor_parallel <= 2 for config in configs)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_parallel_configs(12)
+
+    def test_paper_cluster_sizes_enumerable(self):
+        for num_gpus in (4, 8, 16, 32):
+            assert enumerate_parallel_configs(num_gpus)
+
+
+class TestGradientAllreduce:
+    def test_zero_without_data_parallelism(self, tiny_gpt_config):
+        assert gradient_allreduce_ms(tiny_gpt_config, 1, 4) == 0.0
+
+    def test_grows_with_model_size(self, tiny_gpt_config):
+        big = get_model_config("gpt", 8)
+        assert gradient_allreduce_ms(big, 2, 4) > gradient_allreduce_ms(tiny_gpt_config, 2, 4)
+
+    def test_tensor_parallel_shrinks_volume(self, tiny_gpt_config):
+        assert gradient_allreduce_ms(tiny_gpt_config, 2, 4, tensor_parallel=4) < gradient_allreduce_ms(
+            tiny_gpt_config, 2, 4, tensor_parallel=1
+        )
+
+    def test_deeper_pipeline_shrinks_per_stage_volume(self, tiny_gpt_config):
+        assert gradient_allreduce_ms(tiny_gpt_config, 2, 8) < gradient_allreduce_ms(
+            tiny_gpt_config, 2, 2
+        )
+
+    def test_intra_node_faster(self, tiny_gpt_config):
+        assert gradient_allreduce_ms(tiny_gpt_config, 2, 4, same_node=True) < gradient_allreduce_ms(
+            tiny_gpt_config, 2, 4, same_node=False
+        )
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def samples(self, flan_samples_gpt):
+        return flan_samples_gpt[:400]
+
+    def test_dynapipe_search_finds_config(self, tiny_gpt_config, small_device, samples):
+        result = grid_search(
+            tiny_gpt_config,
+            num_gpus=4,
+            samples=samples,
+            global_batch_tokens=8192,
+            max_seq_len=1024,
+            system="dynapipe",
+            device_spec=small_device,
+            evaluation_iterations=1,
+        )
+        assert result.best_config is not None
+        assert result.best_config.num_gpus == 4
+        assert result.best_throughput > 0
+        assert result.evaluations
+
+    def test_baseline_search_returns_hyperparameters(self, tiny_gpt_config, small_device, samples):
+        result = grid_search(
+            tiny_gpt_config,
+            num_gpus=4,
+            samples=samples,
+            global_batch_tokens=8192,
+            max_seq_len=1024,
+            system="baseline",
+            device_spec=small_device,
+            evaluation_iterations=1,
+            micro_batch_sizes=(1, 4),
+        )
+        assert result.best_config is not None
+        assert "micro_batch_size" in result.best_options
+        assert "recompute" in result.best_options
+
+    def test_explicit_config_list_respected(self, tiny_gpt_config, small_device, samples):
+        from repro.parallel.config import ParallelConfig
+
+        forced = [ParallelConfig(1, 4, 1)]
+        result = grid_search(
+            tiny_gpt_config,
+            num_gpus=4,
+            samples=samples,
+            global_batch_tokens=8192,
+            max_seq_len=1024,
+            system="dynapipe",
+            device_spec=small_device,
+            evaluation_iterations=1,
+            configs=forced,
+        )
+        assert result.best_config == forced[0]
+
+    def test_unknown_system_rejected(self, tiny_gpt_config, small_device, samples):
+        with pytest.raises(ValueError):
+            grid_search(
+                tiny_gpt_config,
+                num_gpus=4,
+                samples=samples,
+                global_batch_tokens=8192,
+                max_seq_len=1024,
+                system="nonsense",
+                device_spec=small_device,
+            )

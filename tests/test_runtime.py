@@ -1,0 +1,130 @@
+"""Tests for the planner/executor runtime (planning-execution overlap)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.planner import DynaPipePlanner, PlannerConfig
+from repro.data.sampler import MiniBatchSampler
+from repro.instructions.store import InstructionStore, PlanNotReadyError
+from repro.runtime.executor_service import ExecutorService
+from repro.runtime.orchestrator import TrainingOrchestrator
+from repro.runtime.planner_pool import PlannerPool
+
+
+@pytest.fixture(scope="module")
+def planner(gpt_cost_model):
+    return DynaPipePlanner(
+        gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+    )
+
+
+@pytest.fixture(scope="module")
+def minibatches(flan_samples_gpt):
+    sampler = MiniBatchSampler(flan_samples_gpt, 8192, seed=0)
+    batches = []
+    for minibatch in sampler.epoch(0):
+        batches.append(minibatch.samples)
+        if len(batches) >= 4:
+            break
+    return batches
+
+
+class TestPlannerPool:
+    def test_plans_pushed_to_store(self, planner, minibatches):
+        store = InstructionStore()
+        pool = PlannerPool(planner=planner, minibatches=minibatches, store=store, num_workers=1)
+        pool.start()
+        try:
+            deadline = time.time() + 30
+            while len(pool.planned_iterations()) < len(minibatches) and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            pool.stop()
+        assert pool.planned_iterations() == list(range(len(minibatches)))
+        assert not pool.errors
+        assert store.ready(0, 0)
+
+    def test_lookahead_limits_planning(self, planner, minibatches):
+        store = InstructionStore()
+        pool = PlannerPool(
+            planner=planner, minibatches=minibatches, store=store, num_workers=1, lookahead=1
+        )
+        pool.start()
+        try:
+            deadline = time.time() + 30
+            while not store.ready(0, 0) and time.time() < deadline:
+                time.sleep(0.01)
+            time.sleep(0.2)
+            # Without consumption only the look-ahead window is planned.
+            assert len(pool.planned_iterations()) <= 2
+            pool.notify_consumed(0)
+            deadline = time.time() + 30
+            while not store.ready(1, 0) and time.time() < deadline:
+                time.sleep(0.01)
+            assert store.ready(1, 0)
+            # Consumed iterations are evicted from the store.
+            with pytest.raises(PlanNotReadyError):
+                store.fetch(0, 0)
+        finally:
+            pool.stop()
+
+    def test_invalid_arguments(self, planner, minibatches):
+        with pytest.raises(ValueError):
+            PlannerPool(planner=planner, minibatches=minibatches, store=InstructionStore(), num_workers=0)
+        with pytest.raises(ValueError):
+            PlannerPool(planner=planner, minibatches=minibatches, store=InstructionStore(), lookahead=0)
+
+
+class TestExecutorService:
+    def test_executes_stored_plan(self, planner, minibatches, gpt_cost_model):
+        store = InstructionStore()
+        plan = planner.plan(minibatches[0], iteration=0)
+        store.push(0, 0, plan.plans[0].to_dict())
+        service = ExecutorService(cost_model=gpt_cost_model, store=store, noise_std=0.0)
+        stats = service.run_iteration(0)
+        assert stats.simulated_ms > 0
+        assert stats.peak_memory_bytes > 0
+        assert stats.stall_s < 1.0
+
+    def test_timeout_when_plan_missing(self, gpt_cost_model):
+        service = ExecutorService(
+            cost_model=gpt_cost_model, store=InstructionStore(), fetch_timeout_s=0.05
+        )
+        with pytest.raises(PlanNotReadyError):
+            service.run_iteration(0)
+
+
+class TestOrchestrator:
+    def test_overlapped_run(self, planner, gpt_cost_model, flan_samples_gpt):
+        orchestrator = TrainingOrchestrator(
+            planner,
+            gpt_cost_model,
+            flan_samples_gpt,
+            global_batch_tokens=8192,
+            num_iterations=3,
+            planner_workers=2,
+            lookahead=3,
+            noise_std=0.02,
+            seed=0,
+        )
+        report = orchestrator.run()
+        assert report.iterations == 3
+        assert report.total_planning_s > 0
+        assert report.total_simulated_ms > 0
+        # Planning for later iterations overlaps execution of earlier ones, so
+        # the exposed stall is well below the total planning time.
+        assert report.exposed_stall_s <= report.total_planning_s
+        assert 0.0 <= report.overlap_fraction <= 1.0
+
+    def test_too_few_minibatches_rejected(self, planner, gpt_cost_model, flan_samples_gpt):
+        with pytest.raises(ValueError):
+            TrainingOrchestrator(
+                planner,
+                gpt_cost_model,
+                flan_samples_gpt[:5],
+                global_batch_tokens=8192,
+                num_iterations=100,
+            )

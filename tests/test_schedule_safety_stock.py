@@ -1,0 +1,62 @@
+"""Tests for the safety-stock analysis (paper §5)."""
+
+from __future__ import annotations
+
+from repro.schedule.cyclic import cyclic_schedule
+from repro.schedule.one_f_one_b import one_f_one_b_schedule
+from repro.schedule.safety_stock import safety_stock_profile
+from repro.simulator.engine import simulate_schedule
+
+
+def simulate(schedule, duration: float = 1.0):
+    return simulate_schedule(schedule, lambda op: duration)
+
+
+class TestSafetyStock:
+    def test_first_stage_of_1f1b_starts_with_stock(self):
+        """The first stage has all micro-batches ready up front, so its early
+        safety stock is positive."""
+        schedule = one_f_one_b_schedule(4, 8)
+        profile = safety_stock_profile(schedule, simulate(schedule).op_times)
+        assert max(profile.per_stage_samples[0]) > 0
+
+    def test_1f1b_steady_state_has_zero_stock_downstream(self):
+        """Paper §5: downstream stages of 1F1B hit zero safety stock in the
+        steady state — the reason time variation causes bubbles."""
+        schedule = one_f_one_b_schedule(4, 12)
+        profile = safety_stock_profile(schedule, simulate(schedule).op_times)
+        for stage in range(1, 4):
+            assert profile.per_stage_minimum[stage] == 0
+
+    def test_adaptive_early_injection_raises_stock(self):
+        """Injecting all micro-batches early (unlimited-memory adaptive
+        schedule) keeps a higher mean safety stock than 1F1B on the middle
+        stages."""
+        stages, microbatches = 4, 12
+        activation = [[1.0] * stages for _ in range(microbatches)]
+        adaptive = cyclic_schedule(stages, activation)
+        one_f = one_f_one_b_schedule(stages, microbatches)
+        adaptive_profile = safety_stock_profile(adaptive, simulate(adaptive).op_times)
+        one_f_profile = safety_stock_profile(one_f, simulate(one_f).op_times)
+        assert (
+            sum(adaptive_profile.per_stage_mean[1:3])
+            > sum(one_f_profile.per_stage_mean[1:3])
+        )
+
+    def test_profile_shapes(self):
+        schedule = one_f_one_b_schedule(3, 5)
+        profile = safety_stock_profile(schedule, simulate(schedule).op_times)
+        assert len(profile.per_stage_samples) == 3
+        assert len(profile.per_stage_minimum) == 3
+        assert len(profile.per_stage_mean) == 3
+        # One sample per op except the first op of each stage.
+        assert all(len(samples) == 2 * 5 - 1 for samples in profile.per_stage_samples)
+
+    def test_single_stage_has_full_stock(self):
+        """On a single-stage pipeline later ops are always ready (except at
+        the very end of the iteration when the buffer naturally drains)."""
+        schedule = one_f_one_b_schedule(1, 4)
+        profile = safety_stock_profile(schedule, simulate(schedule).op_times)
+        samples = profile.per_stage_samples[0]
+        assert max(samples) >= 2
+        assert profile.per_stage_mean[0] > 1.0

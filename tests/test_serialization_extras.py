@@ -1,0 +1,102 @@
+"""Tests for profile-database serialisation and Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.costmodel.cost_model import CostModel
+from repro.costmodel.profiler import LayerProfiler
+from repro.costmodel.serialization import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import MicroBatchShape
+from repro.simulator.chrome_trace import save_chrome_trace, trace_to_chrome_events
+from repro.simulator.engine import simulate_schedule
+from repro.schedule.one_f_one_b import one_f_one_b_schedule
+
+
+class TestProfileDatabaseSerialization:
+    @pytest.fixture(scope="class")
+    def database(self, tiny_t5_config, small_device):
+        profiler = LayerProfiler(tiny_t5_config, device_spec=small_device)
+        return profiler.build_database(max_batch_size=4, max_seq_len=256)
+
+    def test_roundtrip_preserves_queries(self, database):
+        restored = database_from_dict(database_to_dict(database))
+        for kind, profile in database.profiles.items():
+            restored_profile = restored.get(kind)
+            coords = (2, 100) if profile.dims == 2 else (2, 100, 150)
+            assert restored_profile.query_forward(*coords) == pytest.approx(
+                profile.query_forward(*coords)
+            )
+            for mode in RecomputeMode:
+                assert restored_profile.query_backward(mode, *coords) == pytest.approx(
+                    profile.query_backward(mode, *coords)
+                )
+                assert restored_profile.query_activation(mode, *coords) == pytest.approx(
+                    profile.query_activation(mode, *coords)
+                )
+
+    def test_dict_is_json_compatible(self, database):
+        payload = json.dumps(database_to_dict(database))
+        restored = database_from_dict(json.loads(payload))
+        assert set(restored.profiles) == set(database.profiles)
+
+    def test_save_and_load(self, database, tmp_path):
+        path = save_database(database, tmp_path / "profiles" / "t5.json")
+        assert path.exists()
+        restored = load_database(path)
+        assert restored.model_name == database.model_name
+        assert restored.device_name == database.device_name
+
+    def test_cost_model_from_saved_database(self, database, tiny_t5_config, small_device, tmp_path):
+        """A cost model built from a reloaded database answers the same
+        queries as one built from the in-memory database."""
+        path = save_database(database, tmp_path / "db.json")
+        original = CostModel(
+            tiny_t5_config, num_stages=2, device_spec=small_device, database=database
+        )
+        reloaded = CostModel(
+            tiny_t5_config, num_stages=2, device_spec=small_device, database=load_database(path)
+        )
+        shape = MicroBatchShape(batch_size=2, enc_seq_len=200, dec_seq_len=40)
+        assert reloaded.stage_cost(1, shape).forward_ms == pytest.approx(
+            original.stage_cost(1, shape).forward_ms
+        )
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        schedule = one_f_one_b_schedule(3, 4)
+        return simulate_schedule(schedule, lambda op: 1.5).trace
+
+    def test_events_generated(self, trace):
+        events = trace_to_chrome_events(trace)
+        duration_events = [e for e in events if e["ph"] == "X"]
+        metadata_events = [e for e in events if e["ph"] == "M"]
+        assert len(duration_events) == len(trace.events)
+        assert metadata_events  # thread names present
+
+    def test_timestamps_in_microseconds(self, trace):
+        events = [e for e in trace_to_chrome_events(trace) if e["ph"] == "X"]
+        makespan_us = max(e["ts"] + e["dur"] for e in events)
+        assert makespan_us == pytest.approx(trace.makespan_ms() * 1000.0)
+
+    def test_save_chrome_trace(self, trace, tmp_path):
+        path = save_chrome_trace(trace, tmp_path / "traces" / "pipeline.json")
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_devices_mapped_to_threads(self, trace):
+        events = [e for e in trace_to_chrome_events(trace) if e["ph"] == "X"]
+        tids = {e["tid"] for e in events}
+        # 3 devices, compute track each (no comm events in the engine trace).
+        assert tids == {0, 2, 4}

@@ -1,0 +1,201 @@
+"""Tests for the instruction-level executor (NCCL-like channel semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.planner import build_instruction_streams, build_naive_instruction_streams
+from repro.comm.shapes import TransferShapes
+from repro.instructions.ops import (
+    BackwardPass,
+    ForwardPass,
+    RecvActStart,
+    SendActStart,
+    WaitRecvAct,
+)
+from repro.model.transformer import MicroBatchShape
+from repro.schedule.cyclic import cyclic_schedule
+from repro.schedule.one_f_one_b import one_f_one_b_schedule
+from repro.simulator.engine import simulate_schedule
+from repro.simulator.executor import CommunicationDeadlockError, InstructionExecutor
+
+SHAPE = MicroBatchShape(batch_size=1, enc_seq_len=64)
+
+
+def unit_duration(instr) -> float:
+    return 1.0 if isinstance(instr, ForwardPass) else 2.0
+
+
+def make_transfer_shapes(num_microbatches: int, num_stages: int) -> TransferShapes:
+    activation = [[100.0] * num_stages for _ in range(num_microbatches)]
+    gradient = [[100.0] * num_stages for _ in range(num_microbatches)]
+    return TransferShapes(activation_bytes=activation, gradient_bytes=gradient)
+
+
+class TestBasicExecution:
+    def test_two_stage_hand_built_streams(self):
+        """A minimal hand-written two-device program executes and times out
+        the transfer correctly."""
+        streams = [
+            [
+                ForwardPass(microbatch=0, stage=0, shape=SHAPE),
+                SendActStart(microbatch=0, stage=0, peer=1, nbytes=10.0),
+            ],
+            [
+                RecvActStart(microbatch=0, stage=1, peer=0, nbytes=10.0),
+                WaitRecvAct(microbatch=0, stage=1, peer=0),
+                ForwardPass(microbatch=0, stage=1, shape=SHAPE),
+            ],
+        ]
+        executor = InstructionExecutor(
+            compute_duration_fn=unit_duration, transfer_time_fn=lambda n, s, d: 0.5
+        )
+        result = executor.run(streams)
+        # Device 1 waits for device 0's forward (1 ms) + transfer (0.5 ms).
+        assert result.makespan_ms == pytest.approx(2.5)
+        assert len(result.transfer_log) == 1
+
+    def test_memory_tracking(self):
+        streams = [
+            [
+                ForwardPass(microbatch=0, stage=0, shape=SHAPE),
+                ForwardPass(microbatch=1, stage=0, shape=SHAPE),
+                BackwardPass(microbatch=0, stage=0, shape=SHAPE),
+                BackwardPass(microbatch=1, stage=0, shape=SHAPE),
+            ]
+        ]
+        executor = InstructionExecutor(
+            compute_duration_fn=unit_duration,
+            activation_bytes_fn=lambda instr: 10.0,
+            static_bytes=[5.0],
+        )
+        result = executor.run(streams)
+        assert result.peak_memory_bytes[0] == pytest.approx(25.0)
+
+    def test_compute_busy_time(self):
+        streams = [[ForwardPass(0, 0, shape=SHAPE), BackwardPass(0, 0, shape=SHAPE)]]
+        result = InstructionExecutor(compute_duration_fn=unit_duration).run(streams)
+        assert result.device_compute_ms[0] == pytest.approx(3.0)
+        assert result.bubble_fraction == pytest.approx(0.0)
+
+
+class TestPlannedStreamsExecute:
+    @pytest.mark.parametrize("num_stages,num_microbatches", [(2, 3), (4, 6), (4, 12)])
+    def test_1f1b_planned_streams_run_to_completion(self, num_stages, num_microbatches):
+        schedule = one_f_one_b_schedule(num_stages, num_microbatches)
+        shapes = [SHAPE] * num_microbatches
+        transfer_shapes = make_transfer_shapes(num_microbatches, num_stages)
+        sim = simulate_schedule(schedule, lambda op: 1.0)
+        streams = build_instruction_streams(schedule, sim.op_times, shapes, transfer_shapes)
+        result = InstructionExecutor(compute_duration_fn=lambda i: 1.0).run(streams)
+        assert result.makespan_ms >= sim.makespan_ms - 1e-6
+        # Every adjacent stage pair exchanges 2 transfers per micro-batch.
+        assert len(result.transfer_log) == 2 * (num_stages - 1) * num_microbatches
+
+    def test_adaptive_planned_streams_run_to_completion(self):
+        num_stages, num_microbatches = 4, 10
+        activation = [[1.0] * num_stages for _ in range(num_microbatches)]
+        schedule = cyclic_schedule(num_stages, activation, memory_limits=[3.0] * num_stages)
+        shapes = [SHAPE] * num_microbatches
+        transfer_shapes = make_transfer_shapes(num_microbatches, num_stages)
+        sim = simulate_schedule(schedule, lambda op: 1.0)
+        streams = build_instruction_streams(schedule, sim.op_times, shapes, transfer_shapes)
+        result = InstructionExecutor(compute_duration_fn=lambda i: 1.0).run(streams)
+        assert result.makespan_ms > 0
+
+    def test_execution_with_noise_still_completes(self):
+        """The planned communication order must stay deadlock-free even when
+        actual execution times differ from the planning-time estimates."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        num_stages, num_microbatches = 4, 8
+        activation = [[1.0] * num_stages for _ in range(num_microbatches)]
+        schedule = cyclic_schedule(num_stages, activation)
+        shapes = [SHAPE] * num_microbatches
+        transfer_shapes = make_transfer_shapes(num_microbatches, num_stages)
+        sim = simulate_schedule(schedule, lambda op: 1.0)
+        streams = build_instruction_streams(schedule, sim.op_times, shapes, transfer_shapes)
+        noisy = InstructionExecutor(
+            compute_duration_fn=lambda i: float(rng.uniform(0.1, 3.0)),
+            transfer_time_fn=lambda n, s, d: float(rng.uniform(0.0, 0.5)),
+        )
+        result = noisy.run(streams)
+        assert result.makespan_ms > 0
+
+
+class TestDeadlockDetection:
+    def test_mismatched_orders_deadlock(self):
+        """Two devices posting transfers in opposite orders deadlock."""
+        streams = [
+            [
+                ForwardPass(0, 0, shape=SHAPE),
+                ForwardPass(1, 0, shape=SHAPE),
+                SendActStart(microbatch=0, stage=0, peer=1, nbytes=1.0),
+                SendActStart(microbatch=1, stage=0, peer=1, nbytes=1.0),
+            ],
+            [
+                RecvActStart(microbatch=1, stage=1, peer=0, nbytes=1.0),
+                WaitRecvAct(microbatch=1, stage=1, peer=0),
+                ForwardPass(1, 1, shape=SHAPE),
+                RecvActStart(microbatch=0, stage=1, peer=0, nbytes=1.0),
+                WaitRecvAct(microbatch=0, stage=1, peer=0),
+                ForwardPass(0, 1, shape=SHAPE),
+            ],
+        ]
+        with pytest.raises(CommunicationDeadlockError):
+            InstructionExecutor(compute_duration_fn=unit_duration).run(streams)
+
+    def test_missing_peer_post_deadlocks(self):
+        streams = [
+            [ForwardPass(0, 0, shape=SHAPE)],
+            [
+                RecvActStart(microbatch=0, stage=1, peer=0, nbytes=1.0),
+                WaitRecvAct(microbatch=0, stage=1, peer=0),
+                ForwardPass(0, 1, shape=SHAPE),
+            ],
+        ]
+        with pytest.raises(CommunicationDeadlockError) as excinfo:
+            InstructionExecutor(compute_duration_fn=unit_duration).run(streams)
+        assert 1 in excinfo.value.blocked_devices
+
+    def test_naive_ordering_deadlocks_on_dynamic_schedule(self):
+        """The paper's §6 motivation: naive send-after-produce /
+        receive-before-use ordering deadlocks for non-1F1B dynamic schedules
+        (here: an adaptive schedule with early injection), while the planned
+        ordering (previous tests) does not."""
+        num_stages, num_microbatches = 4, 8
+        activation = [[1.0] * num_stages for _ in range(num_microbatches)]
+        schedule = cyclic_schedule(num_stages, activation)
+        shapes = [SHAPE] * num_microbatches
+        transfer_shapes = make_transfer_shapes(num_microbatches, num_stages)
+        naive_streams = build_naive_instruction_streams(schedule, shapes, transfer_shapes)
+        with pytest.raises(CommunicationDeadlockError):
+            InstructionExecutor(compute_duration_fn=lambda i: 1.0).run(naive_streams)
+
+    def test_naive_ordering_works_without_crossings(self):
+        """With a single micro-batch there are no crossing send pairs, so
+        even the naive ordering is consistent.  (With more micro-batches
+        1F1B's crossing send pairs require the fused operators real systems
+        use, which the strict single-channel model deliberately omits; see
+        DESIGN.md "Known deviations".)"""
+        num_stages, num_microbatches = 4, 1
+        schedule = one_f_one_b_schedule(num_stages, num_microbatches)
+        shapes = [SHAPE] * num_microbatches
+        transfer_shapes = make_transfer_shapes(num_microbatches, num_stages)
+        naive_streams = build_naive_instruction_streams(schedule, shapes, transfer_shapes)
+        result = InstructionExecutor(compute_duration_fn=lambda i: 1.0).run(naive_streams)
+        assert result.makespan_ms > 0
+
+    def test_planned_ordering_fixes_deep_1f1b(self):
+        """Deeper 1F1B pipelines have crossing send pairs that real systems
+        fuse; without fusion the naive order mismatches while DynaPipe's
+        planned order executes cleanly."""
+        num_stages, num_microbatches = 4, 8
+        schedule = one_f_one_b_schedule(num_stages, num_microbatches)
+        shapes = [SHAPE] * num_microbatches
+        transfer_shapes = make_transfer_shapes(num_microbatches, num_stages)
+        sim = simulate_schedule(schedule, lambda op: 1.0)
+        planned = build_instruction_streams(schedule, sim.op_times, shapes, transfer_shapes)
+        result = InstructionExecutor(compute_duration_fn=lambda i: 1.0).run(planned)
+        assert result.makespan_ms > 0

@@ -1,0 +1,105 @@
+"""Tests for repro.simulator.memory_tracker and repro.simulator.trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.memory_tracker import MemoryAccountingError, MemoryTracker
+from repro.simulator.trace import ExecutionTrace, TraceEvent
+
+
+class TestMemoryTracker:
+    def test_peak_tracking(self):
+        tracker = MemoryTracker()
+        tracker.allocate("a", 10)
+        tracker.allocate("b", 20)
+        tracker.free("a")
+        tracker.allocate("c", 5)
+        assert tracker.peak_bytes == 30
+        assert tracker.current_bytes == 25
+
+    def test_static_bytes_included(self):
+        tracker = MemoryTracker(static_bytes=100)
+        assert tracker.current_bytes == 100
+        tracker.allocate("a", 50)
+        assert tracker.peak_bytes == 150
+
+    def test_free_returns_size(self):
+        tracker = MemoryTracker()
+        tracker.allocate("a", 42)
+        assert tracker.free("a") == 42
+
+    def test_double_allocate_rejected(self):
+        tracker = MemoryTracker()
+        tracker.allocate("a", 1)
+        with pytest.raises(MemoryAccountingError):
+            tracker.allocate("a", 1)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(MemoryAccountingError):
+            MemoryTracker().free("missing")
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker().allocate("a", -1)
+
+    def test_capacity_exceeded_flag(self):
+        tracker = MemoryTracker(capacity=100)
+        tracker.allocate("a", 60)
+        assert not tracker.exceeded_capacity
+        tracker.allocate("b", 60)
+        assert tracker.exceeded_capacity
+
+    def test_live_allocations(self):
+        tracker = MemoryTracker()
+        tracker.allocate("a", 1)
+        tracker.allocate("b", 1)
+        tracker.free("a")
+        assert tracker.live_allocations == 1
+
+
+class TestExecutionTrace:
+    def make_trace(self) -> ExecutionTrace:
+        trace = ExecutionTrace()
+        trace.add(TraceEvent(device=0, name="F0", start_ms=0, end_ms=2, microbatch=0))
+        trace.add(TraceEvent(device=0, name="B0", start_ms=4, end_ms=6, microbatch=0))
+        trace.add(TraceEvent(device=1, name="F0", start_ms=2, end_ms=4, microbatch=0))
+        trace.add(
+            TraceEvent(device=0, name="send-act-0", start_ms=2, end_ms=3, category="comm", microbatch=0)
+        )
+        return trace
+
+    def test_makespan(self):
+        assert self.make_trace().makespan_ms() == 6
+
+    def test_empty_trace(self):
+        assert ExecutionTrace().makespan_ms() == 0.0
+        assert ExecutionTrace().render_gantt() == "(empty trace)"
+
+    def test_device_events_sorted(self):
+        events = self.make_trace().device_events(0)
+        assert [e.start_ms for e in events] == sorted(e.start_ms for e in events)
+
+    def test_device_busy_by_category(self):
+        trace = self.make_trace()
+        assert trace.device_busy_ms(0, "compute") == 4
+        assert trace.device_busy_ms(0, "comm") == 1
+
+    def test_num_devices(self):
+        assert self.make_trace().num_devices() == 2
+
+    def test_to_dicts(self):
+        payload = self.make_trace().to_dicts()
+        assert len(payload) == 4
+        assert {"device", "name", "start_ms", "end_ms", "category", "microbatch"} <= set(
+            payload[0]
+        )
+
+    def test_render_gantt_has_one_row_per_device(self):
+        rendered = self.make_trace().render_gantt(width=20)
+        assert len(rendered.splitlines()) == 2
+        assert "dev 0" in rendered
+
+    def test_event_duration(self):
+        event = TraceEvent(device=0, name="x", start_ms=1.0, end_ms=3.5)
+        assert event.duration_ms == 2.5

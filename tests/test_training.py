@@ -1,0 +1,160 @@
+"""Tests for the simulated training loop and its reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.mlm_ds import BaselineConfig, MLMDeepSpeedBaseline
+from repro.core.planner import DynaPipePlanner, PlannerConfig
+from repro.model.memory import RecomputeMode
+from repro.training.throughput import IterationRecord, TrainingReport
+from repro.training.trainer import TrainerConfig, TrainingSession
+
+
+def make_record(**overrides) -> IterationRecord:
+    defaults = dict(
+        iteration=0,
+        actual_tokens=1000,
+        padded_tokens=1250,
+        predicted_ms=95.0,
+        measured_ms=100.0,
+        predicted_peak_bytes=9.5e9,
+        measured_peak_bytes=10e9,
+        planning_time_s=0.5,
+        num_microbatches=4,
+        recompute="none",
+    )
+    defaults.update(overrides)
+    return IterationRecord(**defaults)
+
+
+class TestTrainingReport:
+    def test_throughput_computation(self):
+        report = TrainingReport(system="x", records=[make_record(), make_record(iteration=1)])
+        # 2000 tokens over 200 ms -> 10000 tokens/s.
+        assert report.throughput_tokens_per_s == pytest.approx(10_000.0)
+
+    def test_padding_efficiency(self):
+        report = TrainingReport(system="x", records=[make_record()])
+        assert report.padding_efficiency == pytest.approx(0.8)
+
+    def test_prediction_errors(self):
+        report = TrainingReport(system="x", records=[make_record()])
+        assert report.time_prediction_error_percent() == pytest.approx(5.0)
+        assert report.memory_prediction_error_percent() == pytest.approx(5.0)
+
+    def test_planning_ratio(self):
+        report = TrainingReport(system="x", records=[make_record()])
+        assert report.planning_to_iteration_ratio == pytest.approx(5.0)
+
+    def test_empty_report(self):
+        report = TrainingReport(system="x")
+        assert report.throughput_tokens_per_s == 0.0
+        assert report.padding_efficiency == 0.0
+        assert report.time_prediction_error_percent() == 0.0
+
+    def test_summary_keys(self):
+        report = TrainingReport(system="x", records=[make_record()])
+        summary = report.summary()
+        assert summary["system"] == "x"
+        assert summary["iterations"] == 1
+        assert summary["throughput_tokens_per_s"] > 0
+
+
+class TestTrainingSession:
+    @pytest.fixture(scope="class")
+    def dynapipe_session(self, gpt_cost_model, flan_samples_gpt):
+        planner = DynaPipePlanner(
+            gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        return TrainingSession(
+            planner,
+            flan_samples_gpt,
+            global_batch_tokens=16384,
+            config=TrainerConfig(max_iterations=2, noise_std=0.05, seed=0, max_seq_len=1024),
+            system_name="dynapipe",
+        )
+
+    def test_run_produces_records(self, dynapipe_session):
+        report = dynapipe_session.run()
+        assert report.system == "dynapipe"
+        assert len(report.records) == 2
+        assert report.throughput_tokens_per_s > 0
+        assert 0 < report.padding_efficiency <= 1
+        assert report.encoder_padding_efficiency > 0
+
+    def test_predictions_close_to_measurement(self, dynapipe_session):
+        """Cost-model predictions track the noisy simulated execution within a
+        reasonable band.  (The paper reports ~4-11% MPE on A100-scale models;
+        the tiny test model is dominated by fixed kernel overheads, which the
+        power-of-two interpolation overestimates, so the band here is wider.)"""
+        report = dynapipe_session.run()
+        assert report.time_prediction_error_percent() < 35.0
+        assert report.memory_prediction_error_percent() < 15.0
+
+    def test_baseline_session(self, gpt_cost_model, flan_samples_gpt):
+        baseline = MLMDeepSpeedBaseline(
+            gpt_cost_model,
+            config=BaselineConfig(max_seq_len=1024, micro_batch_size=2, recompute=RecomputeMode.FULL),
+        )
+        session = TrainingSession(
+            baseline,
+            flan_samples_gpt,
+            global_batch_tokens=16384,
+            config=TrainerConfig(max_iterations=2, noise_std=0.05, seed=0, max_seq_len=1024),
+            system_name="mlm+ds",
+        )
+        report = session.run()
+        assert len(report.records) == 2
+        assert report.throughput_tokens_per_s > 0
+
+    def test_dynapipe_beats_baseline_throughput(self, gpt_cost_model, flan_samples_gpt):
+        """End-to-end comparison on the simulated cluster: DynaPipe's measured
+        throughput exceeds the packing baseline's (paper Fig. 13/14)."""
+        config = TrainerConfig(max_iterations=2, noise_std=0.05, seed=0, max_seq_len=1024)
+        dynapipe = DynaPipePlanner(
+            gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        baseline = MLMDeepSpeedBaseline(
+            gpt_cost_model,
+            config=BaselineConfig(max_seq_len=1024, micro_batch_size=2, recompute=RecomputeMode.FULL),
+        )
+        dyna_report = TrainingSession(
+            dynapipe, flan_samples_gpt, 16384, config, "dynapipe"
+        ).run()
+        base_report = TrainingSession(
+            baseline, flan_samples_gpt, 16384, config, "mlm+ds"
+        ).run()
+        assert dyna_report.throughput_tokens_per_s > base_report.throughput_tokens_per_s
+
+    def test_fast_mode_skips_execution(self, gpt_cost_model, flan_samples_gpt):
+        planner = DynaPipePlanner(
+            gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        session = TrainingSession(
+            planner,
+            flan_samples_gpt,
+            global_batch_tokens=16384,
+            config=TrainerConfig(
+                max_iterations=1, noise_std=0.0, seed=0, max_seq_len=1024, execute_plans=False
+            ),
+        )
+        report = session.run()
+        record = report.records[0]
+        assert record.measured_ms == pytest.approx(record.predicted_ms)
+
+    def test_noise_reproducible_with_seed(self, gpt_cost_model, flan_samples_gpt):
+        def build():
+            planner = DynaPipePlanner(
+                gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+            )
+            return TrainingSession(
+                planner,
+                flan_samples_gpt,
+                global_batch_tokens=8192,
+                config=TrainerConfig(max_iterations=1, noise_std=0.1, seed=3, max_seq_len=1024),
+            )
+
+        first = build().run().records[0].measured_ms
+        second = build().run().records[0].measured_ms
+        assert first == pytest.approx(second)

@@ -1,0 +1,92 @@
+"""Tests for repro.utils.rng and repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rng
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+class TestNewRng:
+    def test_same_seed_same_stream(self):
+        a, b = new_rng(42), new_rng(42)
+        assert a.integers(0, 1000, 10).tolist() == b.integers(0, 1000, 10).tolist()
+
+    def test_different_seed_different_stream(self):
+        a, b = new_rng(1), new_rng(2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(new_rng(0), 5)
+        assert len(children) == 5
+
+    def test_spawn_children_independent(self):
+        children = spawn_rng(new_rng(0), 2)
+        a = children[0].integers(0, 10**9, 5).tolist()
+        b = children[1].integers(0, 10**9, 5).tolist()
+        assert a != b
+
+    def test_spawn_deterministic(self):
+        first = [g.integers(0, 10**9) for g in spawn_rng(new_rng(7), 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rng(new_rng(7), 3)]
+        assert first == second
+
+    def test_spawn_zero(self):
+        assert spawn_rng(new_rng(0), 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(new_rng(0), -1)
+
+
+class TestRngMixin:
+    class Thing(RngMixin):
+        pass
+
+    def test_lazy_construction(self):
+        thing = self.Thing()
+        thing.set_seed(3)
+        assert isinstance(thing.rng, np.random.Generator)
+
+    def test_reset_seed_resets_stream(self):
+        thing = self.Thing()
+        thing.set_seed(3)
+        first = thing.rng.integers(0, 10**9)
+        thing.set_seed(3)
+        second = thing.rng.integers(0, 10**9)
+        assert first == second
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)

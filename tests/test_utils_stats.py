@@ -1,0 +1,154 @@
+"""Tests for repro.utils.stats."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    RunningStat,
+    geometric_mean,
+    mean,
+    mean_percentage_error,
+    percentile,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_accepts_generator(self):
+        assert mean(x for x in (2.0, 4.0)) == pytest.approx(3.0)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identical_values(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == pytest.approx(2.0)
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_single_element(self):
+        assert percentile([7.0], 75) == 7.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestMeanPercentageError:
+    def test_exact_predictions(self):
+        assert mean_percentage_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_error(self):
+        # 10% and 30% absolute errors -> mean 20%.
+        assert mean_percentage_error([1.1, 0.7], [1.0, 1.0]) == pytest.approx(20.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_percentage_error([1.0], [1.0, 2.0])
+
+    def test_zero_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            mean_percentage_error([1.0], [0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_percentage_error([], [])
+
+
+class TestRunningStat:
+    def test_mean_and_std(self):
+        stat = RunningStat()
+        stat.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stat.mean == pytest.approx(5.0)
+        assert stat.std == pytest.approx(2.0)
+
+    def test_min_max(self):
+        stat = RunningStat()
+        stat.extend([3.0, -1.0, 10.0])
+        assert stat.min_value == -1.0
+        assert stat.max_value == 10.0
+
+    def test_empty_stat(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+
+    def test_merge_matches_bulk(self):
+        a, b, c = RunningStat(), RunningStat(), RunningStat()
+        a.extend([1.0, 2.0, 3.0])
+        b.extend([10.0, 20.0])
+        c.extend([1.0, 2.0, 3.0, 10.0, 20.0])
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean)
+        assert merged.variance == pytest.approx(c.variance)
+
+    def test_merge_with_empty(self):
+        a, b = RunningStat(), RunningStat()
+        a.extend([1.0, 2.0])
+        merged = a.merge(b)
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_mean_matches_numpy_definition(self, values):
+        stat = RunningStat()
+        stat.extend(values)
+        assert stat.mean == pytest.approx(sum(values) / len(values), rel=1e-9, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30),
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30),
+    )
+    def test_merge_is_equivalent_to_concatenation(self, left, right):
+        a, b, c = RunningStat(), RunningStat(), RunningStat()
+        a.extend(left)
+        b.extend(right)
+        c.extend(left + right)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+        assert math.sqrt(max(merged.variance, 0.0)) == pytest.approx(c.std, rel=1e-6, abs=1e-3)
