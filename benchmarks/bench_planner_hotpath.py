@@ -1,0 +1,123 @@
+"""Tier-2 micro-benchmark of the planner's DP hot path.
+
+A solver-only regression guard for planning time: it exercises exactly the
+vectorized fast path that dominates per-iteration planning — window-shape
+table construction, the batched cost-model query over unique shapes, and
+the dense-matrix DP — on a small model whose profile builds in about a
+second, so the whole benchmark runs in seconds.  Run it with
+
+    pytest benchmarks/bench_planner_hotpath.py --benchmark-disable -s
+
+(or ``pytest benchmarks/ -m tier2_bench``) to catch planning-time
+regressions without the full Fig. 17 sweep.  Besides timing, it asserts
+that the vectorized partition matches the scalar reference path exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.microbatch import DynamicMicroBatcher
+from repro.costmodel.cost_model import CostModel
+from repro.data.tasks import Sample
+from repro.model.config import ModelArch, ModelConfig
+
+from common import emit
+
+#: Ceiling on the mean vectorized split time for the largest mini-batch.
+#: The fast path runs it in well under 100 ms; the pre-vectorization scalar
+#: chain took several seconds, so this catches order-of-magnitude
+#: regressions with ample headroom for slow CI machines.
+SPLIT_TIME_LIMIT_S = 1.0
+
+MINIBATCH_SIZES = (64, 192, 448)
+REPEATS = 3
+
+BENCH_CONFIG = ModelConfig(
+    name="gpt-bench-small",
+    arch=ModelArch.GPT,
+    num_layers=8,
+    hidden_size=1024,
+    num_heads=16,
+    kv_channels=64,
+    ffn_hidden_size=4096,
+    vocab_size=32000,
+)
+
+
+def synthetic_minibatch(num_samples: int, seed: int) -> list[Sample]:
+    """Seeded heavy-tailed sample lengths (mimicking the FLAN mixture)."""
+    rng = np.random.default_rng(seed)
+    lengths = np.clip(rng.lognormal(mean=5.0, sigma=0.8, size=num_samples), 8, 2040)
+    return [Sample(input_tokens=int(n), target_tokens=0) for n in lengths]
+
+
+def run():
+    cost_model = CostModel(
+        BENCH_CONFIG, num_stages=4, max_profile_batch_size=128, max_profile_seq_len=2048
+    )
+    rows = []
+    for num_samples in MINIBATCH_SIZES:
+        batcher = DynamicMicroBatcher(cost_model, tmax_sample_count=16)
+        samples = synthetic_minibatch(num_samples, seed=num_samples)
+        elapsed = []
+        for repeat in range(REPEATS):
+            # Fresh geometry per repeat: perturb one sample so the one-slot
+            # geometry cache cannot serve the timing run.
+            perturbed = list(samples)
+            perturbed[0] = Sample(
+                input_tokens=samples[0].input_tokens + repeat, target_tokens=0
+            )
+            start = time.perf_counter()
+            batcher.split(perturbed)
+            elapsed.append(time.perf_counter() - start)
+        solution = batcher.last_solution
+        rows.append(
+            [
+                num_samples,
+                round(sum(elapsed) / len(elapsed), 4),
+                round(max(elapsed), 4),
+                solution.cost_evaluations,
+                solution.num_microbatches,
+            ]
+        )
+
+    # Correctness guard: the fast path must match the scalar reference.
+    samples = synthetic_minibatch(MINIBATCH_SIZES[0], seed=7)
+    fast = DynamicMicroBatcher(cost_model, tmax_sample_count=16, vectorized=True)
+    slow = DynamicMicroBatcher(cost_model, tmax_sample_count=16, vectorized=False)
+    fast.split(samples)
+    slow.split(samples)
+    assert fast.last_solution.boundaries == slow.last_solution.boundaries
+    assert fast.last_solution.objective == slow.last_solution.objective
+    return rows
+
+
+HEADERS = [
+    "minibatch_samples", "mean_split_s", "max_split_s",
+    "dp_cost_evaluations", "num_microbatches",
+]
+
+
+@pytest.mark.tier2_bench
+def test_planner_hotpath(benchmark, capsys):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "planner_hotpath",
+        "Planner hot path: vectorized DP split time (solver only)",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    # Split time grows with the mini-batch but stays far below the scalar
+    # regime; a regression to per-window Python cost evaluation trips this.
+    mean_times = [row[1] for row in rows]
+    assert mean_times[-1] < SPLIT_TIME_LIMIT_S
+    # The DP evaluated a deduplicated shape set, not every window.
+    for row in rows:
+        num_samples, evaluations = row[0], row[3]
+        max_windows = num_samples * min(num_samples, 256)
+        assert 0 < evaluations <= max_windows

@@ -1,7 +1,10 @@
 """Benchmark-suite configuration.
 
 Makes the shared ``common`` helpers importable when pytest is invoked from
-the repository root (``pytest benchmarks/ --benchmark-only``).
+the repository root (``pytest benchmarks/ --benchmark-only``) and registers
+the ``tier2_bench`` marker for the quick regression benchmarks
+(``pytest benchmarks/ -m tier2_bench``), which run in seconds and guard the
+planner hot path without the full figure sweeps.
 """
 
 from __future__ import annotations
@@ -12,3 +15,11 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).parent
 if str(BENCH_DIR) not in sys.path:
     sys.path.insert(0, str(BENCH_DIR))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "tier2_bench: quick (seconds-scale) planner hot-path regression "
+        "benchmarks, runnable without the full figure sweeps",
+    )

@@ -76,23 +76,31 @@ class AdaptiveScheduler:
     def activation_matrix(
         self, shapes: Sequence[MicroBatchShape], recompute: RecomputeMode
     ) -> list[list[float]]:
-        """Per-(micro-batch, stage) activation footprints."""
+        """Per-(micro-batch, stage) activation footprints.
+
+        Uses the cost model's batched per-stage queries, so repeated builds
+        over the same shapes (e.g. the injection-order search) hit the
+        shape-keyed cache instead of re-querying the interpolators.
+        """
+        shapes = list(shapes)
+        per_stage = [
+            self.cost_model.stage_costs_many(stage, shapes, recompute)
+            for stage in range(self.cost_model.num_stages)
+        ]
         return [
-            [
-                self.cost_model.stage_cost(stage, shape, recompute).activation_bytes
-                for stage in range(self.cost_model.num_stages)
-            ]
-            for shape in shapes
+            [per_stage[stage][index].activation_bytes for stage in range(len(per_stage))]
+            for index in range(len(shapes))
         ]
 
     def duration_map(
         self, shapes: Sequence[MicroBatchShape], recompute: RecomputeMode
     ) -> dict[ComputeOp, float]:
         """Modelled duration of every compute op of the iteration."""
+        shapes = list(shapes)
         durations: dict[ComputeOp, float] = {}
-        for microbatch, shape in enumerate(shapes):
-            for stage in range(self.cost_model.num_stages):
-                cost = self.cost_model.stage_cost(stage, shape, recompute)
+        for stage in range(self.cost_model.num_stages):
+            costs = self.cost_model.stage_costs_many(stage, shapes, recompute)
+            for microbatch, cost in enumerate(costs):
                 durations[ComputeOp(microbatch, stage, OpType.FORWARD)] = cost.forward_ms
                 durations[ComputeOp(microbatch, stage, OpType.BACKWARD)] = cost.backward_ms
         return durations

@@ -16,12 +16,27 @@ time ``t_max`` enumerates candidate values (sampled at fixed intervals to
 bound the O(N⁴) exact formulation), and for each candidate an O(N·W) DP
 finds the best partition whose micro-batches all respect ``t_max`` and the
 per-micro-batch memory limit.
+
+Two execution paths are provided:
+
+* the scalar path (``time_fn`` / ``feasible_fn`` callbacks), the reference
+  implementation, which lazily memoises window costs; and
+* the vectorized fast path (``cost_table``), which runs the inner DP against
+  a dense :class:`WindowCostTable` of precomputed window times and
+  feasibility flags (built by
+  :class:`~repro.core.microbatch.DynamicMicroBatcher` from one batched
+  cost-model query over the unique window shapes).
+
+Both paths produce identical partitions; the fast path removes every
+per-window Python-level cost-model call from the DP inner loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
 
 #: Cost of the micro-batch formed from the half-open index range [start, end).
 MicroBatchCostFn = Callable[[int, int], float]
@@ -46,7 +61,9 @@ class DPSolution:
         tmax_used: The ``t_max`` candidate that produced the best partition.
         candidates_evaluated: Number of ``t_max`` candidates tried.
         cost_evaluations: Number of cost-function evaluations performed
-            (reported by the planning-time experiment, Fig. 17).
+            (reported by the planning-time experiment, Fig. 17).  On the
+            vectorized path this counts the unique window shapes costed by
+            the batched cost-model query.
     """
 
     boundaries: list[tuple[int, int]]
@@ -70,6 +87,53 @@ class DPSolution:
     def total_time(self) -> float:
         """Sum of micro-batch times in the partition."""
         return sum(self.times)
+
+
+@dataclass
+class WindowCostTable:
+    """Dense window time / feasibility tables for the vectorized DP.
+
+    Row ``start``, column ``size - 1`` describes the window
+    ``[start, start + size)``.  Entries beyond the sample count hold ``inf``
+    time and ``False`` feasibility.
+
+    Attributes:
+        times: ``(num_samples, max_window)`` window execution times in ms.
+        feasible: ``(num_samples, max_window)`` memory-feasibility flags.
+        unique_shape_evaluations: Number of unique window shapes that were
+            costed to fill the table (the fast path's ``cost_evaluations``).
+    """
+
+    times: np.ndarray
+    feasible: np.ndarray
+    unique_shape_evaluations: int = 0
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.feasible = np.asarray(self.feasible, dtype=bool)
+        if self.times.shape != self.feasible.shape or self.times.ndim != 2:
+            raise ValueError(
+                f"times {self.times.shape} and feasible {self.feasible.shape} must "
+                "be equal 2-D shapes"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples the table covers."""
+        return self.times.shape[0]
+
+    @property
+    def max_window(self) -> int:
+        """Largest window size the table covers."""
+        return self.times.shape[1]
+
+    def time(self, start: int, end: int) -> float:
+        """Window time of ``[start, end)``."""
+        return float(self.times[start, end - start - 1])
+
+    def is_feasible(self, start: int, end: int) -> bool:
+        """Whether ``[start, end)`` respects the memory limit."""
+        return bool(self.feasible[start, end - start - 1])
 
 
 class _CostCache:
@@ -99,7 +163,7 @@ class _CostCache:
 
 
 def _tmax_candidates(
-    cache: _CostCache,
+    time: MicroBatchCostFn,
     num_samples: int,
     max_microbatch_size: int,
     sample_count: int,
@@ -113,13 +177,13 @@ def _tmax_candidates(
     smallest candidate is always the largest singleton time (any smaller
     ``t_max`` admits no feasible partition).
     """
-    singleton_max = max(cache.time(i, i + 1) for i in range(num_samples))
+    singleton_max = max(time(i, i + 1) for i in range(num_samples))
     probed: set[float] = set()
     stride = max(1, num_samples // 64)
     for start in range(0, num_samples, stride):
         size = 1
         while size <= max_microbatch_size and start + size <= num_samples:
-            window_time = cache.time(start, start + size)
+            window_time = time(start, start + size)
             if window_time >= singleton_max:
                 probed.add(window_time)
             size *= 2
@@ -127,6 +191,10 @@ def _tmax_candidates(
     values = sorted(probed)
     if len(values) <= sample_count:
         return values
+    if sample_count <= 1:
+        # The smallest probed value (the largest singleton time) is the one
+        # candidate guaranteed to admit a partition.
+        return [values[0]]
     # Thin to roughly evenly spaced candidates over the sorted list, always
     # keeping the smallest and largest.
     step = (len(values) - 1) / (sample_count - 1)
@@ -177,26 +245,91 @@ def _partition_for_tmax(
     return boundaries, times
 
 
+def _partition_for_tmax_table(
+    end_times: np.ndarray,
+    end_feasible: np.ndarray,
+    num_samples: int,
+    tmax: float,
+) -> tuple[list[tuple[int, int]], list[float]] | None:
+    """Vectorized Eq. 2 DP over precomputed per-``end`` window-time rows.
+
+    ``end_times[end - 1, size - 1]`` is the time of window
+    ``[end - size, end)`` (``inf`` when ``size > end``); ``end_feasible``
+    holds the matching memory-feasibility flags.  Produces the same
+    partition as :func:`_partition_for_tmax`: the admissible window sizes
+    for each ``end`` are the contiguous prefix up to the first bound or
+    feasibility violation (window times grow with window size), and ties
+    between equal-cost predecessors resolve to the smallest window.
+    """
+    best_cost = np.full(num_samples + 1, np.inf)
+    best_prev = np.full(num_samples + 1, -1, dtype=np.int64)
+    best_cost[0] = 0.0
+    for end in range(1, num_samples + 1):
+        row_times = end_times[end - 1]
+        admissible = (row_times <= tmax) & end_feasible[end - 1]
+        if admissible.all():
+            prefix = len(admissible)
+        else:
+            prefix = int(np.argmin(admissible))
+        if prefix == 0:
+            continue
+        # Window size s ends at `end` and starts at `end - s`; sizes 1..prefix
+        # map onto best_cost[end - 1 .. end - prefix], i.e. a reversed slice.
+        candidates = best_cost[end - prefix : end][::-1] + row_times[:prefix]
+        pick = int(np.argmin(candidates))
+        if np.isfinite(candidates[pick]):
+            best_cost[end] = candidates[pick]
+            best_prev[end] = end - (pick + 1)
+    if not np.isfinite(best_cost[num_samples]):
+        return None
+    boundaries: list[tuple[int, int]] = []
+    end = num_samples
+    while end > 0:
+        start = int(best_prev[end])
+        boundaries.append((start, end))
+        end = start
+    boundaries.reverse()
+    times = [float(end_times[end - 1, end - start - 1]) for start, end in boundaries]
+    return boundaries, times
+
+
+def _end_major_tables(table: WindowCostTable) -> tuple[np.ndarray, np.ndarray]:
+    """Re-index the (start, size) tables by (end, size) for the DP inner loop."""
+    n, max_window = table.num_samples, table.max_window
+    ends = np.arange(1, n + 1)[:, None]
+    sizes = np.arange(1, max_window + 1)[None, :]
+    starts = ends - sizes
+    valid = starts >= 0
+    clipped = np.where(valid, starts, 0)
+    end_times = np.where(valid, table.times[clipped, sizes - 1], np.inf)
+    end_feasible = valid & table.feasible[clipped, sizes - 1]
+    return end_times, end_feasible
+
+
 def solve_partition(
     num_samples: int,
     num_stages: int,
-    time_fn: MicroBatchCostFn,
+    time_fn: MicroBatchCostFn | None = None,
     feasible_fn: MicroBatchFeasibleFn | None = None,
     sum_weight: float = 1.0,
     max_microbatch_size: int = 512,
     tmax_sample_count: int = 24,
+    cost_table: WindowCostTable | None = None,
 ) -> DPSolution:
     """Find the micro-batch partition minimising the Eq. 1 objective.
 
     Args:
         num_samples: Number of (already ordered) samples.
         num_stages: Number of pipeline stages ``c``.
-        time_fn: Window time ``t(M)`` for a half-open sample index range.
-        feasible_fn: Optional memory-limit check for a window.
+        time_fn: Window time ``t(M)`` for a half-open sample index range
+            (scalar path; ignored when ``cost_table`` is given).
+        feasible_fn: Optional memory-limit check for a window (scalar path).
         sum_weight: Weight of the Σ t(M) term (``1/|D|`` under data parallelism).
         max_microbatch_size: Upper bound on samples per micro-batch (bounds
             the DP inner loop; generous by default).
         tmax_sample_count: Number of ``t_max`` candidates to evaluate.
+        cost_table: Precomputed dense window costs; selects the vectorized
+            fast path.
 
     Raises:
         PartitionError: If even single-sample micro-batches are infeasible.
@@ -209,6 +342,18 @@ def solve_partition(
         raise ValueError(f"sum_weight must be > 0, got {sum_weight}")
     if max_microbatch_size < 1:
         raise ValueError(f"max_microbatch_size must be >= 1, got {max_microbatch_size}")
+    if cost_table is None and time_fn is None:
+        raise ValueError("either time_fn or cost_table is required")
+
+    if cost_table is not None:
+        return _solve_partition_table(
+            cost_table,
+            num_samples,
+            num_stages,
+            sum_weight,
+            max_microbatch_size,
+            tmax_sample_count,
+        )
 
     cache = _CostCache(time_fn, feasible_fn)
     for i in range(num_samples):
@@ -218,7 +363,9 @@ def solve_partition(
                 "increase the device memory limit or enable recomputation"
             )
 
-    candidates = _tmax_candidates(cache, num_samples, max_microbatch_size, tmax_sample_count)
+    candidates = _tmax_candidates(
+        cache.time, num_samples, max_microbatch_size, tmax_sample_count
+    )
 
     best: DPSolution | None = None
     for tmax in candidates:
@@ -241,4 +388,67 @@ def solve_partition(
         )
     best.candidates_evaluated = len(candidates)
     best.cost_evaluations = cache.evaluations
+    return best
+
+
+def _solve_partition_table(
+    table: WindowCostTable,
+    num_samples: int,
+    num_stages: int,
+    sum_weight: float,
+    max_microbatch_size: int,
+    tmax_sample_count: int,
+) -> DPSolution:
+    """Vectorized fast path of :func:`solve_partition`."""
+    if table.num_samples != num_samples:
+        raise ValueError(
+            f"cost table covers {table.num_samples} samples, expected {num_samples}"
+        )
+    if table.max_window < min(max_microbatch_size, num_samples):
+        raise ValueError(
+            f"cost table max window {table.max_window} is smaller than "
+            f"max_microbatch_size {max_microbatch_size}"
+        )
+
+    singleton_feasible = table.feasible[:, 0]
+    if not singleton_feasible.all():
+        index = int(np.argmin(singleton_feasible))
+        raise PartitionError(
+            f"sample {index} alone exceeds the per-micro-batch memory limit; "
+            "increase the device memory limit or enable recomputation"
+        )
+
+    candidates = _tmax_candidates(
+        table.time, num_samples, max_microbatch_size, tmax_sample_count
+    )
+
+    window = min(max_microbatch_size, num_samples, table.max_window)
+    trimmed = WindowCostTable(
+        times=table.times[:, :window],
+        feasible=table.feasible[:, :window],
+        unique_shape_evaluations=table.unique_shape_evaluations,
+    )
+    end_times, end_feasible = _end_major_tables(trimmed)
+
+    best: DPSolution | None = None
+    for tmax in candidates:
+        result = _partition_for_tmax_table(end_times, end_feasible, num_samples, tmax)
+        if result is None:
+            continue
+        boundaries, times = result
+        objective = (num_stages - 1) * max(times) + sum_weight * sum(times)
+        if best is None or objective < best.objective:
+            best = DPSolution(
+                boundaries=boundaries,
+                times=times,
+                objective=objective,
+                tmax_used=tmax,
+            )
+    if best is None:
+        raise PartitionError(
+            "no feasible partition found for any t_max candidate; this indicates "
+            "an inconsistency between the time and feasibility functions"
+        )
+    best.candidates_evaluated = len(candidates)
+    best.cost_evaluations = table.unique_shape_evaluations
     return best

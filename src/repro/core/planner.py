@@ -181,6 +181,18 @@ class DynaPipePlanner:
                 "tensor parallelism"
             )
         self.scheduler = AdaptiveScheduler(cost_model, self.device_memory_bytes)
+        # One batcher for all iterations and recomputation-mode retries: its
+        # window-shape geometry cache and the cost model's shape-keyed caches
+        # make retries and repeated iterations reuse all prior cost queries.
+        self._batcher = DynamicMicroBatcher(
+            self.cost_model,
+            ordering=self.config.ordering_method,
+            recompute=self.config.recompute,
+            per_microbatch_memory_bytes=self._per_microbatch_memory_bytes(),
+            sum_weight=1.0 / self.data_parallel_size,
+            tmax_sample_count=self.config.tmax_sample_count,
+            max_microbatch_size=self.config.max_microbatch_size,
+        )
 
     # ------------------------------------------------------------------ helpers
 
@@ -222,18 +234,9 @@ class DynaPipePlanner:
 
     def _partition(self, samples: Sequence[Sample], mode: RecomputeMode):
         """Run sample ordering + DP partitioning under ``mode``."""
-        batcher = DynamicMicroBatcher(
-            self.cost_model,
-            ordering=self.config.ordering_method,
-            recompute=mode,
-            per_microbatch_memory_bytes=self._per_microbatch_memory_bytes(),
-            sum_weight=1.0 / self.data_parallel_size,
-            tmax_sample_count=self.config.tmax_sample_count,
-            max_microbatch_size=self.config.max_microbatch_size,
-        )
-        result = batcher.split(samples)
-        assert batcher.last_solution is not None
-        return result.micro_batches, batcher.last_solution
+        result, solution = self._batcher.split_with_solution(samples, recompute=mode)
+        assert solution is not None
+        return result.micro_batches, solution
 
     def _schedule_replica(
         self,
@@ -290,7 +293,10 @@ class DynaPipePlanner:
                 continue
             # Balance across data-parallel replicas.
             times = [
-                self.cost_model.microbatch_time_ms(mb.shape(), mode) for mb in micro_batches
+                float(t)
+                for t in self.cost_model.microbatch_times_ms(
+                    [mb.shape() for mb in micro_batches], mode
+                )
             ]
             assignment = karmarkar_karp_partition(times, self.data_parallel_size)
             replica_groups = [
@@ -422,7 +428,9 @@ class DynaPipePlanner:
         transfer_shapes: TransferShapes,
     ) -> OrderingSearchResult:
         """Cluster-permutation search over injection orders (§5)."""
-        times = [self.cost_model.microbatch_time_ms(shape, mode) for shape in shapes]
+        times = [
+            float(t) for t in self.cost_model.microbatch_times_ms(list(shapes), mode)
+        ]
         comm_time = self._comm_time_fn(transfer_shapes)
         static = [
             self.cost_model.stage_static_bytes(j) for j in range(self.cost_model.num_stages)

@@ -15,12 +15,29 @@ the number of layers assigned to the stage, plus the stage's communication
 terms.  The same object also provides the Eq. 1 iteration-time estimate used
 by the micro-batch DP and the communication tensor sizes used by the
 communication planner.
+
+Batched fast path
+-----------------
+
+The planner evaluates thousands of candidate micro-batch shapes per
+iteration, so the scalar query chain (one interpolator call per stage per
+shape) is the planning-time bottleneck.  :meth:`CostModel.stage_costs_many`
+and :meth:`CostModel.microbatch_times_ms` /
+:meth:`CostModel.microbatch_activation_bytes_many` answer the same questions
+for a whole batch of shapes in a handful of numpy passes (via
+:meth:`~repro.costmodel.interpolation.GridInterpolator.query_many`),
+bit-identical to the scalar path.  All results are memoised in per-instance
+shape-keyed caches, so recomputation-mode retries, the injection-order
+search, and repeated schedule builds never re-query the interpolators for a
+shape they have already seen.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
 
 from repro.cluster.device import A100_40GB, DeviceSpec
 from repro.costmodel.profiler import LayerProfiler, ProfileDatabase
@@ -32,6 +49,11 @@ from repro.model.transformer import (
     MicroBatchShape,
     assign_layers,
 )
+
+#: Soft cap on the per-instance shape caches; a long-lived planner sees a
+#: bounded set of padded shapes in practice, so this only guards pathological
+#: workloads from unbounded memory growth.
+_CACHE_LIMIT = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -94,6 +116,22 @@ class CostModel:
                 max_batch_size=max_profile_batch_size, max_seq_len=max_profile_seq_len
             )
         self.database = database
+        # Per-instance caches (a dict rather than ``lru_cache`` on methods,
+        # which would pin every CostModel instance in the global cache).
+        self._stage_cost_cache: dict[
+            tuple[int, MicroBatchShape, RecomputeMode], StageCost
+        ] = {}
+        #: (shape, mode) -> (bottleneck total_ms, forward_ms, activation_bytes)
+        self._bottleneck_cache: dict[
+            tuple[MicroBatchShape, RecomputeMode], tuple[float, float, float]
+        ] = {}
+        self._static_bytes_cache: dict[int, float] = {}
+        # One-slot (key, tables) memo for the stage-independent per-layer
+        # interpolation pass: per-stage loops (duration_map, activation
+        # matrices, peak memory) query the same shape batch once per stage,
+        # and the tables depend only on (shapes, mode).  A single tuple slot
+        # keeps replacement atomic for concurrent planners.
+        self._layer_tables_memo: tuple[tuple, dict[str, np.ndarray | None]] | None = None
 
     # ------------------------------------------------------------------ stage costs
 
@@ -104,6 +142,10 @@ class CostModel:
         recompute: RecomputeMode = RecomputeMode.NONE,
     ) -> StageCost:
         """Forward/backward time and activation memory of ``shape`` on ``stage``."""
+        key = (stage, shape, recompute)
+        cached = self._stage_cost_cache.get(key)
+        if cached is not None:
+            return cached
         assignment = self._assignment(stage)
         forward = 0.0
         backward = 0.0
@@ -111,10 +153,7 @@ class CostModel:
 
         if assignment.encoder_layers:
             profile = self.database.get("encoder")
-            if self.config.is_encoder_decoder:
-                coords = (shape.batch_size, shape.enc_seq_len)
-            else:
-                coords = (shape.batch_size, shape.enc_seq_len)
+            coords = (shape.batch_size, shape.enc_seq_len)
             if coords[1] > 0:
                 forward += assignment.encoder_layers * profile.query_forward(*coords)
                 backward += assignment.encoder_layers * profile.query_backward(recompute, *coords)
@@ -146,12 +185,243 @@ class CostModel:
                         recompute, *coords
                     )
 
-        return StageCost(forward_ms=forward, backward_ms=backward, activation_bytes=activation)
+        cost = StageCost(forward_ms=forward, backward_ms=backward, activation_bytes=activation)
+        self._cache_guard(self._stage_cost_cache)
+        self._stage_cost_cache[key] = cost
+        return cost
 
     def _assignment(self, stage: int) -> LayerAssignment:
         if not 0 <= stage < self.num_stages:
             raise ValueError(f"stage {stage} out of range [0, {self.num_stages})")
         return self.assignments[stage]
+
+    @staticmethod
+    def _cache_guard(cache: dict) -> None:
+        if len(cache) >= _CACHE_LIMIT:
+            cache.clear()
+
+    # ------------------------------------------------------------------ batched queries
+
+    def _layer_tables(
+        self, shapes: Sequence[MicroBatchShape], recompute: RecomputeMode
+    ) -> dict[str, np.ndarray | None]:
+        """Per-layer cost arrays for a batch of :class:`MicroBatchShape`."""
+        key = (tuple(shapes), recompute)
+        memo = self._layer_tables_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        tables = self._layer_tables_arrays(
+            np.array([s.batch_size for s in shapes], dtype=float),
+            np.array([s.enc_seq_len for s in shapes], dtype=float),
+            np.array([s.dec_seq_len for s in shapes], dtype=float),
+            recompute,
+        )
+        self._layer_tables_memo = (key, tables)
+        return tables
+
+    def _layer_tables_arrays(
+        self,
+        batch: np.ndarray,
+        enc: np.ndarray,
+        dec: np.ndarray,
+        recompute: RecomputeMode,
+    ) -> dict[str, np.ndarray | None]:
+        """Per-layer forward/backward/activation arrays for a batch of shapes.
+
+        ``enc_*`` entries cover encoder (and GPT decoder-only) layers,
+        ``dec_*`` entries cover T5 decoder layers (``None`` for decoder-only
+        models, whose decoder layers share the encoder profile).  Entries for
+        shapes whose relevant sequence length is zero are zeroed, mirroring
+        the scalar guards in :meth:`stage_cost`.
+        """
+        batch = np.asarray(batch, dtype=float)
+        enc = np.asarray(enc, dtype=float)
+        dec = np.asarray(dec, dtype=float)
+        enc_profile = self.database.get("encoder")
+        coords2 = np.stack([batch, enc], axis=1)
+        enc_mask = enc > 0
+        tables: dict[str, np.ndarray | None] = {
+            "enc_fwd": np.where(enc_mask, enc_profile.query_forward_many(coords2), 0.0),
+            "enc_bwd": np.where(
+                enc_mask, enc_profile.query_backward_many(recompute, coords2), 0.0
+            ),
+            "enc_act": np.where(
+                enc_mask, enc_profile.query_activation_many(recompute, coords2), 0.0
+            ),
+            "dec_fwd": None,
+            "dec_bwd": None,
+            "dec_act": None,
+        }
+        if self.config.is_encoder_decoder:
+            dec_profile = self.database.get("decoder")
+            coords3 = np.stack([batch, dec, enc], axis=1)
+            dec_mask = dec > 0
+            tables["dec_fwd"] = np.where(
+                dec_mask, dec_profile.query_forward_many(coords3), 0.0
+            )
+            tables["dec_bwd"] = np.where(
+                dec_mask, dec_profile.query_backward_many(recompute, coords3), 0.0
+            )
+            tables["dec_act"] = np.where(
+                dec_mask, dec_profile.query_activation_many(recompute, coords3), 0.0
+            )
+        return tables
+
+    def _assignment_costs(
+        self,
+        assignment: LayerAssignment,
+        tables: dict[str, np.ndarray | None],
+        count: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(forward, backward, activation) arrays of one stage assignment.
+
+        Accumulates the encoder then decoder contributions in the same order
+        as the scalar :meth:`stage_cost`, so results are bit-identical.
+        """
+        forward = np.zeros(count)
+        backward = np.zeros(count)
+        activation = np.zeros(count)
+        if assignment.encoder_layers:
+            forward = forward + assignment.encoder_layers * tables["enc_fwd"]
+            backward = backward + assignment.encoder_layers * tables["enc_bwd"]
+            activation = activation + assignment.encoder_layers * tables["enc_act"]
+        if assignment.decoder_layers:
+            if self.config.is_encoder_decoder:
+                forward = forward + assignment.decoder_layers * tables["dec_fwd"]
+                backward = backward + assignment.decoder_layers * tables["dec_bwd"]
+                activation = activation + assignment.decoder_layers * tables["dec_act"]
+            else:
+                forward = forward + assignment.decoder_layers * tables["enc_fwd"]
+                backward = backward + assignment.decoder_layers * tables["enc_bwd"]
+                activation = activation + assignment.decoder_layers * tables["enc_act"]
+        return forward, backward, activation
+
+    def stage_costs_many(
+        self,
+        stage: int,
+        shapes: Sequence[MicroBatchShape],
+        recompute: RecomputeMode = RecomputeMode.NONE,
+    ) -> list[StageCost]:
+        """Batched :meth:`stage_cost` for many shapes on one stage.
+
+        Cached results are reused; the remaining shapes are evaluated in one
+        vectorized interpolator pass.
+        """
+        assignment = self._assignment(stage)
+        results: dict[MicroBatchShape, StageCost] = {}
+        missing: list[MicroBatchShape] = []
+        for shape in shapes:
+            if shape in results:
+                continue
+            cached = self._stage_cost_cache.get((stage, shape, recompute))
+            if cached is not None:
+                results[shape] = cached
+            else:
+                results[shape] = StageCost(0.0, 0.0, 0.0)  # placeholder
+                missing.append(shape)
+        if missing:
+            tables = self._layer_tables(missing, recompute)
+            forward, backward, activation = self._assignment_costs(
+                assignment, tables, len(missing)
+            )
+            self._cache_guard(self._stage_cost_cache)
+            for i, shape in enumerate(missing):
+                cost = StageCost(
+                    forward_ms=float(forward[i]),
+                    backward_ms=float(backward[i]),
+                    activation_bytes=float(activation[i]),
+                )
+                results[shape] = cost
+                self._stage_cost_cache[(stage, shape, recompute)] = cost
+        return [results[shape] for shape in shapes]
+
+    def _bottleneck_arrays(
+        self,
+        batch: np.ndarray,
+        enc: np.ndarray,
+        dec: np.ndarray,
+        recompute: RecomputeMode,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(total_ms, forward_ms, activation_bytes) bottleneck arrays."""
+        tables = self._layer_tables_arrays(batch, enc, dec, recompute)
+        # Stages sharing a layer assignment have identical costs, so the
+        # bottleneck max only needs one evaluation per distinct assignment.
+        distinct = {(a.encoder_layers, a.decoder_layers): a for a in self.assignments}
+        totals, forwards, activations = [], [], []
+        for assignment in distinct.values():
+            forward, backward, activation = self._assignment_costs(
+                assignment, tables, len(batch)
+            )
+            totals.append(forward + backward)
+            forwards.append(forward)
+            activations.append(activation)
+        return (
+            np.max(totals, axis=0),
+            np.max(forwards, axis=0),
+            np.max(activations, axis=0),
+        )
+
+    def window_costs_arrays(
+        self,
+        batch: np.ndarray,
+        enc: np.ndarray,
+        dec: np.ndarray,
+        recompute: RecomputeMode = RecomputeMode.NONE,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bottleneck (time_ms, activation_bytes) for raw shape coordinate arrays.
+
+        The uncached bulk entry point of the planner fast path: the DP's
+        window-shape table holds tens of thousands of unique shapes per
+        mini-batch, for which per-shape cache bookkeeping costs more than the
+        batched interpolation itself.
+        """
+        total, _, activation = self._bottleneck_arrays(batch, enc, dec, recompute)
+        return total, activation
+
+    def _bottleneck_many(
+        self, shapes: Sequence[MicroBatchShape], recompute: RecomputeMode
+    ) -> list[tuple[float, float, float]]:
+        """(total_ms, forward_ms, activation_bytes) bottleneck triples (cached)."""
+        results: dict[MicroBatchShape, tuple[float, float, float]] = {}
+        missing: list[MicroBatchShape] = []
+        for shape in shapes:
+            if shape in results:
+                continue
+            cached = self._bottleneck_cache.get((shape, recompute))
+            if cached is not None:
+                results[shape] = cached
+            else:
+                results[shape] = (0.0, 0.0, 0.0)  # placeholder
+                missing.append(shape)
+        if missing:
+            total, forward, activation = self._bottleneck_arrays(
+                np.array([s.batch_size for s in missing], dtype=float),
+                np.array([s.enc_seq_len for s in missing], dtype=float),
+                np.array([s.dec_seq_len for s in missing], dtype=float),
+                recompute,
+            )
+            self._cache_guard(self._bottleneck_cache)
+            for i, shape in enumerate(missing):
+                triple = (float(total[i]), float(forward[i]), float(activation[i]))
+                results[shape] = triple
+                self._bottleneck_cache[(shape, recompute)] = triple
+        return [results[shape] for shape in shapes]
+
+    def microbatch_times_ms(
+        self,
+        shapes: Sequence[MicroBatchShape],
+        recompute: RecomputeMode = RecomputeMode.NONE,
+    ) -> np.ndarray:
+        """Batched :meth:`microbatch_time_ms`: ``t(M)`` for many shapes."""
+        return np.array([t for t, _, _ in self._bottleneck_many(shapes, recompute)])
+
+    def microbatch_activation_bytes_many(
+        self,
+        shapes: Sequence[MicroBatchShape],
+        recompute: RecomputeMode = RecomputeMode.NONE,
+    ) -> np.ndarray:
+        """Batched :meth:`microbatch_activation_bytes` for many shapes."""
+        return np.array([a for _, _, a in self._bottleneck_many(shapes, recompute)])
 
     # ------------------------------------------------------------------ aggregates
 
@@ -165,28 +435,19 @@ class CostModel:
         stages are close, and using the maximum keeps the estimate an upper
         bound.
         """
-        return max(
-            self.stage_cost(stage, shape, recompute).total_ms
-            for stage in range(self.num_stages)
-        )
+        return self._bottleneck_many([shape], recompute)[0][0]
 
     def microbatch_forward_ms(
         self, shape: MicroBatchShape, recompute: RecomputeMode = RecomputeMode.NONE
     ) -> float:
         """Forward time of the bottleneck stage for ``shape``."""
-        return max(
-            self.stage_cost(stage, shape, recompute).forward_ms
-            for stage in range(self.num_stages)
-        )
+        return self._bottleneck_many([shape], recompute)[0][1]
 
     def microbatch_activation_bytes(
         self, shape: MicroBatchShape, recompute: RecomputeMode = RecomputeMode.NONE
     ) -> float:
         """Largest per-stage activation footprint of ``shape``."""
-        return max(
-            self.stage_cost(stage, shape, recompute).activation_bytes
-            for stage in range(self.num_stages)
-        )
+        return self._bottleneck_many([shape], recompute)[0][2]
 
     def iteration_time_ms(
         self,
@@ -199,21 +460,25 @@ class CostModel:
         """
         if not shapes:
             return 0.0
-        times = [self.microbatch_time_ms(s, recompute) for s in shapes]
+        times = [t for t, _, _ in self._bottleneck_many(shapes, recompute)]
         return (self.num_stages - 1) * max(times) + sum(times)
 
     # ------------------------------------------------------------------ memory
 
-    @lru_cache(maxsize=None)
     def stage_static_bytes(self, stage: int) -> float:
         """Static memory (weights, grads, optimizer state, workspace) of ``stage``."""
+        cached = self._static_bytes_cache.get(stage)
+        if cached is not None:
+            return cached
         assignment = self._assignment(stage)
-        return static_stage_bytes(
+        value = static_stage_bytes(
             self.config,
             max(assignment.total_layers, 1),
             tensor_parallel=self.tensor_parallel,
             zero_shards=self.zero_shards,
         )
+        self._static_bytes_cache[stage] = value
+        return value
 
     def activation_budget_bytes(self, stage: int, device_memory: float | None = None) -> float:
         """Device memory available for activations on ``stage``."""
@@ -246,9 +511,9 @@ class CostModel:
         window = max(1, min(window, len(shapes)))
         peak = 0.0
         for stage in range(self.num_stages):
+            costs = self.stage_costs_many(stage, shapes, recompute)
             footprints = sorted(
-                (self.stage_cost(stage, s, recompute).activation_bytes for s in shapes),
-                reverse=True,
+                (cost.activation_bytes for cost in costs), reverse=True
             )
             stage_peak = self.stage_static_bytes(stage) + sum(footprints[:window])
             peak = max(peak, stage_peak)

@@ -10,6 +10,12 @@ Values outside the profiled range are linearly extrapolated from the last
 grid cell, matching the common practice of extending the profile rather than
 failing; extrapolation quality is part of what the cost-model accuracy
 experiment measures.
+
+Two query paths are provided: the scalar ``__call__`` (the reference
+implementation) and the batched :meth:`GridInterpolator.query_many`, which
+evaluates thousands of points in a handful of numpy operations and is the
+entry point of the planner's vectorized cost-model fast path.  Both paths
+produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -86,6 +92,53 @@ class GridInterpolator:
                     index.append(lo)
             if weight != 0.0:
                 total += weight * float(self.values[tuple(index)])
+        return total
+
+    def _bracket_many(self, dim: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_bracket`: arrays of (low, high, fraction)."""
+        axis = self.axes[dim]
+        if len(axis) == 1:
+            zeros = np.zeros(len(x), dtype=np.intp)
+            return zeros, zeros, np.zeros(len(x))
+        idx = np.searchsorted(axis, x, side="left")
+        np.clip(idx, 1, len(axis) - 1, out=idx)
+        lo = idx - 1
+        span = axis[idx] - axis[lo]
+        frac = (x - axis[lo]) / span
+        return lo, idx, frac
+
+    def query_many(self, coords: np.ndarray) -> np.ndarray:
+        """Interpolated values for a batch of points in one numpy pass.
+
+        Args:
+            coords: Array of shape ``(num_points, num_dims)``; one row per
+                query point, one column per grid dimension.
+
+        Returns:
+            Array of ``num_points`` interpolated values, bit-identical to
+            calling the scalar ``__call__`` on each row.
+        """
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim != 2 or coords.shape[1] != len(self.axes):
+            raise ValueError(
+                f"expected coords of shape (n, {len(self.axes)}), got {coords.shape}"
+            )
+        brackets = [
+            self._bracket_many(dim, coords[:, dim]) for dim in range(len(self.axes))
+        ]
+        total = np.zeros(coords.shape[0])
+        corners = 1 << len(self.axes)
+        for corner in range(corners):
+            weight = np.ones(coords.shape[0])
+            index = []
+            for dim, (lo, hi, frac) in enumerate(brackets):
+                if corner >> dim & 1:
+                    weight = weight * frac
+                    index.append(hi)
+                else:
+                    weight = weight * (1.0 - frac)
+                    index.append(lo)
+            total += weight * self.values[tuple(index)]
         return total
 
     def max_value(self) -> float:

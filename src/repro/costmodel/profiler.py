@@ -84,6 +84,23 @@ class LayerProfile:
         """Interpolated activation bytes under ``mode``."""
         return max(self.activation_bytes[mode](*coords), 0.0)
 
+    # -------------------------------------------------------------- batched
+    # Vectorized counterparts used by the planner fast path: one numpy pass
+    # over ``coords`` of shape (num_points, dims), bit-identical to the
+    # scalar queries above.
+
+    def query_forward_many(self, coords: np.ndarray) -> np.ndarray:
+        """Batched :meth:`query_forward` over ``(num_points, dims)`` coords."""
+        return np.maximum(self.forward_ms.query_many(coords), 0.0)
+
+    def query_backward_many(self, mode: RecomputeMode, coords: np.ndarray) -> np.ndarray:
+        """Batched :meth:`query_backward` over ``(num_points, dims)`` coords."""
+        return np.maximum(self.backward_ms[mode].query_many(coords), 0.0)
+
+    def query_activation_many(self, mode: RecomputeMode, coords: np.ndarray) -> np.ndarray:
+        """Batched :meth:`query_activation` over ``(num_points, dims)`` coords."""
+        return np.maximum(self.activation_bytes[mode].query_many(coords), 0.0)
+
 
 @dataclass
 class ProfileDatabase:

@@ -30,12 +30,23 @@ class _Planner(Protocol):
 
 @dataclass
 class PlanningRecord:
-    """Bookkeeping for one planned iteration."""
+    """Bookkeeping for one planned iteration.
+
+    Attributes:
+        iteration: Iteration index the record describes.
+        planning_time_s: Wall-clock planning time of the iteration.
+        num_microbatches: Micro-batches in the produced plan.
+        pushed_at: ``time.perf_counter()`` timestamp when the plan was pushed.
+        dp_cost_evaluations: Cost-model evaluations the DP performed (unique
+            window shapes on the vectorized fast path); 0 for planners that
+            do not run the DP (baselines).
+    """
 
     iteration: int
     planning_time_s: float
     num_microbatches: int
     pushed_at: float
+    dp_cost_evaluations: int = 0
 
 
 @dataclass
@@ -89,6 +100,7 @@ class PlannerPool:
                 elapsed = time.perf_counter() - start
                 for replica_index, replica_plan in enumerate(plan.plans):
                     self.store.push(iteration, replica_index, replica_plan.to_dict())
+                solution = getattr(plan, "dp_solution", None)
                 with self._lock:
                     self.records.append(
                         PlanningRecord(
@@ -96,6 +108,9 @@ class PlannerPool:
                             planning_time_s=elapsed,
                             num_microbatches=plan.num_microbatches,
                             pushed_at=time.perf_counter(),
+                            dp_cost_evaluations=(
+                                solution.cost_evaluations if solution is not None else 0
+                            ),
                         )
                     )
             except Exception as error:  # noqa: BLE001 - surfaced via .errors

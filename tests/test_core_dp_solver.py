@@ -8,7 +8,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dp_solver import PartitionError, solve_partition
+import numpy as np
+
+from repro.core.dp_solver import PartitionError, WindowCostTable, solve_partition
 
 
 def window_time_from_lengths(lengths, cost_per_token: float = 1.0):
@@ -168,6 +170,101 @@ class TestConstraints:
             solve_partition(1, 1, time_fn=time_fn, sum_weight=0.0)
         with pytest.raises(ValueError):
             solve_partition(1, 1, time_fn=time_fn, max_microbatch_size=0)
+
+
+def table_from_fns(num_samples, max_window, time_fn, feasible_fn=None):
+    """Dense WindowCostTable built by evaluating the scalar callbacks."""
+    window = min(max_window, num_samples)
+    times = np.full((num_samples, window), np.inf)
+    feasible = np.zeros((num_samples, window), dtype=bool)
+    for start in range(num_samples):
+        for size in range(1, min(window, num_samples - start) + 1):
+            times[start, size - 1] = time_fn(start, start + size)
+            feasible[start, size - 1] = (
+                feasible_fn(start, start + size) if feasible_fn else True
+            )
+    return WindowCostTable(
+        times=times, feasible=feasible, unique_shape_evaluations=num_samples * window
+    )
+
+
+class TestTmaxSampleGuard:
+    def test_single_candidate_count(self):
+        """tmax_sample_count=1 must not divide by zero when thinning (the
+        probe set is larger than one candidate for diverse lengths)."""
+        lengths = [10, 25, 40, 700, 90, 1000, 15, 300, 55, 80, 120, 650]
+        solution = solve_partition(
+            len(lengths),
+            4,
+            time_fn=window_time_from_lengths(lengths),
+            tmax_sample_count=1,
+        )
+        assert solution.candidates_evaluated == 1
+        assert solution.boundaries[0][0] == 0
+        assert solution.boundaries[-1][1] == len(lengths)
+
+    def test_single_candidate_count_table_path(self):
+        lengths = [10, 25, 40, 700, 90, 1000, 15, 300, 55, 80, 120, 650]
+        table = table_from_fns(len(lengths), 512, window_time_from_lengths(lengths))
+        solution = solve_partition(
+            len(lengths), 4, cost_table=table, tmax_sample_count=1
+        )
+        assert solution.candidates_evaluated == 1
+        assert solution.boundaries[-1][1] == len(lengths)
+
+
+class TestVectorizedTablePath:
+    """The dense-table fast path must reproduce the scalar path exactly."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("num_stages", [1, 4])
+    def test_matches_scalar_on_seeded_inputs(self, seed, num_stages):
+        rng = np.random.default_rng(seed)
+        lengths = [int(x) for x in rng.integers(1, 2048, size=int(rng.integers(2, 40)))]
+        lengths.sort()
+        time_fn = window_time_from_lengths(lengths)
+
+        def feasible_fn(start, end):
+            # Monotone in window size (mirrors the activation-memory limit).
+            return (end - start) * max(lengths[start:end]) <= 4096
+
+        scalar = solve_partition(
+            len(lengths), num_stages, time_fn=time_fn, feasible_fn=feasible_fn,
+            tmax_sample_count=16,
+        )
+        table = table_from_fns(len(lengths), 512, time_fn, feasible_fn)
+        vectorized = solve_partition(
+            len(lengths), num_stages, cost_table=table, tmax_sample_count=16
+        )
+        assert vectorized.boundaries == scalar.boundaries
+        assert vectorized.times == scalar.times
+        assert vectorized.objective == scalar.objective
+        assert vectorized.tmax_used == scalar.tmax_used
+        assert vectorized.candidates_evaluated == scalar.candidates_evaluated
+
+    def test_max_microbatch_size_respected(self):
+        lengths = [10] * 20
+        table = table_from_fns(20, 4, window_time_from_lengths(lengths))
+        solution = solve_partition(
+            20, 1, cost_table=table, max_microbatch_size=4
+        )
+        assert all(end - start <= 4 for start, end in solution.boundaries)
+
+    def test_infeasible_singleton_raises(self):
+        table = table_from_fns(
+            3, 512, window_time_from_lengths([10, 10, 10]), lambda s, e: False
+        )
+        with pytest.raises(PartitionError):
+            solve_partition(3, 2, cost_table=table)
+
+    def test_table_too_small_rejected(self):
+        table = table_from_fns(8, 4, window_time_from_lengths([10] * 8))
+        with pytest.raises(ValueError):
+            solve_partition(8, 2, cost_table=table, max_microbatch_size=8)
+
+    def test_missing_time_source_rejected(self):
+        with pytest.raises(ValueError):
+            solve_partition(4, 2)
 
 
 class TestProperties:

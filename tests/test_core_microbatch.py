@@ -141,3 +141,85 @@ class TestQuality:
         single = DynamicMicroBatcher(gpt_cost_model, sum_weight=1.0).split(samples)
         many = DynamicMicroBatcher(gpt_cost_model, sum_weight=1.0 / 8).split(samples)
         assert len(many.micro_batches) >= len(single.micro_batches)
+
+
+class TestSlidingWindowMaxima:
+    def test_matches_brute_force_random(self):
+        import numpy as np
+
+        from repro.core.microbatch import sliding_window_maxima
+
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            values = rng.integers(1, 1000, size=int(rng.integers(1, 50)))
+            window = int(rng.integers(1, 60))
+            table = sliding_window_maxima(values, window)
+            n = len(values)
+            for start in range(n):
+                for size in range(1, min(window, n - start) + 1):
+                    assert table[start, size - 1] == values[start : start + size].max()
+
+    def test_monotone_input_uses_last_element(self):
+        import numpy as np
+
+        from repro.core.microbatch import sliding_window_maxima
+
+        values = np.array([1, 3, 3, 7, 20])
+        table = sliding_window_maxima(values, 5)
+        for start in range(5):
+            for size in range(1, 5 - start + 1):
+                assert table[start, size - 1] == values[start + size - 1]
+
+
+class TestVectorizedEquivalence:
+    """The window-table fast path must reproduce the scalar DP exactly."""
+
+    def _compare(self, cost_model, samples, **kwargs):
+        fast = DynamicMicroBatcher(cost_model, vectorized=True, **kwargs)
+        slow = DynamicMicroBatcher(cost_model, vectorized=False, **kwargs)
+        fast_result = fast.split(samples)
+        slow_result = slow.split(samples)
+        assert fast.last_solution.boundaries == slow.last_solution.boundaries
+        assert fast.last_solution.times == slow.last_solution.times
+        assert fast.last_solution.objective == slow.last_solution.objective
+        assert fast.last_solution.tmax_used == slow.last_solution.tmax_used
+        fast_shapes = [mb.shape() for mb in fast_result.micro_batches]
+        slow_shapes = [mb.shape() for mb in slow_result.micro_batches]
+        assert fast_shapes == slow_shapes
+
+    def test_gpt_seeded(self, gpt_cost_model, flan_samples_gpt):
+        self._compare(gpt_cost_model, flan_samples_gpt[:70], tmax_sample_count=12)
+
+    def test_t5_seeded(self, t5_cost_model, flan_samples):
+        self._compare(t5_cost_model, flan_samples[:70], tmax_sample_count=12)
+
+    def test_gpt_full_recompute(self, gpt_cost_model, flan_samples_gpt):
+        self._compare(
+            gpt_cost_model,
+            flan_samples_gpt[:40],
+            tmax_sample_count=8,
+            recompute=RecomputeMode.FULL,
+        )
+
+    def test_tight_memory_limit(self, gpt_cost_model, flan_samples_gpt):
+        self._compare(
+            gpt_cost_model,
+            flan_samples_gpt[:50],
+            per_microbatch_memory_bytes=gpt_cost_model.min_activation_budget_bytes() / 12,
+        )
+
+    def test_split_recompute_override_reuses_geometry(self, gpt_cost_model, flan_samples_gpt):
+        """Mode retries on the same mini-batch reuse the cached window
+        geometry and still match a fresh batcher under that mode."""
+        samples = flan_samples_gpt[:40]
+        batcher = DynamicMicroBatcher(gpt_cost_model, tmax_sample_count=8)
+        batcher.split(samples)  # NONE mode populates the geometry cache
+        entry = batcher._geometry_entry
+        retried = batcher.split(samples, recompute=RecomputeMode.FULL)
+        assert batcher._geometry_entry is entry
+        fresh = DynamicMicroBatcher(
+            gpt_cost_model, tmax_sample_count=8, recompute=RecomputeMode.FULL
+        ).split(samples)
+        assert [mb.shape() for mb in retried.micro_batches] == [
+            mb.shape() for mb in fresh.micro_batches
+        ]

@@ -136,3 +136,75 @@ class TestExternalDatabase:
         )
         assert model.database is database
         assert model.stage_cost(0, MicroBatchShape(2, 128)).forward_ms > 0
+
+
+class TestBatchedQueriesAndCaches:
+    def test_batched_matches_scalar(self, gpt_cost_model, t5_cost_model):
+        """Batched per-stage and bottleneck queries are bit-identical to the
+        scalar reference chain."""
+        for cm, shapes in (
+            (
+                gpt_cost_model,
+                [MicroBatchShape(b, e) for b, e in [(1, 33), (4, 700), (16, 2048), (2, 8)]],
+            ),
+            (
+                t5_cost_model,
+                [
+                    MicroBatchShape(b, e, d)
+                    for b, e, d in [(1, 33, 17), (4, 700, 120), (16, 2048, 300)]
+                ],
+            ),
+        ):
+            for mode in (RecomputeMode.NONE, RecomputeMode.FULL):
+                times = cm.microbatch_times_ms(shapes, mode)
+                acts = cm.microbatch_activation_bytes_many(shapes, mode)
+                for i, shape in enumerate(shapes):
+                    scalar_time = max(
+                        cm.stage_cost(stage, shape, mode).total_ms
+                        for stage in range(cm.num_stages)
+                    )
+                    scalar_act = max(
+                        cm.stage_cost(stage, shape, mode).activation_bytes
+                        for stage in range(cm.num_stages)
+                    )
+                    assert times[i] == scalar_time
+                    assert acts[i] == scalar_act
+                for stage in range(cm.num_stages):
+                    batched = cm.stage_costs_many(stage, shapes, mode)
+                    for shape, cost in zip(shapes, batched):
+                        assert cost == cm.stage_cost(stage, shape, mode)
+
+    def test_cache_guard_clear_keeps_results_consistent(self, tiny_gpt_config, monkeypatch):
+        """When the soft cache cap fires mid-query, previously cached shapes
+        must still be returned (regression: the clear used to cause KeyError)."""
+        import repro.costmodel.cost_model as cost_model_module
+
+        monkeypatch.setattr(cost_model_module, "_CACHE_LIMIT", 3)
+        cm = CostModel(
+            tiny_gpt_config, num_stages=2, max_profile_batch_size=4, max_profile_seq_len=64
+        )
+        cached = [MicroBatchShape(1, 32), MicroBatchShape(2, 32), MicroBatchShape(3, 32)]
+        expected_times = cm.microbatch_times_ms(cached)
+        expected_stage = cm.stage_costs_many(0, cached)
+        fresh = [MicroBatchShape(4, 48), MicroBatchShape(4, 64)]
+        mixed = cached + fresh
+        times = cm.microbatch_times_ms(mixed)
+        assert list(times[: len(cached)]) == list(expected_times)
+        stage_costs = cm.stage_costs_many(0, mixed)
+        assert stage_costs[: len(cached)] == expected_stage
+
+    def test_static_bytes_cache_is_per_instance(self, tiny_gpt_config):
+        """stage_static_bytes no longer uses lru_cache on the method, which
+        pinned every CostModel instance in a module-global cache."""
+        import gc
+        import weakref
+
+        cm = CostModel(
+            tiny_gpt_config, num_stages=2, max_profile_batch_size=4, max_profile_seq_len=64
+        )
+        cm.stage_static_bytes(0)
+        assert cm.stage_static_bytes(0) == cm.stage_static_bytes(0)
+        ref = weakref.ref(cm)
+        del cm
+        gc.collect()
+        assert ref() is None

@@ -102,3 +102,66 @@ class Test3D:
         interp = GridInterpolator([[1, 2], [4, 8], [16, 32]], values)
         result = interp(x, y, z)
         assert values.min() - 1e-9 <= result <= values.max() + 1e-9
+
+
+def _random_grid(rng, dims, points_per_axis=5):
+    """A random strictly-increasing grid with random values."""
+    axes = [
+        np.unique(rng.integers(1, 4096, size=points_per_axis)).astype(float)
+        for _ in range(dims)
+    ]
+    values = rng.uniform(0.0, 500.0, size=tuple(len(a) for a in axes))
+    return GridInterpolator(axes, values), axes
+
+
+def _random_points(rng, axes, count):
+    """Random query points, half inside the grid and half extrapolating
+    beyond either end of each axis."""
+    low = np.array([a[0] for a in axes])
+    high = np.array([a[-1] for a in axes])
+    span = high - low
+    inside = rng.uniform(low, high, size=(count // 2, len(axes)))
+    outside = rng.uniform(low - span, high + span, size=(count - count // 2, len(axes)))
+    return np.concatenate([inside, outside], axis=0)
+
+
+class TestQueryMany:
+    """The batched fast path must match the scalar reference bit for bit."""
+
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar_on_random_grids(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        interp, axes = _random_grid(rng, dims)
+        points = _random_points(rng, axes, 64)
+        batched = interp.query_many(points)
+        scalar = np.array([interp(*row) for row in points])
+        assert batched.shape == (64,)
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_matches_scalar_on_grid_points(self):
+        """Exact grid points (including corners) are reproduced exactly."""
+        rng = np.random.default_rng(3)
+        interp, axes = _random_grid(rng, 2)
+        grid = np.array([[x, y] for x in axes[0] for y in axes[1]])
+        np.testing.assert_array_equal(
+            interp.query_many(grid), np.array([interp(*row) for row in grid])
+        )
+
+    def test_single_point_axis(self):
+        interp = GridInterpolator([[5], [1, 2]], np.array([[10.0, 20.0]]))
+        points = np.array([[3.0, 1.5], [100.0, 0.0]])
+        np.testing.assert_array_equal(
+            interp.query_many(points), np.array([interp(*row) for row in points])
+        )
+
+    def test_wrong_shape_rejected(self):
+        interp = GridInterpolator([[0, 1], [0, 1]], np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            interp.query_many(np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            interp.query_many(np.zeros(4))
+
+    def test_empty_batch(self):
+        interp = GridInterpolator([[0, 1]], np.array([0.0, 1.0]))
+        assert interp.query_many(np.zeros((0, 1))).shape == (0,)

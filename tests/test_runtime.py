@@ -128,3 +128,41 @@ class TestOrchestrator:
                 global_batch_tokens=8192,
                 num_iterations=100,
             )
+
+
+class TestConcurrentPlanning:
+    def test_two_workers_match_serial_plans(self, gpt_cost_model, minibatches):
+        """Concurrent workers sharing one planner (and hence one batcher and
+        cost-model cache) must produce the same plans as serial planning —
+        the shared window-geometry slot and DP solutions must not cross
+        threads."""
+        from repro.core.planner import DynaPipePlanner, PlannerConfig
+
+        shared = DynaPipePlanner(
+            gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        store = InstructionStore()
+        pool = PlannerPool(
+            planner=shared, minibatches=minibatches, store=store, num_workers=2
+        )
+        pool.start()
+        try:
+            deadline = time.time() + 30
+            while len(pool.planned_iterations()) < len(minibatches) and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            pool.stop()
+        assert not pool.errors
+
+        serial = DynaPipePlanner(
+            gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        for iteration, samples in enumerate(minibatches):
+            expected = serial.plan(list(samples), iteration=iteration)
+            stored = store.fetch(iteration, 0)
+            assert stored["metadata"]["num_microbatches"] == len(
+                expected.replicas[0].micro_batches
+            )
+            assert stored["metadata"]["predicted_makespan_ms"] == pytest.approx(
+                expected.replicas[0].simulation.makespan_ms
+            )
