@@ -3,10 +3,11 @@
 DynaPipe's per-iteration planning takes a noticeable fraction of a second to
 seconds of CPU time.  The paper hides that cost by running planners on CPU
 cores concurrently with GPU execution and pushing plans to a distributed
-instruction store ahead of time.  This example runs the same architecture
-in-process: a planner pool plans several iterations ahead while the executor
-service consumes plans from the store, and the report shows how much of the
-planning time was actually exposed as executor stalls.
+instruction store ahead of time.  This example runs the same architecture:
+a pool of planner worker *processes* (each rebuilt from the serialized cost
+model, planning on real CPU cores) plans several iterations ahead while the
+executor service consumes plans from the store, and the report shows how
+much of the planning time was actually exposed as executor stalls.
 
 Run with:  python examples/overlapped_planning.py
 """

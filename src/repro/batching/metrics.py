@@ -9,8 +9,8 @@ DynaPipe is balanced across the two.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import asdict, dataclass
+from typing import Any, Iterable
 
 from repro.batching.base import MicroBatch
 
@@ -34,12 +34,46 @@ class PaddingStats:
     decoder_efficiency: float | None
     overall_efficiency: float
 
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PaddingStats":
+        """Rebuild from :meth:`to_dict` output."""
+        decoder = payload["decoder_efficiency"]
+        return cls(
+            actual_tokens=int(payload["actual_tokens"]),
+            padded_tokens=int(payload["padded_tokens"]),
+            encoder_efficiency=float(payload["encoder_efficiency"]),
+            decoder_efficiency=None if decoder is None else float(decoder),
+            overall_efficiency=float(payload["overall_efficiency"]),
+        )
+
 
 def padding_stats(micro_batches: Iterable[MicroBatch]) -> PaddingStats:
-    """Compute padding statistics over ``micro_batches``."""
+    """Compute padding statistics over ``micro_batches``.
+
+    All micro-batches must target the same architecture: mixing decoder-only
+    (concatenated-sequence) and encoder-decoder micro-batches is rejected
+    because their tensors are not comparable — a decoder-only micro-batch has
+    no target tensor, so folding it into the decoder-efficiency aggregation
+    would silently misreport the encoder-decoder batches' efficiency, and its
+    "encoder" tensor counts input *and* target tokens.
+
+    Raises:
+        ValueError: If ``micro_batches`` mixes ``decoder_only`` flags.
+    """
     micro_batches = list(micro_batches)
     if not micro_batches:
         return PaddingStats(0, 0, 0.0, None, 0.0)
+    flags = {mb.decoder_only for mb in micro_batches}
+    if len(flags) > 1:
+        raise ValueError(
+            "cannot mix decoder-only and encoder-decoder micro-batches in one "
+            "padding-efficiency computation; aggregate each model family separately"
+        )
+    decoder_only = flags.pop()
     actual = sum(mb.actual_tokens() for mb in micro_batches)
     padded = sum(mb.padded_tokens() for mb in micro_batches)
 
@@ -47,7 +81,6 @@ def padding_stats(micro_batches: Iterable[MicroBatch]) -> PaddingStats:
     enc_padded = sum(mb.batch_size * mb.enc_seq_len for mb in micro_batches)
     encoder_eff = enc_actual / enc_padded if enc_padded else 0.0
 
-    decoder_only = all(mb.decoder_only for mb in micro_batches)
     if decoder_only:
         decoder_eff: float | None = None
     else:

@@ -13,7 +13,8 @@ ring all-reduce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any
 
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -88,3 +89,17 @@ class NetworkModel:
         volume_factor = 2.0 * (participants - 1) / participants
         steps = 2 * (participants - 1)
         return steps * link.latency_ms + nbytes * volume_factor / link.bandwidth * 1e3
+
+    # ------------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the link specs (for shipping planners across processes)."""
+        return {"intra_node": asdict(self.intra_node), "inter_node": asdict(self.inter_node)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "NetworkModel":
+        """Rebuild a :class:`NetworkModel` from :meth:`to_dict` output."""
+        return cls(
+            intra_node=LinkSpec(**payload["intra_node"]),
+            inter_node=LinkSpec(**payload["inter_node"]),
+        )

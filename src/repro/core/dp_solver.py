@@ -25,7 +25,9 @@ Two execution paths are provided:
   a dense :class:`WindowCostTable` of precomputed window times and
   feasibility flags (built by
   :class:`~repro.core.microbatch.DynamicMicroBatcher` from one batched
-  cost-model query over the unique window shapes).
+  cost-model query over the unique window shapes) and advances the
+  independent per-candidate DP passes together over one
+  ``(candidate, end)`` grid instead of looping candidates in Python.
 
 Both paths produce identical partitions; the fast path removes every
 per-window Python-level cost-model call from the DP inner loop.
@@ -34,7 +36,7 @@ per-window Python-level cost-model call from the DP inner loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -245,52 +247,67 @@ def _partition_for_tmax(
     return boundaries, times
 
 
-def _partition_for_tmax_table(
+def _partitions_for_tmax_batch(
     end_times: np.ndarray,
     end_feasible: np.ndarray,
     num_samples: int,
-    tmax: float,
-) -> tuple[list[tuple[int, int]], list[float]] | None:
-    """Vectorized Eq. 2 DP over precomputed per-``end`` window-time rows.
+    tmaxes: Sequence[float],
+) -> list[tuple[list[tuple[int, int]], list[float]] | None]:
+    """Eq. 2 DP for *all* ``t_max`` candidates in one (candidate, end) pass.
 
-    ``end_times[end - 1, size - 1]`` is the time of window
-    ``[end - size, end)`` (``inf`` when ``size > end``); ``end_feasible``
-    holds the matching memory-feasibility flags.  Produces the same
-    partition as :func:`_partition_for_tmax`: the admissible window sizes
-    for each ``end`` are the contiguous prefix up to the first bound or
-    feasibility violation (window times grow with window size), and ties
-    between equal-cost predecessors resolve to the smallest window.
+    The per-candidate DP passes are independent (ROADMAP: "Parallel t_max
+    candidates"), so instead of looping candidates in Python the recurrence
+    advances a ``(num_candidates, num_samples + 1)`` cost matrix end by end:
+    each step evaluates every candidate's admissible window sizes with one
+    batch of numpy operations.  Arithmetic, admissible-prefix computation and
+    argmin tie-breaking (first minimum → smallest window) are exactly those
+    of the single-candidate recurrence, so each candidate's partition is
+    bit-identical to running it alone.
+
+    Returns one ``(boundaries, times)`` pair — or ``None`` when infeasible —
+    per candidate, in input order.
     """
-    best_cost = np.full(num_samples + 1, np.inf)
-    best_prev = np.full(num_samples + 1, -1, dtype=np.int64)
-    best_cost[0] = 0.0
+    num_candidates = len(tmaxes)
+    max_window = end_times.shape[1]
+    bounds = np.asarray(list(tmaxes), dtype=float)[:, None]
+    best_cost = np.full((num_candidates, num_samples + 1), np.inf)
+    best_prev = np.full((num_candidates, num_samples + 1), -1, dtype=np.int64)
+    best_cost[:, 0] = 0.0
+    rows = np.arange(num_candidates)
     for end in range(1, num_samples + 1):
         row_times = end_times[end - 1]
-        admissible = (row_times <= tmax) & end_feasible[end - 1]
-        if admissible.all():
-            prefix = len(admissible)
-        else:
-            prefix = int(np.argmin(admissible))
-        if prefix == 0:
+        # Admissible sizes form a contiguous prefix (window times grow with
+        # window size); logical-and accumulation stops at the first violation.
+        admissible = (row_times[None, :] <= bounds) & end_feasible[end - 1][None, :]
+        prefix_mask = np.logical_and.accumulate(admissible, axis=1)
+        # Window size s ends at `end` and starts at `end - s`; sizes
+        # 1..min(max_window, end) map onto best_cost[:, end - 1 .. end - s],
+        # i.e. a reversed slice (padded with inf for sizes larger than end).
+        width = min(max_window, end)
+        prev_cost = np.full((num_candidates, max_window), np.inf)
+        prev_cost[:, :width] = best_cost[:, end - width : end][:, ::-1]
+        candidates = np.where(prefix_mask, prev_cost + row_times[None, :], np.inf)
+        pick = np.argmin(candidates, axis=1)
+        values = candidates[rows, pick]
+        update = np.isfinite(values)
+        best_cost[update, end] = values[update]
+        best_prev[update, end] = end - (pick[update] + 1)
+
+    results: list[tuple[list[tuple[int, int]], list[float]] | None] = []
+    for c in range(num_candidates):
+        if not np.isfinite(best_cost[c, num_samples]):
+            results.append(None)
             continue
-        # Window size s ends at `end` and starts at `end - s`; sizes 1..prefix
-        # map onto best_cost[end - 1 .. end - prefix], i.e. a reversed slice.
-        candidates = best_cost[end - prefix : end][::-1] + row_times[:prefix]
-        pick = int(np.argmin(candidates))
-        if np.isfinite(candidates[pick]):
-            best_cost[end] = candidates[pick]
-            best_prev[end] = end - (pick + 1)
-    if not np.isfinite(best_cost[num_samples]):
-        return None
-    boundaries: list[tuple[int, int]] = []
-    end = num_samples
-    while end > 0:
-        start = int(best_prev[end])
-        boundaries.append((start, end))
-        end = start
-    boundaries.reverse()
-    times = [float(end_times[end - 1, end - start - 1]) for start, end in boundaries]
-    return boundaries, times
+        boundaries: list[tuple[int, int]] = []
+        end = num_samples
+        while end > 0:
+            start = int(best_prev[c, end])
+            boundaries.append((start, end))
+            end = start
+        boundaries.reverse()
+        times = [float(end_times[end - 1, end - start - 1]) for start, end in boundaries]
+        results.append((boundaries, times))
+    return results
 
 
 def _end_major_tables(table: WindowCostTable) -> tuple[np.ndarray, np.ndarray]:
@@ -430,9 +447,13 @@ def _solve_partition_table(
     )
     end_times, end_feasible = _end_major_tables(trimmed)
 
+    # All candidate DP passes advance together in one (candidate, end) grid;
+    # the selection below scans candidates in their original (sorted) order,
+    # so the winner matches the sequential loop exactly.
+    results = _partitions_for_tmax_batch(end_times, end_feasible, num_samples, candidates)
+
     best: DPSolution | None = None
-    for tmax in candidates:
-        result = _partition_for_tmax_table(end_times, end_feasible, num_samples, tmax)
+    for tmax, result in zip(candidates, results):
         if result is None:
             continue
         boundaries, times = result

@@ -22,8 +22,8 @@ one execution plan per data-parallel replica:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Sequence
 
 from repro.batching.base import MicroBatch
 from repro.batching.metrics import PaddingStats, padding_stats
@@ -91,6 +91,25 @@ class PlannerConfig:
     data_parallel_same_node: bool = False
     model_comm_overlap: float = 0.5
 
+    # ------------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the configuration (enums by value) for worker processes."""
+        payload = asdict(self)
+        payload["ordering_method"] = self.ordering_method.value
+        payload["schedule_kind"] = self.schedule_kind.value
+        payload["recompute"] = self.recompute.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PlannerConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        payload = dict(payload)
+        payload["ordering_method"] = OrderingMethod(payload["ordering_method"])
+        payload["schedule_kind"] = ScheduleKind(payload["schedule_kind"])
+        payload["recompute"] = RecomputeMode(payload["recompute"])
+        return cls(**payload)
+
 
 @dataclass
 class ReplicaPlanResult:
@@ -140,6 +159,27 @@ class IterationPlan:
     def all_micro_batches(self) -> list[MicroBatch]:
         """All micro-batches of the iteration (replica-major order)."""
         return [mb for replica in self.replicas for mb in replica.micro_batches]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the iteration plan to a JSON-compatible payload.
+
+        This is the payload a planner-pool worker ships back to the parent:
+        per-replica :meth:`~repro.core.execution_plan.ExecutionPlan.to_dict`
+        plans (destined for the instruction store) plus the iteration-level
+        results a training loop needs (predictions, padding statistics,
+        recomputation mode).  The in-memory simulation and micro-batch
+        objects are deliberately not serialised — executors re-derive
+        everything they need from the instruction streams.
+        """
+        return {
+            "replicas": [plan.to_dict() for plan in self.plans],
+            "recompute": self.recompute.value,
+            "predicted_iteration_ms": self.predicted_iteration_ms,
+            "data_parallel_comm_ms": self.data_parallel_comm_ms,
+            "padding": self.padding.to_dict(),
+            "num_microbatches": self.num_microbatches,
+            "planning_time_s": self.planning_time_s,
+        }
 
 
 class DynaPipePlanner:
@@ -192,6 +232,37 @@ class DynaPipePlanner:
             sum_weight=1.0 / self.data_parallel_size,
             tmax_sample_count=self.config.tmax_sample_count,
             max_microbatch_size=self.config.max_microbatch_size,
+        )
+
+    # ------------------------------------------------------------------ serialisation
+
+    def to_spec(self) -> dict[str, Any]:
+        """Serialise everything needed to rebuild this planner in another process.
+
+        The spec embeds the cost model's full profile database (via
+        :func:`repro.costmodel.serialization.cost_model_to_dict`), so
+        :meth:`from_spec` never re-profiles and a rebuilt planner produces
+        bit-identical plans.
+        """
+        from repro.costmodel.serialization import cost_model_to_dict
+
+        return {
+            "cost_model": cost_model_to_dict(self.cost_model),
+            "data_parallel_size": self.data_parallel_size,
+            "config": self.config.to_dict(),
+            "network": self.network.to_dict(),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict[str, Any]) -> "DynaPipePlanner":
+        """Rebuild a planner from :meth:`to_spec` output."""
+        from repro.costmodel.serialization import cost_model_from_dict
+
+        return cls(
+            cost_model=cost_model_from_dict(spec["cost_model"]),
+            data_parallel_size=int(spec["data_parallel_size"]),
+            config=PlannerConfig.from_dict(spec["config"]),
+            network=NetworkModel.from_dict(spec["network"]),
         )
 
     # ------------------------------------------------------------------ helpers

@@ -17,6 +17,12 @@ from repro.costmodel.profiler import (
     ProfileDatabase,
     default_profile_grid,
 )
+from repro.costmodel.serialization import (
+    cost_model_from_dict,
+    cost_model_to_dict,
+    load_database,
+    save_database,
+)
 
 __all__ = [
     "CostModel",
@@ -26,4 +32,8 @@ __all__ = [
     "LayerProfiler",
     "ProfileDatabase",
     "default_profile_grid",
+    "cost_model_to_dict",
+    "cost_model_from_dict",
+    "save_database",
+    "load_database",
 ]

@@ -1,22 +1,35 @@
-"""Profile database (de)serialisation.
+"""Profile database and cost-model (de)serialisation.
 
 Profiling the simulated device is cheap, but the real system profiles
 physical GPUs once and reuses the result across training runs; keeping the
 same save/load workflow makes the cost model a drop-in component.  Profiles
 are stored as JSON: the grid axes and the value arrays of every interpolator
 for every layer kind and recomputation mode.
+
+On top of the profile database, :func:`cost_model_to_dict` /
+:func:`cost_model_from_dict` round-trip a whole :class:`CostModel` — model
+configuration, parallel degrees, device spec and profile database — which is
+what the process-based planner pool ships to its worker processes so each
+worker rebuilds an identical planner without re-profiling.  All round-trips
+are exact: interpolator grids survive both pickling and JSON (Python floats
+serialise via ``repr``, which round-trips IEEE-754 doubles bit-exactly), so
+a rebuilt cost model answers every query bit-identically.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.cluster.device import DeviceSpec
+from repro.costmodel.cost_model import CostModel
 from repro.costmodel.interpolation import GridInterpolator
 from repro.costmodel.profiler import LayerProfile, ProfileDatabase
+from repro.model.config import ModelArch, ModelConfig
 from repro.model.memory import RecomputeMode
 
 
@@ -83,6 +96,74 @@ def database_from_dict(payload: dict[str, Any]) -> ProfileDatabase:
         profiles={
             kind: profile_from_dict(profile) for kind, profile in payload["profiles"].items()
         },
+    )
+
+
+def model_config_to_dict(config: ModelConfig) -> dict[str, Any]:
+    """Serialise a :class:`ModelConfig` (architecture enum by value)."""
+    payload = asdict(config)
+    payload["arch"] = config.arch.value
+    return payload
+
+
+def model_config_from_dict(payload: dict[str, Any]) -> ModelConfig:
+    """Rebuild a :class:`ModelConfig` from :func:`model_config_to_dict` output."""
+    return ModelConfig(
+        name=str(payload["name"]),
+        arch=ModelArch(payload["arch"]),
+        num_layers=int(payload["num_layers"]),
+        hidden_size=int(payload["hidden_size"]),
+        num_heads=int(payload["num_heads"]),
+        kv_channels=int(payload["kv_channels"]),
+        ffn_hidden_size=int(payload["ffn_hidden_size"]),
+        vocab_size=int(payload["vocab_size"]),
+    )
+
+
+def device_spec_to_dict(spec: DeviceSpec) -> dict[str, Any]:
+    """Serialise a :class:`DeviceSpec`."""
+    return asdict(spec)
+
+
+def device_spec_from_dict(payload: dict[str, Any]) -> DeviceSpec:
+    """Rebuild a :class:`DeviceSpec` from :func:`device_spec_to_dict` output."""
+    return DeviceSpec(
+        name=str(payload["name"]),
+        peak_flops=float(payload["peak_flops"]),
+        memory_bandwidth=float(payload["memory_bandwidth"]),
+        memory_capacity=float(payload["memory_capacity"]),
+        compute_efficiency=float(payload["compute_efficiency"]),
+        bandwidth_efficiency=float(payload["bandwidth_efficiency"]),
+        kernel_overhead_ms=float(payload["kernel_overhead_ms"]),
+    )
+
+
+def cost_model_to_dict(cost_model: CostModel) -> dict[str, Any]:
+    """Serialise everything needed to rebuild ``cost_model`` exactly.
+
+    The payload embeds the full profile database, so
+    :func:`cost_model_from_dict` never re-profiles and the rebuilt model is
+    query-for-query bit-identical to the original.
+    """
+    return {
+        "config": model_config_to_dict(cost_model.config),
+        "num_stages": cost_model.num_stages,
+        "tensor_parallel": cost_model.tensor_parallel,
+        "zero_shards": cost_model.zero_shards,
+        "device_spec": device_spec_to_dict(cost_model.device_spec),
+        "database": database_to_dict(cost_model.database),
+    }
+
+
+def cost_model_from_dict(payload: dict[str, Any]) -> CostModel:
+    """Rebuild a :class:`CostModel` from :func:`cost_model_to_dict` output."""
+    return CostModel(
+        config=model_config_from_dict(payload["config"]),
+        num_stages=int(payload["num_stages"]),
+        tensor_parallel=int(payload["tensor_parallel"]),
+        zero_shards=int(payload["zero_shards"]),
+        device_spec=device_spec_from_dict(payload["device_spec"]),
+        database=database_from_dict(payload["database"]),
     )
 
 

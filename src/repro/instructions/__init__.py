@@ -31,7 +31,11 @@ from repro.instructions.serialization import (
     instructions_from_dicts,
     instructions_to_dicts,
 )
-from repro.instructions.store import InstructionStore
+from repro.instructions.store import (
+    InstructionStore,
+    PlanFailedError,
+    PlanNotReadyError,
+)
 
 __all__ = [
     "PipelineInstruction",
@@ -52,4 +56,6 @@ __all__ = [
     "instructions_to_dicts",
     "instructions_from_dicts",
     "InstructionStore",
+    "PlanNotReadyError",
+    "PlanFailedError",
 ]

@@ -5,6 +5,12 @@ serialised execution plans keyed by (iteration, executor) and executors
 pre-fetch them.  The reproduction keeps the same interface over an
 in-process dictionary, including the "plan not ready yet" condition an
 executor can observe when planning for a future iteration has not finished.
+
+Planning failures are first-class: when a planner cannot produce a plan for
+an iteration it pushes a *failure marker* instead, so an executor polling
+:meth:`InstructionStore.ready` / :meth:`InstructionStore.fetch` observes a
+:class:`PlanFailedError` immediately rather than spinning until its fetch
+timeout on a plan that will never arrive.
 """
 
 from __future__ import annotations
@@ -17,29 +23,59 @@ class PlanNotReadyError(KeyError):
     """Raised when an executor fetches a plan that has not been pushed yet."""
 
 
+class PlanFailedError(RuntimeError):
+    """Raised when planning for the fetched iteration failed.
+
+    Deliberately *not* a :class:`PlanNotReadyError` subclass: executors retry
+    "not ready" (the plan may still arrive) but must fail fast on "failed"
+    (the plan never will).
+    """
+
+
 class InstructionStore:
     """Key/value store for serialised execution plans.
 
     Keys are ``(iteration, executor_rank)`` pairs; values are arbitrary
     JSON-compatible payloads (typically the output of
     :func:`repro.instructions.serialization.instructions_to_dicts` plus plan
-    metadata).  The store is thread-safe so that a planner thread pool and
-    executor threads can share it, mirroring the CPU-planner / GPU-executor
-    overlap of the real system.
+    metadata).  The store is thread-safe so that a planner pool and executor
+    threads can share it, mirroring the CPU-planner / GPU-executor overlap of
+    the real system.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._plans: dict[tuple[int, int], Any] = {}
+        self._failures: dict[int, str] = {}
 
     def push(self, iteration: int, executor_rank: int, plan: Any) -> None:
         """Store the plan for ``executor_rank`` at ``iteration``."""
         with self._lock:
             self._plans[(iteration, executor_rank)] = plan
 
-    def fetch(self, iteration: int, executor_rank: int) -> Any:
-        """Fetch a plan; raises :class:`PlanNotReadyError` if absent."""
+    def push_failure(self, iteration: int, message: str) -> None:
+        """Mark planning of ``iteration`` as failed (for every executor rank).
+
+        Subsequent :meth:`fetch` calls for the iteration raise
+        :class:`PlanFailedError` and :meth:`ready` reports ``True`` so that
+        polling executors wake up and observe the failure.
+        """
         with self._lock:
+            self._failures[iteration] = message
+
+    def fetch(self, iteration: int, executor_rank: int) -> Any:
+        """Fetch a plan.
+
+        Raises:
+            PlanFailedError: If planning of ``iteration`` failed.
+            PlanNotReadyError: If the plan has not been pushed yet.
+        """
+        with self._lock:
+            if iteration in self._failures:
+                raise PlanFailedError(
+                    f"planning failed for iteration {iteration}: "
+                    f"{self._failures[iteration]}"
+                )
             try:
                 return self._plans[(iteration, executor_rank)]
             except KeyError as exc:
@@ -48,20 +84,31 @@ class InstructionStore:
                 ) from exc
 
     def ready(self, iteration: int, executor_rank: int) -> bool:
-        """Whether a plan is available for ``(iteration, executor_rank)``."""
+        """Whether a fetch for ``(iteration, executor_rank)`` would return.
+
+        ``True`` also covers failed iterations: the executor's fetch returns
+        immediately (with :class:`PlanFailedError`) instead of blocking.
+        """
         with self._lock:
-            return (iteration, executor_rank) in self._plans
+            return (iteration, executor_rank) in self._plans or iteration in self._failures
+
+    def failed_iterations(self) -> dict[int, str]:
+        """Failure messages of iterations whose planning failed."""
+        with self._lock:
+            return dict(self._failures)
 
     def evict_iteration(self, iteration: int) -> int:
-        """Remove all plans of ``iteration``; returns the number removed.
+        """Remove all plans (and any failure marker) of ``iteration``.
 
-        Executors call this after an iteration completes so the store does
-        not grow with the length of training.
+        Returns the number of plans removed.  Executors call this after an
+        iteration completes so the store does not grow with the length of
+        training.
         """
         with self._lock:
             keys = [key for key in self._plans if key[0] == iteration]
             for key in keys:
                 del self._plans[key]
+            self._failures.pop(iteration, None)
             return len(keys)
 
     def iterations(self) -> list[int]:

@@ -7,9 +7,10 @@ distributed instruction store from which executors fetch them just in time.
 
 This package reproduces that runtime on top of the in-process substrate:
 
-* :class:`~repro.runtime.planner_pool.PlannerPool` — a thread pool that
-  plans future iterations ahead of the executor and pushes serialised plans
-  to the :class:`~repro.instructions.store.InstructionStore`.
+* :class:`~repro.runtime.planner_pool.PlannerPool` — a pool of worker
+  *processes* (with a thread fallback) that plans future iterations ahead of
+  the executor on real CPU cores and pushes serialised plans to the
+  :class:`~repro.instructions.store.InstructionStore`.
 * :class:`~repro.runtime.executor_service.ExecutorService` — fetches plans
   from the store (blocking until they are ready), runs them on the
   instruction-level simulator, and records how long it had to stall waiting
@@ -21,10 +22,11 @@ This package reproduces that runtime on top of the in-process substrate:
 
 from repro.runtime.executor_service import ExecutorService, ExecutorStats
 from repro.runtime.orchestrator import OrchestratorReport, TrainingOrchestrator
-from repro.runtime.planner_pool import PlannerPool
+from repro.runtime.planner_pool import PlannerPool, PlanningRecord
 
 __all__ = [
     "PlannerPool",
+    "PlanningRecord",
     "ExecutorService",
     "ExecutorStats",
     "TrainingOrchestrator",

@@ -16,7 +16,7 @@ from typing import Sequence
 from repro.costmodel.cost_model import CostModel
 from repro.data.sampler import MiniBatchSampler
 from repro.data.tasks import Sample
-from repro.instructions.store import InstructionStore
+from repro.instructions.store import InstructionStore, PlanFailedError
 from repro.runtime.executor_service import ExecutorService
 from repro.runtime.planner_pool import PlannerPool
 from repro.utils.rng import SeedLike
@@ -59,9 +59,11 @@ class TrainingOrchestrator:
         global_batch_tokens: Global batch size in tokens.
         num_iterations: Number of iterations to run.
         data_parallel_size: Replicas per iteration.
-        planner_workers: Planning threads.
+        planner_workers: Planning workers (processes by default).
         lookahead: Plan-ahead window (in iterations).
         noise_std / seed: Execution noise parameters.
+        planner_backend: ``"process"`` (real parallel planning) or
+            ``"thread"`` (in-process fallback).
     """
 
     def __init__(
@@ -76,6 +78,7 @@ class TrainingOrchestrator:
         lookahead: int = 4,
         noise_std: float = 0.05,
         seed: SeedLike = 0,
+        planner_backend: str = "process",
     ) -> None:
         if num_iterations < 1:
             raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
@@ -97,6 +100,7 @@ class TrainingOrchestrator:
             store=self.store,
             num_workers=planner_workers,
             lookahead=lookahead,
+            backend=planner_backend,
         )
         self.executor = ExecutorService(
             cost_model=cost_model,
@@ -108,11 +112,28 @@ class TrainingOrchestrator:
         self.num_iterations = num_iterations
 
     def run(self) -> OrchestratorReport:
-        """Run the overlapped planning/execution loop."""
+        """Run the overlapped planning/execution loop.
+
+        Raises:
+            RuntimeError: If planning of any iteration failed.  Failures
+                surface *during* the loop (the pool pushes failure markers,
+                so the executor's fetch raises within its poll interval
+                instead of timing out), with the planner's error chained.
+        """
         self.pool.start()
         try:
             for iteration in range(self.num_iterations):
-                self.executor.run_iteration(iteration)
+                try:
+                    self.executor.run_iteration(iteration)
+                except PlanFailedError as failure:
+                    errors = self.pool.errors
+                    cause = next(
+                        (error for it, error in errors if it == iteration),
+                        errors[0][1] if errors else failure,
+                    )
+                    raise RuntimeError(
+                        f"planning failed for iteration {iteration}: {cause}"
+                    ) from cause
                 self.pool.notify_consumed(iteration)
         finally:
             self.pool.stop()

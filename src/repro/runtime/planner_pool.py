@@ -1,26 +1,45 @@
-"""Asynchronous planning ahead of execution.
+"""Asynchronous planning ahead of execution, on real CPU cores.
 
 A :class:`PlannerPool` owns a planner (DynaPipe's or the baseline's), a
-sequence of mini-batches, and the shared instruction store.  Worker threads
-pull iteration indices from a queue, plan them, and push the serialised
-plans to the store keyed by (iteration, replica).  Because planning is pure
-Python the threads do not add raw parallel speed-up (the GIL), but they do
-exactly what the paper's planners do architecturally: plans for future
-iterations are produced while earlier iterations execute, so the executor
-never waits as long as planning keeps up on average.
+sequence of mini-batches, and the shared instruction store.  Worker
+*processes* (the default backend) pull iteration indices from a task queue,
+plan them, and ship the serialised :meth:`IterationPlan.to_dict` payloads
+back over a result queue; the parent pushes each replica's plan to the store
+keyed by (iteration, replica).  Every worker rebuilds the planner from a
+serialised spec — the cost model's profile database travels once, at spawn —
+so planning runs outside the parent's GIL and extra workers add *real*
+parallel speed-up on multi-core hosts, exactly the paper's "planning
+overlaps execution using a handful of CPU cores" claim (Fig. 17).  Rebuilt
+planners answer every cost-model query bit-identically, so pooled plans
+match serial planning exactly.
+
+A ``backend="thread"`` fallback keeps the old in-process workers for
+planners that cannot be serialised; it provides the same overlap
+architecture without the parallel speed-up.
+
+Failure handling is fail-fast on both backends: a worker that raises (or a
+worker process that dies) pushes a failure marker to the store, so an
+executor polling :meth:`~repro.instructions.store.InstructionStore.ready` /
+``fetch`` for that iteration observes
+:class:`~repro.instructions.store.PlanFailedError` immediately instead of
+spinning until its fetch timeout.  :meth:`PlannerPool.stop` drains the task
+queue and reports which enqueued iterations were *abandoned* (never planned,
+never failed), so a restart knows exactly what still needs planning.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import pickle
 import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Any, Protocol, Sequence
 
-from repro.core.planner import IterationPlan
+from repro.core.planner import DynaPipePlanner, IterationPlan
 from repro.data.tasks import Sample
-from repro.instructions.store import InstructionStore
+from repro.instructions.store import InstructionStore, PlanFailedError
 
 
 class _Planner(Protocol):
@@ -34,12 +53,15 @@ class PlanningRecord:
 
     Attributes:
         iteration: Iteration index the record describes.
-        planning_time_s: Wall-clock planning time of the iteration.
+        planning_time_s: Wall-clock planning time of the iteration (measured
+            inside the worker).
         num_microbatches: Micro-batches in the produced plan.
-        pushed_at: ``time.perf_counter()`` timestamp when the plan was pushed.
+        pushed_at: ``time.perf_counter()`` timestamp when the plan was pushed
+            to the store (parent clock).
         dp_cost_evaluations: Cost-model evaluations the DP performed (unique
             window shapes on the vectorized fast path); 0 for planners that
             do not run the DP (baselines).
+        worker: Identifier of the worker that planned the iteration.
     """
 
     iteration: int
@@ -47,6 +69,75 @@ class PlanningRecord:
     num_microbatches: int
     pushed_at: float
     dp_cost_evaluations: int = 0
+    worker: str = ""
+
+
+def _planner_payload(planner: _Planner) -> dict[str, Any]:
+    """Serialise ``planner`` for shipment to worker processes.
+
+    Planners exposing ``to_spec`` (the DynaPipe planner) travel as a spec —
+    profile database and configuration, rebuilt via ``from_spec`` — which is
+    robust across start methods.  Anything else is pickled whole.
+    """
+    if hasattr(planner, "to_spec"):
+        return {"kind": "spec", "spec": planner.to_spec()}
+    return {"kind": "pickle", "blob": pickle.dumps(planner)}
+
+
+def _rebuild_planner(payload: dict[str, Any]) -> _Planner:
+    """Worker-side inverse of :func:`_planner_payload`."""
+    if payload["kind"] == "spec":
+        return DynaPipePlanner.from_spec(payload["spec"])
+    return pickle.loads(payload["blob"])
+
+
+def _plan_one(planner: _Planner, minibatch: Sequence[Sample], iteration: int):
+    """Plan one iteration; returns (payload, record fields)."""
+    start = time.perf_counter()
+    plan = planner.plan(list(minibatch), iteration=iteration)
+    elapsed = time.perf_counter() - start
+    solution = getattr(plan, "dp_solution", None)
+    info = {
+        "planning_time_s": elapsed,
+        "num_microbatches": plan.num_microbatches,
+        "dp_cost_evaluations": solution.cost_evaluations if solution is not None else 0,
+    }
+    return plan.to_dict(), info
+
+
+def _process_worker(
+    worker_id: str,
+    planner_payload: dict[str, Any],
+    tasks: "mp.Queue",
+    results: "mp.Queue",
+) -> None:
+    """Worker-process main loop: rebuild the planner, plan until sentinel.
+
+    Tasks arrive as ``(iteration, samples)`` pairs — each mini-batch is
+    shipped exactly once, with its task, rather than the whole epoch being
+    copied into every worker at spawn.  Every message on ``results`` is a
+    tuple whose first element names the event; the parent's collector thread
+    keys its bookkeeping off the ``claimed``/``planned``/``failed`` sequence
+    so that a worker that dies mid-plan leaves an unresolved claim behind
+    for crash detection.
+    """
+    try:
+        planner = _rebuild_planner(planner_payload)
+    except Exception as error:  # noqa: BLE001 - surfaced to the parent
+        results.put(("spawn_failed", worker_id, f"{type(error).__name__}: {error}"))
+        return
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        iteration, samples = task
+        results.put(("claimed", worker_id, iteration))
+        try:
+            payload, info = _plan_one(planner, samples, iteration)
+            results.put(("planned", worker_id, iteration, payload, info))
+        except Exception as error:  # noqa: BLE001 - surfaced to the parent
+            results.put(("failed", worker_id, iteration, f"{type(error).__name__}: {error}"))
+    results.put(("exited", worker_id))
 
 
 @dataclass
@@ -56,19 +147,31 @@ class PlannerPool:
     Attributes:
         planner: The system planner used for every iteration.
         minibatches: The samples of each iteration, indexed by iteration.
-        store: The shared instruction store plans are pushed to.
-        num_workers: Number of planning threads (the paper parallelises
+        store: The shared instruction store plans are pushed to.  When
+            omitted, the pool creates its own store and additionally retains
+            each iteration's full payload for :meth:`wait_payload` /
+            :meth:`payload` consumers (the pooled trainer); with an external
+            store only the store holds plans, so nothing is double-buffered.
+        num_workers: Number of planning workers (the paper parallelises
             planning over CPU cores / machines).
         lookahead: Maximum number of iterations planned beyond the last one
             the executor has consumed (bounds plan memory, like the paper's
             prefetch window).
+        backend: ``"process"`` (default; real parallelism, planner rebuilt
+            per worker from its serialised spec) or ``"thread"`` (in-process
+            fallback sharing the live planner object).
+        mp_start_method: ``multiprocessing`` start method for the process
+            backend (defaults to the platform default — ``fork`` on Linux,
+            ``spawn`` on macOS/Windows, where fork is unsafe).
     """
 
     planner: _Planner
     minibatches: Sequence[Sequence[Sample]]
-    store: InstructionStore
+    store: InstructionStore | None = None
     num_workers: int = 2
     lookahead: int = 4
+    backend: str = "process"
+    mp_start_method: str | None = None
     records: list[PlanningRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -76,80 +179,367 @@ class PlannerPool:
             raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
         if self.lookahead < 1:
             raise ValueError(f"lookahead must be >= 1, got {self.lookahead}")
-        self._queue: queue.Queue[int | None] = queue.Queue()
-        self._threads: list[threading.Thread] = []
+        if self.backend not in ("process", "thread"):
+            raise ValueError(f"backend must be 'process' or 'thread', got {self.backend!r}")
+        self._external_store = self.store is not None
+        if self.store is None:
+            self.store = InstructionStore()
         self._lock = threading.Lock()
         self._consumed = -1
         self._next_to_enqueue = 0
         self._errors: list[tuple[int, Exception]] = []
+        self._payloads: dict[int, dict[str, Any]] = {}
+        self._completed: set[int] = set()
+        self._failed: set[int] = set()
+        self._claims: dict[str, int] = {}
+        self._abandoned: list[int] = []
+        self._pool_failure: Exception | None = None
+        #: Iterations that looked lost (enqueued, unclaimed, not in the task
+        #: queue) at the last crash sweep; confirmed lost on the next sweep.
+        self._suspect_lost: set[int] = set()
+        #: Once sealed (by :meth:`stop`), late worker results are dropped so
+        #: the planned/failed/abandoned accounting stays consistent.
+        self._sealed = False
         self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._processes: list[mp.process.BaseProcess] = []
+        self._collector: threading.Thread | None = None
+        self._exited: set[str] = set()
+        self._queue: Any = None  # queue.Queue (thread) or mp.Queue (process)
+        self._results: Any = None  # mp.Queue (process backend only)
 
-    # ------------------------------------------------------------------ worker
+    # ------------------------------------------------------------------ bookkeeping
 
-    def _worker(self) -> None:
+    def _record_planned(self, worker: str, iteration: int, payload: dict, info: dict) -> None:
+        """Push a finished iteration's plans to the store and record it.
+
+        The store push happens under the pool lock so that :meth:`stop` can
+        seal the pool and snapshot the abandoned set atomically — a thread
+        worker finishing *after* the seal must not make an "abandoned"
+        iteration retroactively planned.
+        """
+        with self._lock:
+            if self._sealed:
+                return
+            if iteration in self._failed:
+                # A crash sweep already failed this iteration (e.g. the
+                # worker was killed right after shipping the result); the
+                # failure has been surfaced to consumers, so the late result
+                # is dropped rather than leaving the iteration both planned
+                # and failed.
+                return
+            for replica_index, replica_payload in enumerate(payload["replicas"]):
+                self.store.push(iteration, replica_index, replica_payload)
+            self._claims.pop(worker, None)
+            self._suspect_lost.discard(iteration)
+            if not self._external_store:
+                self._payloads[iteration] = payload
+            self._completed.add(iteration)
+            self.records.append(
+                PlanningRecord(
+                    iteration=iteration,
+                    planning_time_s=info["planning_time_s"],
+                    num_microbatches=info["num_microbatches"],
+                    pushed_at=time.perf_counter(),
+                    dp_cost_evaluations=info["dp_cost_evaluations"],
+                    worker=worker,
+                )
+            )
+
+    def _record_failed(self, worker: str, iteration: int, error: Exception) -> None:
+        """Record a planning failure and mark it in the store (fail fast)."""
+        with self._lock:
+            if self._sealed:
+                return
+            self._claims.pop(worker, None)
+            self._suspect_lost.discard(iteration)
+            if iteration in self._completed:
+                # The plan already landed; keep the success.
+                return
+            self._errors.append((iteration, error))
+            self._failed.add(iteration)
+            self.store.push_failure(iteration, str(error))
+
+    # ------------------------------------------------------------------ thread backend
+
+    def _thread_worker(self, worker_id: str) -> None:
         while not self._stop.is_set():
             try:
-                iteration = self._queue.get(timeout=0.05)
+                task = self._queue.get(timeout=0.05)
             except queue.Empty:
                 continue
-            if iteration is None:
+            if task is None:
                 break
+            iteration, samples = task
+            with self._lock:
+                self._claims[worker_id] = iteration
             try:
-                start = time.perf_counter()
-                plan = self.planner.plan(list(self.minibatches[iteration]), iteration=iteration)
-                elapsed = time.perf_counter() - start
-                for replica_index, replica_plan in enumerate(plan.plans):
-                    self.store.push(iteration, replica_index, replica_plan.to_dict())
-                solution = getattr(plan, "dp_solution", None)
-                with self._lock:
-                    self.records.append(
-                        PlanningRecord(
-                            iteration=iteration,
-                            planning_time_s=elapsed,
-                            num_microbatches=plan.num_microbatches,
-                            pushed_at=time.perf_counter(),
-                            dp_cost_evaluations=(
-                                solution.cost_evaluations if solution is not None else 0
-                            ),
-                        )
+                payload, info = _plan_one(self.planner, samples, iteration)
+                self._record_planned(worker_id, iteration, payload, info)
+            except Exception as error:  # noqa: BLE001 - surfaced via .errors + store
+                self._record_failed(worker_id, iteration, error)
+
+    # ------------------------------------------------------------------ process backend
+
+    def _collect(self) -> None:
+        """Parent-side collector: drain worker results, watch for crashes."""
+        alive_ids = {p.name for p in self._processes}
+        deaths_seen = False
+        while True:
+            try:
+                message = self._results.get(timeout=0.1)
+            except queue.Empty:
+                dead = [
+                    p for p in self._processes
+                    if p.name in alive_ids and not p.is_alive()
+                ]
+                for process in dead:
+                    alive_ids.discard(process.name)
+                    self._on_worker_death(process.name)
+                deaths_seen = deaths_seen or bool(dead)
+                if not alive_ids:
+                    # Nothing further can arrive; fail anything still queued
+                    # (unless we are stopping, where pending work is
+                    # *abandoned*, not failed).
+                    if not self._stop.is_set():
+                        self._fail_unserved("all planner workers exited")
+                    return
+                if deaths_seen and not self._stop.is_set():
+                    # Sweeps continue only while suspects remain; otherwise
+                    # the queue would be drained/re-pickled every idle poll
+                    # for the pool's remaining lifetime.
+                    deaths_seen = self._reconcile_lost_tasks()
+                continue
+            kind, worker_id = message[0], message[1]
+            if kind == "claimed":
+                if worker_id in self._exited:
+                    # The claim outlived its worker (the death sweep ran
+                    # before this buffered message was readable); recording
+                    # it now would strand the iteration — no further death
+                    # event will fire for this worker and the lost-task
+                    # sweep skips claimed iterations.  Fail it directly.
+                    self._record_failed(
+                        worker_id,
+                        message[2],
+                        RuntimeError(f"planner worker {worker_id} died while planning"),
                     )
-            except Exception as error:  # noqa: BLE001 - surfaced via .errors
+                else:
+                    with self._lock:
+                        self._claims[worker_id] = message[2]
+            elif kind == "planned":
+                _, _, iteration, payload, info = message
+                self._record_planned(worker_id, iteration, payload, info)
+            elif kind == "failed":
+                _, _, iteration, text = message
+                self._record_failed(worker_id, iteration, RuntimeError(text))
+            elif kind == "spawn_failed":
+                alive_ids.discard(worker_id)
+                self._exited.add(worker_id)
                 with self._lock:
-                    self._errors.append((iteration, error))
+                    self._errors.append(
+                        (-1, RuntimeError(f"worker {worker_id} failed to start: {message[2]}"))
+                    )
+                if not alive_ids and not self._stop.is_set():
+                    self._fail_unserved("no planner worker started")
+                    return
+            elif kind == "exited":
+                self._exited.add(worker_id)
+                alive_ids.discard(worker_id)
+                if not alive_ids:
+                    return
+
+    def _reconcile_lost_tasks(self) -> bool:
+        """Detect tasks a worker dequeued but died before claiming.
+
+        A kill between ``tasks.get()`` and the ``claimed`` message being
+        flushed loses the task silently: it is no longer in the queue and no
+        claim points at it, so neither the crash handler nor ``stop()``'s
+        drain would ever account for it.  After observing worker deaths the
+        collector therefore sweeps: an enqueued iteration that is neither
+        completed, failed, claimed, nor present in the task queue across two
+        consecutive sweeps (the second sweep gives an in-flight ``claimed``
+        message time to arrive) is failed like a claimed crash victim.
+
+        Returns whether suspects remain (i.e. another sweep is needed).
+        """
+        items = []
+        while True:
+            try:
+                items.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        for item in items:
+            self._queue.put(item)
+        present = {item[0] for item in items if item is not None}
+        with self._lock:
+            claimed = set(self._claims.values())
+            unaccounted = {
+                iteration
+                for iteration in range(self._next_to_enqueue)
+                if iteration not in self._completed
+                and iteration not in self._failed
+                and iteration not in claimed
+                and iteration not in present
+            }
+            lost = self._suspect_lost & unaccounted
+            self._suspect_lost = unaccounted - lost
+        for iteration in sorted(lost):
+            self._record_failed(
+                "pool",
+                iteration,
+                RuntimeError("planner worker died holding this iteration's task"),
+            )
+        with self._lock:
+            return bool(self._suspect_lost)
+
+    def _on_worker_death(self, worker_id: str) -> None:
+        """A worker process died without a clean exit message."""
+        if worker_id in self._exited or self._stop.is_set():
+            return
+        self._exited.add(worker_id)
+        with self._lock:
+            claimed = self._claims.get(worker_id)
+        if claimed is not None and claimed not in self._completed:
+            self._record_failed(
+                worker_id,
+                claimed,
+                RuntimeError(f"planner worker {worker_id} died while planning"),
+            )
+
+    def _fail_unserved(self, reason: str) -> None:
+        """Fail every enqueued iteration that no surviving worker will plan."""
+        with self._lock:
+            self._pool_failure = RuntimeError(reason)
+            pending = [
+                iteration
+                for iteration in range(self._next_to_enqueue)
+                if iteration not in self._completed and iteration not in self._failed
+            ]
+        for iteration in pending:
+            self._record_failed("pool", iteration, RuntimeError(reason))
 
     # ------------------------------------------------------------------ control
 
     def start(self) -> None:
-        """Start the worker threads and enqueue the initial look-ahead window."""
-        self._threads = [
-            threading.Thread(target=self._worker, name=f"planner-{i}", daemon=True)
-            for i in range(self.num_workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        """Start the workers and enqueue the initial look-ahead window."""
+        if self.backend == "thread":
+            self._queue = queue.Queue()
+            self._threads = [
+                threading.Thread(
+                    target=self._thread_worker, args=(f"planner-{i}",),
+                    name=f"planner-{i}", daemon=True,
+                )
+                for i in range(self.num_workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        else:
+            # None selects the platform-default context (fork on Linux,
+            # spawn on macOS/Windows, where forking is unsafe).
+            ctx = mp.get_context(self.mp_start_method)
+            self._queue = ctx.Queue()
+            self._results = ctx.Queue()
+            payload = _planner_payload(self.planner)
+            self._processes = [
+                ctx.Process(
+                    target=_process_worker,
+                    args=(f"planner-{i}", payload, self._queue, self._results),
+                    name=f"planner-{i}",
+                    daemon=True,
+                )
+                for i in range(self.num_workers)
+            ]
+            for process in self._processes:
+                process.start()
+            self._collector = threading.Thread(
+                target=self._collect, name="planner-collector", daemon=True
+            )
+            self._collector.start()
         self._refill()
 
     def _refill(self) -> None:
         with self._lock:
+            if self._stop.is_set():
+                return
+            failure = self._pool_failure
             limit = min(len(self.minibatches), self._consumed + 1 + self.lookahead)
-            while self._next_to_enqueue < limit:
-                self._queue.put(self._next_to_enqueue)
-                self._next_to_enqueue += 1
+            fresh = list(range(self._next_to_enqueue, limit))
+            self._next_to_enqueue = max(self._next_to_enqueue, limit)
+            if failure is None:
+                for iteration in fresh:
+                    self._queue.put((iteration, list(self.minibatches[iteration])))
+        if failure is not None:
+            # No worker is left to serve new iterations; keep the fail-fast
+            # guarantee by marking them failed instead of enqueueing them
+            # onto a queue nobody drains.
+            for iteration in fresh:
+                self._record_failed("pool", iteration, RuntimeError(str(failure)))
 
     def notify_consumed(self, iteration: int) -> None:
         """Tell the pool the executor finished ``iteration`` (advances the window)."""
         with self._lock:
             self._consumed = max(self._consumed, iteration)
+            self._payloads.pop(iteration, None)
         self.store.evict_iteration(iteration)
         self._refill()
 
-    def stop(self) -> None:
-        """Stop the workers (pending queue items are abandoned)."""
+    def _drain_tasks(self) -> list[int]:
+        drained: list[int] = []
+        if self._queue is None:
+            return drained
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                drained.append(item[0])
+        return drained
+
+    def stop(self) -> list[int]:
+        """Stop the workers and report the abandoned iterations.
+
+        The task queue is drained so no worker picks up new work; each
+        worker finishes (or is terminated after a timeout) and the enqueued
+        iterations that were neither planned nor failed are returned — and
+        exposed as :attr:`abandoned` — so a restart can re-plan exactly
+        those instead of double-planning finished ones or silently skipping
+        pending ones.
+        """
+        with self._lock:
+            if self._sealed:
+                # Already stopped: keep the first snapshot instead of
+                # recomputing from a now-empty queue.
+                return list(self._abandoned)
         self._stop.set()
-        for _ in self._threads:
-            self._queue.put(None)
+        drained = self._drain_tasks()
+        if self._queue is not None:
+            for _ in range(self.num_workers):
+                self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=5.0)
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - hung-worker safety net
+                process.terminate()
+                process.join(timeout=5.0)
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+        drained += self._drain_tasks()
+        with self._lock:
+            # Seal and snapshot atomically: a still-running thread worker
+            # finishing after this point has its result dropped, so nothing
+            # reported abandoned here can later turn up planned.
+            self._sealed = True
+            unfinished = [
+                it for it in self._claims.values()
+                if it not in self._completed and it not in self._failed
+            ]
+            abandoned = sorted(
+                set(drained + unfinished) - self._completed - self._failed
+            )
+            self._abandoned = abandoned
+        return abandoned
 
     # ------------------------------------------------------------------ status
 
@@ -159,7 +549,63 @@ class PlannerPool:
         with self._lock:
             return list(self._errors)
 
+    @property
+    def abandoned(self) -> list[int]:
+        """Iterations :meth:`stop` drained before they were ever planned."""
+        with self._lock:
+            return list(self._abandoned)
+
     def planned_iterations(self) -> list[int]:
         """Iterations whose plans have been pushed so far."""
         with self._lock:
             return sorted(record.iteration for record in self.records)
+
+    def failed_iterations(self) -> list[int]:
+        """Iterations whose planning failed."""
+        with self._lock:
+            return sorted(self._failed)
+
+    def payload(self, iteration: int) -> dict[str, Any] | None:
+        """The :meth:`IterationPlan.to_dict` payload of ``iteration``, if planned.
+
+        Payloads are retained only when the pool owns its store (no ``store``
+        argument was given); with an external store, fetch plans from it.
+        """
+        with self._lock:
+            return self._payloads.get(iteration)
+
+    def wait_payload(self, iteration: int, timeout: float = 120.0) -> dict[str, Any]:
+        """Block until ``iteration`` is planned and return its payload.
+
+        Raises:
+            RuntimeError: If the pool was built with an external store
+                (payloads are not retained there; poll the store instead).
+            PlanFailedError: If planning of the iteration failed.
+            TimeoutError: If the payload does not appear within ``timeout``.
+        """
+        if self._external_store:
+            raise RuntimeError(
+                "wait_payload() requires a pool-owned store (construct the "
+                "PlannerPool without `store`); consumers of an external store "
+                "should poll it directly"
+            )
+        deadline = time.perf_counter() + timeout
+        while True:
+            with self._lock:
+                payload = self._payloads.get(iteration)
+                failure = next(
+                    (error for it, error in self._errors if it == iteration), None
+                )
+                if failure is None:
+                    failure = self._pool_failure
+            if payload is not None:
+                return payload
+            if failure is not None:
+                raise PlanFailedError(
+                    f"planning failed for iteration {iteration}: {failure}"
+                ) from failure
+            if time.perf_counter() > deadline:
+                raise TimeoutError(
+                    f"no plan for iteration {iteration} after {timeout:.1f}s"
+                )
+            time.sleep(0.002)

@@ -20,18 +20,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
-from repro.batching.metrics import padding_stats
+from repro.batching.metrics import PaddingStats
 from repro.cluster.device import SimulatedGPU
 from repro.cluster.network import NetworkModel
+from repro.core.execution_plan import ExecutionPlan
 from repro.core.planner import IterationPlan
 from repro.data.sampler import MiniBatch, MiniBatchSampler
 from repro.data.tasks import Sample
 from repro.data.truncation import truncate_samples
 from repro.instructions.ops import BackwardPass, ForwardPass, PipelineInstruction
 from repro.model.transformer import build_stage_models
+from repro.runtime.planner_pool import PlannerPool
 from repro.simulator.executor import ExecutionResult, InstructionExecutor
 from repro.training.throughput import IterationRecord, TrainingReport
 from repro.utils.rng import SeedLike, new_rng
+
+
+#: Fraction of the data-parallel gradient all-reduce exposed on the
+#: iteration's critical path at execution time (the rest overlaps the
+#: backward pass, as Megatron/DeepSpeed gradient overlap does).
+_EXPOSED_DP_FRACTION = 0.5
 
 
 class IterationPlanner(Protocol):
@@ -60,6 +68,15 @@ class TrainerConfig:
         execute_plans: When False, skip the instruction-level execution and
             use the planner's predictions as the measured time (useful for
             fast sweeps where only relative planning output matters).
+        planner_processes: When > 0, plan iterations ahead of execution with
+            a :class:`~repro.runtime.planner_pool.PlannerPool` of that many
+            worker processes (the paper's CPU-side planning overlap) instead
+            of planning inline; plans are bit-identical to inline planning.
+        planner_lookahead: Plan-ahead window (in iterations) of the pooled
+            mode.
+        planner_timeout_s: Maximum time to wait for one iteration's plan in
+            the pooled mode before failing the run (a slow-but-healthy
+            planner should raise this, not die).
     """
 
     max_iterations: int | None = 20
@@ -68,6 +85,9 @@ class TrainerConfig:
     max_seq_len: int | None = None
     stages_same_node: bool = True
     execute_plans: bool = True
+    planner_processes: int = 0
+    planner_lookahead: int = 4
+    planner_timeout_s: float = 600.0
 
 
 class TrainingSession:
@@ -150,59 +170,150 @@ class TrainingSession:
             static_bytes=static,
         )
 
+    @staticmethod
+    def _predicted_peak_bytes(plans: Sequence[ExecutionPlan]) -> float:
+        """Largest per-stage predicted peak across replica plans."""
+        return max(
+            max(plan.metadata.predicted_peak_memory_bytes or [0.0]) for plan in plans
+        )
+
+    def _execute_replica_plans(
+        self, plans: Sequence[ExecutionPlan], data_parallel_comm_ms: float
+    ) -> tuple[float, float]:
+        """Run each replica's plan; returns (iteration ms, peak memory bytes).
+
+        Shared by the inline and pooled paths so they measure identically.
+        """
+        replica_times = []
+        peak_memory = 0.0
+        for plan in plans:
+            executor = self._make_executor()
+            result: ExecutionResult = executor.run(plan.device_instructions)
+            replica_times.append(result.makespan_ms)
+            peak_memory = max(peak_memory, max(result.peak_memory_bytes))
+        exposed_dp = data_parallel_comm_ms * _EXPOSED_DP_FRACTION
+        return max(replica_times) + exposed_dp, peak_memory
+
     def execute_iteration(self, plan: IterationPlan) -> tuple[float, float]:
         """Execute an iteration's plans; returns (iteration ms, peak memory bytes)."""
         if not self.config.execute_plans:
-            peak = max(
-                max(r.plan.metadata.predicted_peak_memory_bytes or [0.0])
-                for r in plan.replicas
-            )
-            return plan.predicted_iteration_ms, peak
-        replica_times = []
-        peak_memory = 0.0
-        for replica in plan.replicas:
-            executor = self._make_executor()
-            result: ExecutionResult = executor.run(replica.plan.device_instructions)
-            replica_times.append(result.makespan_ms)
-            peak_memory = max(peak_memory, max(result.peak_memory_bytes))
-        exposed_dp = plan.data_parallel_comm_ms * 0.5
-        return max(replica_times) + exposed_dp, peak_memory
+            return plan.predicted_iteration_ms, self._predicted_peak_bytes(plan.plans)
+        return self._execute_replica_plans(plan.plans, plan.data_parallel_comm_ms)
 
     # ------------------------------------------------------------------ run loop
 
-    def run(self) -> TrainingReport:
-        """Process the epoch (or the configured number of iterations)."""
-        report = TrainingReport(system=self.system_name)
-        enc_eff: list[float] = []
-        dec_eff: list[float] = []
+    def _epoch_minibatches(self) -> list[MiniBatch]:
+        """The epoch's mini-batches, truncated to ``max_iterations``."""
+        minibatches: list[MiniBatch] = []
         for minibatch in self.sampler.epoch(0):
             if (
                 self.config.max_iterations is not None
                 and minibatch.index >= self.config.max_iterations
             ):
                 break
-            record = self.run_iteration(minibatch)
-            report.records.append(record)
-            stats = self._last_padding_stats
-            enc_eff.append(stats.encoder_efficiency)
-            if stats.decoder_efficiency is not None:
-                dec_eff.append(stats.decoder_efficiency)
+            minibatches.append(minibatch)
+        return minibatches
+
+    @staticmethod
+    def _finalize_report(
+        report: TrainingReport, enc_eff: list[float], dec_eff: list[float]
+    ) -> TrainingReport:
+        """Fold the per-iteration padding efficiencies into the report."""
         if enc_eff:
             report.encoder_padding_efficiency = sum(enc_eff) / len(enc_eff)
         if dec_eff:
             report.decoder_padding_efficiency = sum(dec_eff) / len(dec_eff)
         return report
 
+    def run(self) -> TrainingReport:
+        """Process the epoch (or the configured number of iterations)."""
+        if self.config.planner_processes > 0:
+            return self._run_pooled()
+        report = TrainingReport(system=self.system_name)
+        enc_eff: list[float] = []
+        dec_eff: list[float] = []
+        for minibatch in self._epoch_minibatches():
+            record = self.run_iteration(minibatch)
+            report.records.append(record)
+            stats = self._last_padding_stats
+            enc_eff.append(stats.encoder_efficiency)
+            if stats.decoder_efficiency is not None:
+                dec_eff.append(stats.decoder_efficiency)
+        return self._finalize_report(report, enc_eff, dec_eff)
+
+    def _run_pooled(self) -> TrainingReport:
+        """Epoch loop with planning fanned out to worker processes.
+
+        The pool plans ``planner_lookahead`` iterations ahead while the
+        current one executes; every consumed iteration advances the window.
+        Plans travel as serialised payloads, so execution re-derives
+        everything from the instruction streams exactly as the executor
+        service does.
+        """
+        report = TrainingReport(system=self.system_name)
+        minibatches = self._epoch_minibatches()
+        if not minibatches:
+            return report
+        pool = PlannerPool(
+            planner=self.planner,
+            minibatches=[mb.samples for mb in minibatches],
+            num_workers=self.config.planner_processes,
+            lookahead=self.config.planner_lookahead,
+        )
+        enc_eff: list[float] = []
+        dec_eff: list[float] = []
+        pool.start()
+        try:
+            for minibatch in minibatches:
+                payload = pool.wait_payload(
+                    minibatch.index, timeout=self.config.planner_timeout_s
+                )
+                record, stats = self._record_from_payload(minibatch.index, payload)
+                report.records.append(record)
+                enc_eff.append(stats.encoder_efficiency)
+                if stats.decoder_efficiency is not None:
+                    dec_eff.append(stats.decoder_efficiency)
+                pool.notify_consumed(minibatch.index)
+        finally:
+            pool.stop()
+        return self._finalize_report(report, enc_eff, dec_eff)
+
+    def _record_from_payload(
+        self, iteration: int, payload: dict
+    ) -> tuple[IterationRecord, PaddingStats]:
+        """Execute one pooled iteration's serialised plans and record it."""
+        stats = PaddingStats.from_dict(payload["padding"])
+        replica_plans = [ExecutionPlan.from_dict(p) for p in payload["replicas"]]
+        predicted_ms = float(payload["predicted_iteration_ms"])
+        predicted_peak = self._predicted_peak_bytes(replica_plans)
+        if not self.config.execute_plans:
+            measured_ms, measured_peak = predicted_ms, predicted_peak
+        else:
+            measured_ms, measured_peak = self._execute_replica_plans(
+                replica_plans, float(payload["data_parallel_comm_ms"])
+            )
+        record = IterationRecord(
+            iteration=iteration,
+            actual_tokens=stats.actual_tokens,
+            padded_tokens=stats.padded_tokens,
+            predicted_ms=predicted_ms,
+            measured_ms=measured_ms,
+            predicted_peak_bytes=predicted_peak,
+            measured_peak_bytes=measured_peak,
+            planning_time_s=float(payload["planning_time_s"]),
+            num_microbatches=int(payload["num_microbatches"]),
+            recompute=str(payload["recompute"]),
+        )
+        return record, stats
+
     def run_iteration(self, minibatch: MiniBatch) -> IterationRecord:
         """Plan and execute one mini-batch, returning its record."""
         plan = self.planner.plan(minibatch.samples, iteration=minibatch.index)
         measured_ms, measured_peak = self.execute_iteration(plan)
-        self._last_padding_stats = plan.padding
-        predicted_peak = max(
-            max(r.plan.metadata.predicted_peak_memory_bytes or [0.0]) for r in plan.replicas
-        )
-        micro_batches = plan.all_micro_batches()
-        stats = padding_stats(micro_batches)
+        # plan.padding already covers all of the iteration's micro-batches
+        # (the pooled path relies on exactly this payload field).
+        stats = self._last_padding_stats = plan.padding
+        predicted_peak = self._predicted_peak_bytes(plan.plans)
         return IterationRecord(
             iteration=minibatch.index,
             actual_tokens=stats.actual_tokens,

@@ -207,3 +207,27 @@ class TestPaddingStats:
         stats = padding_stats([mb])
         assert 0.0 < stats.overall_efficiency <= 1.0
         assert stats.actual_tokens <= stats.padded_tokens
+
+    def test_mixed_architectures_rejected(self):
+        """Folding decoder-only micro-batches (no target tensor) into an
+        encoder-decoder aggregation silently skews the per-tensor
+        efficiencies, so mixed inputs are an explicit error."""
+        from repro.batching.base import MicroBatch
+
+        gpt = MicroBatch.from_samples([Sample(10, 5)], decoder_only=True)
+        t5 = MicroBatch.from_samples([Sample(100, 10)], decoder_only=False)
+        with pytest.raises(ValueError, match="mix"):
+            padding_stats([gpt, t5])
+        with pytest.raises(ValueError, match="mix"):
+            padding_stats([t5, gpt])
+
+    def test_dict_roundtrip(self):
+        from repro.batching.base import MicroBatch
+        from repro.batching.metrics import PaddingStats
+
+        mb = MicroBatch.from_samples([Sample(100, 10), Sample(80, 50)], decoder_only=False)
+        stats = padding_stats([mb])
+        assert PaddingStats.from_dict(stats.to_dict()) == stats
+        gpt = padding_stats([MicroBatch.from_samples([Sample(10, 5)], decoder_only=True)])
+        assert PaddingStats.from_dict(gpt.to_dict()) == gpt
+        assert PaddingStats.from_dict(gpt.to_dict()).decoder_efficiency is None

@@ -1,0 +1,48 @@
+"""Tier-1 smoke check for the tier-2 benchmark harnesses.
+
+The ``tier2_bench``-marked benchmarks guard the planner hot path and the
+planner pool's multi-core scaling, but they live outside the default test
+collection (``benchmarks/`` uses its own ``pytest.ini``), so nothing would
+notice if an API change broke them.  This test runs them as part of the
+tier-1 suite in *smoke mode* (``REPRO_BENCH_SMOKE=1``: reduced workload,
+timing assertions relaxed), so the benchmark files cannot silently rot while
+keeping tier-1 runtime and flakiness under control — the timing claims
+themselves are still enforced by the real tier-2 run
+(``pytest benchmarks/ -m tier2_bench``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_tier2_bench_smoke():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env["REPRO_BENCH_SMOKE"] = "1"
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "pytest", "benchmarks/",
+            "-m", "tier2_bench", "--benchmark-disable", "-q",
+            "-p", "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"tier2_bench smoke run failed (exit {result.returncode}):\n"
+        f"{result.stdout}\n{result.stderr}"
+    )
+    # Collection must have found the tier-2 benchmarks (a marker or naming
+    # regression that deselects everything should fail loudly here).
+    assert " passed" in result.stdout, result.stdout

@@ -6,7 +6,11 @@ import threading
 
 import pytest
 
-from repro.instructions.store import InstructionStore, PlanNotReadyError
+from repro.instructions.store import (
+    InstructionStore,
+    PlanFailedError,
+    PlanNotReadyError,
+)
 
 
 class TestInstructionStore:
@@ -47,6 +51,54 @@ class TestInstructionStore:
         store.push(2, 0, "b")
         store.push(2, 1, "c")
         assert store.iterations() == [2, 5]
+
+
+class TestFailureMarkers:
+    def test_failure_makes_fetch_raise(self):
+        store = InstructionStore()
+        store.push_failure(0, "planner exploded")
+        with pytest.raises(PlanFailedError, match="planner exploded"):
+            store.fetch(0, 0)
+
+    def test_failure_reports_ready_for_every_rank(self):
+        """Polling executors must wake up on a failed iteration, whatever
+        their rank, instead of spinning until their fetch timeout."""
+        store = InstructionStore()
+        assert not store.ready(0, 0)
+        store.push_failure(0, "boom")
+        assert store.ready(0, 0)
+        assert store.ready(0, 3)
+
+    def test_failure_is_not_a_not_ready_error(self):
+        """Executors retry PlanNotReadyError; PlanFailedError must escape
+        that retry loop."""
+        store = InstructionStore()
+        store.push_failure(1, "boom")
+        with pytest.raises(PlanFailedError):
+            store.fetch(1, 0)
+        assert not issubclass(PlanFailedError, PlanNotReadyError)
+
+    def test_failure_wins_over_pushed_plans(self):
+        store = InstructionStore()
+        store.push(0, 0, "plan")
+        store.push_failure(0, "late failure")
+        with pytest.raises(PlanFailedError):
+            store.fetch(0, 0)
+
+    def test_evict_clears_failure(self):
+        store = InstructionStore()
+        store.push_failure(0, "boom")
+        store.evict_iteration(0)
+        assert not store.ready(0, 0)
+        assert store.failed_iterations() == {}
+        with pytest.raises(PlanNotReadyError):
+            store.fetch(0, 0)
+
+    def test_failed_iterations_listing(self):
+        store = InstructionStore()
+        store.push_failure(3, "a")
+        store.push_failure(1, "b")
+        assert store.failed_iterations() == {3: "a", 1: "b"}
 
     def test_len_and_iter(self):
         store = InstructionStore()

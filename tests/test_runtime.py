@@ -8,10 +8,32 @@ import pytest
 
 from repro.core.planner import DynaPipePlanner, PlannerConfig
 from repro.data.sampler import MiniBatchSampler
-from repro.instructions.store import InstructionStore, PlanNotReadyError
+from repro.instructions.store import InstructionStore, PlanFailedError, PlanNotReadyError
 from repro.runtime.executor_service import ExecutorService
 from repro.runtime.orchestrator import TrainingOrchestrator
 from repro.runtime.planner_pool import PlannerPool
+
+
+class ExplodingPlanner:
+    """Picklable planner that always fails (exercises the failure paths)."""
+
+    def plan(self, samples, iteration=0):
+        raise RuntimeError(f"boom on iteration {iteration}")
+
+
+class HangingPlanner:
+    """Picklable planner that blocks forever (exercises crash detection)."""
+
+    def plan(self, samples, iteration=0):  # pragma: no cover - killed mid-sleep
+        time.sleep(300)
+        raise RuntimeError("unreachable")
+
+
+def _wait_until(predicate, timeout=60.0):
+    deadline = time.time() + timeout
+    while not predicate() and time.time() < deadline:
+        time.sleep(0.01)
+    return predicate()
 
 
 @pytest.fixture(scope="module")
@@ -28,6 +50,17 @@ def minibatches(flan_samples_gpt):
     for minibatch in sampler.epoch(0):
         batches.append(minibatch.samples)
         if len(batches) >= 4:
+            break
+    return batches
+
+
+@pytest.fixture(scope="module")
+def minibatches_t5(flan_samples):
+    sampler = MiniBatchSampler(flan_samples, 8192, seed=0)
+    batches = []
+    for minibatch in sampler.epoch(0):
+        batches.append(minibatch.samples)
+        if len(batches) >= 3:
             break
     return batches
 
@@ -76,6 +109,187 @@ class TestPlannerPool:
             PlannerPool(planner=planner, minibatches=minibatches, store=InstructionStore(), num_workers=0)
         with pytest.raises(ValueError):
             PlannerPool(planner=planner, minibatches=minibatches, store=InstructionStore(), lookahead=0)
+
+
+class TestProcessPoolBitIdentical:
+    """Process-pool plans must match serial in-process planning bit for bit."""
+
+    def _assert_pool_matches_serial(self, cost_model, batches):
+        pooled = DynaPipePlanner(
+            cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        store = InstructionStore()
+        pool = PlannerPool(
+            planner=pooled, minibatches=batches, store=store,
+            num_workers=2, lookahead=len(batches), backend="process",
+        )
+        pool.start()
+        try:
+            assert _wait_until(
+                lambda: len(pool.planned_iterations()) >= len(batches), timeout=120
+            ), f"only planned {pool.planned_iterations()}: {pool.errors}"
+        finally:
+            abandoned = pool.stop()
+        assert not pool.errors
+        assert not abandoned
+        serial = DynaPipePlanner(
+            cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        for iteration, samples in enumerate(batches):
+            expected = serial.plan(list(samples), iteration=iteration)
+            for replica, plan in enumerate(expected.plans):
+                stored = store.fetch(iteration, replica)
+                want = plan.to_dict()
+                # Planning wall-clock is the only nondeterministic field.
+                want["metadata"]["planning_time_s"] = stored["metadata"]["planning_time_s"]
+                assert stored == want, f"iteration {iteration} replica {replica}"
+
+    def test_gpt_plans_bit_identical(self, gpt_cost_model, minibatches):
+        self._assert_pool_matches_serial(gpt_cost_model, minibatches)
+
+    def test_t5_plans_bit_identical(self, t5_cost_model, minibatches_t5):
+        self._assert_pool_matches_serial(t5_cost_model, minibatches_t5)
+
+
+class TestPlannerPoolFailurePaths:
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_worker_exception_pushes_failure_marker(self, backend, minibatches):
+        store = InstructionStore()
+        pool = PlannerPool(
+            planner=ExplodingPlanner(), minibatches=minibatches, store=store,
+            num_workers=1, backend=backend,
+        )
+        pool.start()
+        try:
+            assert _wait_until(lambda: store.ready(0, 0))
+            with pytest.raises(PlanFailedError, match="boom"):
+                store.fetch(0, 0)
+            assert _wait_until(lambda: 0 in pool.failed_iterations())
+            assert any(iteration == 0 for iteration, _ in pool.errors)
+        finally:
+            pool.stop()
+
+    def test_executor_fails_fast_not_at_timeout(self, gpt_cost_model, minibatches):
+        """A planning failure reaches the polling executor well before its
+        fetch timeout instead of leaving it to spin until the deadline."""
+        store = InstructionStore()
+        pool = PlannerPool(
+            planner=ExplodingPlanner(), minibatches=minibatches, store=store, num_workers=1
+        )
+        service = ExecutorService(
+            cost_model=gpt_cost_model, store=store, fetch_timeout_s=120.0
+        )
+        pool.start()
+        try:
+            start = time.perf_counter()
+            with pytest.raises(PlanFailedError):
+                service.run_iteration(0)
+            assert time.perf_counter() - start < 60.0
+        finally:
+            pool.stop()
+
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_stop_reports_abandoned_iterations(self, backend, planner, minibatches):
+        store = InstructionStore()
+        pool = PlannerPool(
+            planner=planner, minibatches=minibatches, store=store,
+            num_workers=1, lookahead=len(minibatches), backend=backend,
+        )
+        pool.start()
+        abandoned = pool.stop()
+        planned = set(pool.planned_iterations())
+        # Every enqueued iteration is accounted for exactly once: either it
+        # was planned before the drain or it is reported abandoned — so a
+        # restart neither double-plans nor skips.
+        assert planned.isdisjoint(abandoned)
+        assert planned | set(abandoned) | set(pool.failed_iterations()) == set(
+            range(len(minibatches))
+        )
+        assert pool.abandoned == abandoned
+        # A defensive second stop() keeps the first snapshot.
+        assert pool.stop() == abandoned
+        assert pool.abandoned == abandoned
+
+    def test_worker_process_crash_surfaces_failure(self, minibatches):
+        store = InstructionStore()
+        pool = PlannerPool(
+            planner=HangingPlanner(), minibatches=minibatches, store=store,
+            num_workers=1, lookahead=2, backend="process",
+        )
+        pool.start()
+        try:
+            assert _wait_until(lambda: bool(pool._claims))
+            pool._processes[0].kill()
+            assert _wait_until(lambda: store.ready(0, 0))
+            with pytest.raises(PlanFailedError, match="died|exited"):
+                store.fetch(0, 0)
+            assert pool.errors
+        finally:
+            pool.stop()
+
+    def test_lost_task_sweep_confirms_over_two_passes(self, planner, minibatches):
+        """A task dequeued by a worker that died before its claim arrived is
+        in no queue and no claim; the crash sweep must fail it — but only
+        after a second pass, giving an in-flight claim message time to land."""
+        import queue as queue_module
+
+        pool = PlannerPool(
+            planner=planner, minibatches=minibatches, store=InstructionStore(),
+            num_workers=1, backend="thread",
+        )
+        pool._queue = queue_module.Queue()
+        pool._queue.put((2, list(minibatches[2])))  # still safely enqueued
+        pool._next_to_enqueue = 3
+        pool._completed.add(0)
+        # Iteration 1 was dequeued by a worker that died pre-claim: sweep 1
+        # only marks it suspect, sweep 2 confirms it lost.
+        pool._reconcile_lost_tasks()
+        assert pool.failed_iterations() == []
+        assert pool._suspect_lost == {1}
+        pool._reconcile_lost_tasks()
+        assert pool.failed_iterations() == [1]
+        assert not pool.store.ready(2, 0)
+        with pytest.raises(PlanFailedError, match="died holding"):
+            pool.store.fetch(1, 0)
+        # The enqueued task survived the sweep's drain-and-requeue.
+        assert pool._queue.get_nowait()[0] == 2
+
+    def test_refill_after_total_worker_loss_fails_new_iterations(self, minibatches):
+        """Once every worker is gone, iterations entering the look-ahead
+        window later must get failure markers too — not sit on a task queue
+        nobody drains while the executor spins to its fetch timeout."""
+        store = InstructionStore()
+        pool = PlannerPool(
+            planner=HangingPlanner(), minibatches=minibatches, store=store,
+            num_workers=1, lookahead=1, backend="process",
+        )
+        pool.start()
+        try:
+            assert _wait_until(lambda: bool(pool._claims))
+            pool._processes[0].kill()
+            assert _wait_until(lambda: store.ready(0, 0))
+            # Advance the window: iteration 1 only enters the queue now.
+            pool.notify_consumed(0)
+            assert store.ready(1, 0)
+            with pytest.raises(PlanFailedError):
+                store.fetch(1, 0)
+        finally:
+            pool.stop()
+
+    def test_orchestrator_raises_on_planning_failure(
+        self, gpt_cost_model, flan_samples_gpt
+    ):
+        orchestrator = TrainingOrchestrator(
+            ExplodingPlanner(),
+            gpt_cost_model,
+            flan_samples_gpt,
+            global_batch_tokens=8192,
+            num_iterations=2,
+        )
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="planning failed"):
+            orchestrator.run()
+        assert time.perf_counter() - start < 60.0
 
 
 class TestExecutorService:
@@ -143,7 +357,8 @@ class TestConcurrentPlanning:
         )
         store = InstructionStore()
         pool = PlannerPool(
-            planner=shared, minibatches=minibatches, store=store, num_workers=2
+            planner=shared, minibatches=minibatches, store=store, num_workers=2,
+            backend="thread",
         )
         pool.start()
         try:

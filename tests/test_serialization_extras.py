@@ -9,9 +9,15 @@ import pytest
 from repro.costmodel.cost_model import CostModel
 from repro.costmodel.profiler import LayerProfiler
 from repro.costmodel.serialization import (
+    cost_model_from_dict,
+    cost_model_to_dict,
     database_from_dict,
     database_to_dict,
+    device_spec_from_dict,
+    device_spec_to_dict,
     load_database,
+    model_config_from_dict,
+    model_config_to_dict,
     save_database,
 )
 from repro.model.memory import RecomputeMode
@@ -69,6 +75,86 @@ class TestProfileDatabaseSerialization:
         assert reloaded.stage_cost(1, shape).forward_ms == pytest.approx(
             original.stage_cost(1, shape).forward_ms
         )
+
+
+class TestCostModelSerialization:
+    """Round-trip of a whole CostModel (what planner-pool workers rebuild)."""
+
+    @pytest.fixture(scope="class")
+    def cost_model(self, tiny_t5_config, small_device):
+        return CostModel(
+            tiny_t5_config,
+            num_stages=4,
+            tensor_parallel=2,
+            zero_shards=2,
+            device_spec=small_device,
+            max_profile_batch_size=4,
+            max_profile_seq_len=256,
+        )
+
+    def test_model_config_roundtrip(self, tiny_t5_config):
+        assert model_config_from_dict(model_config_to_dict(tiny_t5_config)) == tiny_t5_config
+
+    def test_device_spec_roundtrip(self, small_device):
+        assert device_spec_from_dict(device_spec_to_dict(small_device)) == small_device
+
+    def test_roundtrip_is_bit_identical(self, cost_model):
+        """Every interpolator grid must survive the round trip exactly, so a
+        rebuilt cost model answers queries bit-identically (the process-pool
+        bit-identical-plans guarantee rests on this)."""
+        restored = cost_model_from_dict(cost_model_to_dict(cost_model))
+        assert restored.num_stages == cost_model.num_stages
+        assert restored.tensor_parallel == cost_model.tensor_parallel
+        assert restored.zero_shards == cost_model.zero_shards
+        assert restored.config == cost_model.config
+        for kind, profile in cost_model.database.profiles.items():
+            other = restored.database.get(kind)
+            assert (other.forward_ms.values == profile.forward_ms.values).all()
+            for ours, theirs in zip(profile.forward_ms.axes, other.forward_ms.axes):
+                assert (ours == theirs).all()
+        shape = MicroBatchShape(batch_size=3, enc_seq_len=190, dec_seq_len=70)
+        for stage in range(cost_model.num_stages):
+            for mode in RecomputeMode:
+                ours = cost_model.stage_cost(stage, shape, mode)
+                theirs = restored.stage_cost(stage, shape, mode)
+                assert ours.forward_ms == theirs.forward_ms
+                assert ours.backward_ms == theirs.backward_ms
+                assert ours.activation_bytes == theirs.activation_bytes
+        assert restored.stage_static_bytes(0) == cost_model.stage_static_bytes(0)
+
+    def test_roundtrip_survives_json(self, cost_model):
+        """JSON (re-)encoding must not perturb the grids: Python floats
+        serialise via repr, which round-trips IEEE-754 doubles exactly."""
+        payload = json.loads(json.dumps(cost_model_to_dict(cost_model)))
+        restored = cost_model_from_dict(payload)
+        shape = MicroBatchShape(batch_size=2, enc_seq_len=123, dec_seq_len=45)
+        assert restored.microbatch_time_ms(shape) == cost_model.microbatch_time_ms(shape)
+        assert restored.microbatch_activation_bytes(shape) == (
+            cost_model.microbatch_activation_bytes(shape)
+        )
+
+
+class TestPlannerSpecRoundtrip:
+    def test_rebuilt_planner_plans_identically(self, gpt_cost_model, flan_samples_gpt):
+        from repro.core.planner import DynaPipePlanner, PlannerConfig
+
+        planner = DynaPipePlanner(
+            gpt_cost_model,
+            config=PlannerConfig(order_search=False, tmax_sample_count=8),
+        )
+        rebuilt = DynaPipePlanner.from_spec(planner.to_spec())
+        assert rebuilt.config == planner.config
+        samples = list(flan_samples_gpt[:48])
+        original = planner.plan(samples, iteration=0)
+        clone = rebuilt.plan(samples, iteration=0)
+        assert clone.recompute is original.recompute
+        assert clone.predicted_iteration_ms == original.predicted_iteration_ms
+        assert clone.dp_solution.boundaries == original.dp_solution.boundaries
+        assert clone.dp_solution.objective == original.dp_solution.objective
+        want = original.plans[0].to_dict()
+        got = clone.plans[0].to_dict()
+        want["metadata"]["planning_time_s"] = got["metadata"]["planning_time_s"]
+        assert got == want
 
 
 class TestChromeTrace:

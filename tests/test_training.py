@@ -158,3 +158,61 @@ class TestTrainingSession:
         first = build().run().records[0].measured_ms
         second = build().run().records[0].measured_ms
         assert first == pytest.approx(second)
+
+
+class TestPooledPlanning:
+    def _session(self, cost_model, samples, planner_processes: int) -> TrainingSession:
+        planner = DynaPipePlanner(
+            cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        return TrainingSession(
+            planner,
+            samples,
+            global_batch_tokens=8192,
+            config=TrainerConfig(
+                max_iterations=3,
+                noise_std=0.0,
+                seed=0,
+                max_seq_len=1024,
+                execute_plans=False,
+                planner_processes=planner_processes,
+            ),
+        )
+
+    def test_pooled_run_matches_inline_run(self, gpt_cost_model, flan_samples_gpt):
+        """Planning through worker processes must not change a single number
+        in the training report (other than planning wall-clock)."""
+        inline = self._session(gpt_cost_model, flan_samples_gpt, 0).run()
+        pooled = self._session(gpt_cost_model, flan_samples_gpt, 2).run()
+        assert len(pooled.records) == len(inline.records) == 3
+        for ours, theirs in zip(pooled.records, inline.records):
+            assert ours.iteration == theirs.iteration
+            assert ours.actual_tokens == theirs.actual_tokens
+            assert ours.padded_tokens == theirs.padded_tokens
+            assert ours.predicted_ms == theirs.predicted_ms
+            assert ours.measured_ms == theirs.measured_ms
+            assert ours.predicted_peak_bytes == theirs.predicted_peak_bytes
+            assert ours.num_microbatches == theirs.num_microbatches
+            assert ours.recompute == theirs.recompute
+        assert pooled.encoder_padding_efficiency == inline.encoder_padding_efficiency
+
+    def test_pooled_run_with_execution(self, gpt_cost_model, flan_samples_gpt):
+        planner = DynaPipePlanner(
+            gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        session = TrainingSession(
+            planner,
+            flan_samples_gpt,
+            global_batch_tokens=8192,
+            config=TrainerConfig(
+                max_iterations=2,
+                noise_std=0.05,
+                seed=0,
+                max_seq_len=1024,
+                planner_processes=2,
+            ),
+        )
+        report = session.run()
+        assert len(report.records) == 2
+        assert report.throughput_tokens_per_s > 0
+        assert all(record.planning_time_s > 0 for record in report.records)
