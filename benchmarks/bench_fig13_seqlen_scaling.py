@@ -11,6 +11,12 @@ For every (model, cluster size) pair the global batch size is fixed at
 By default only the single-node cluster sizes (4 and 8 GPUs — the sub-figures
 the paper's artifact can reproduce on one p4d node) are run; set
 ``REPRO_BENCH_FULL=1`` for 16 and 32 GPUs.
+
+On multi-core hosts with ``REPRO_BENCH_ITERATIONS >= 2`` the DynaPipe
+sessions plan through a process-backed planner pool
+(``TrainerConfig.planner_processes``; override with
+``REPRO_BENCH_PLANNER_PROCS``), cutting the sweep's wall-clock time without
+changing the figures — pooled plans are bit-identical to inline planning.
 """
 
 from __future__ import annotations

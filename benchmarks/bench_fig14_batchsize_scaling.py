@@ -5,6 +5,12 @@ size sweeps 16 Ki…128 Ki tokens.  The same three systems as Fig. 13 are
 reported.  Larger global batches help both systems (less frequent gradient
 synchronisation, smaller relative pipeline bubble) and help DynaPipe more
 (more room for micro-batch optimisation).
+
+On multi-core hosts with ``REPRO_BENCH_ITERATIONS >= 2`` the DynaPipe
+sessions plan through a process-backed planner pool
+(``TrainerConfig.planner_processes``; override with
+``REPRO_BENCH_PLANNER_PROCS``), cutting the sweep's wall-clock time without
+changing the figures — pooled plans are bit-identical to inline planning.
 """
 
 from __future__ import annotations

@@ -1,0 +1,164 @@
+"""Tier-2 benchmark of the fleet scheduler: multi-job runs on one cluster.
+
+Runs a mixed fleet of training jobs — heterogeneous gang shapes, batch
+sizes and submission times — on a shared simulated cluster under both
+admission policies, with mid-run device failures exercising the elastic
+re-plan path, and reports the fleet metrics (makespan, queueing delay,
+device utilization, retries/preemptions) side by side.  Run it with
+
+    pytest benchmarks/bench_fleet_scheduler.py --benchmark-disable -s
+
+(or ``pytest benchmarks/ -m tier2_bench``).  Besides producing the table,
+it asserts the fleet invariants end to end: every job reaches a terminal
+state, both injected failures are recorded, no device leaks, and
+shortest-remaining-work does not lose to FIFO on mean queueing delay for
+this heterogeneous mix.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the reduced workload the tier-1 suite runs
+(fewer jobs and iterations) so this file cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster.device import DeviceSpec
+from repro.cluster.topology import ClusterTopology
+from repro.core.planner import PlannerConfig
+from repro.costmodel.cost_model import CostModel
+from repro.data.flan import SyntheticFlanDataset
+from repro.data.truncation import truncate_samples
+from repro.fleet import FleetConfig, FleetScheduler, JobSpec, JobState
+from repro.model.config import ModelArch, ModelConfig
+from repro.parallel.config import ParallelConfig
+
+from common import emit
+
+#: Reduced workload (used as a tier-1 smoke check).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+NUM_JOBS = 4 if SMOKE else 10
+ITERATIONS_LONG = 2 if SMOKE else 4
+CLUSTER_GPUS = 8
+FAILURE_SCHEDULE = ((10.0, 0), (25.0, 5))
+
+FLEET_MODEL = ModelConfig(
+    name="gpt-fleet-small",
+    arch=ModelArch.GPT,
+    num_layers=4,
+    hidden_size=512,
+    num_heads=8,
+    kv_channels=64,
+    ffn_hidden_size=2048,
+    vocab_size=32000,
+)
+
+FLEET_DEVICE = DeviceSpec(
+    name="fleet-gpu-8GB",
+    peak_flops=100e12,
+    memory_bandwidth=1e12,
+    memory_capacity=8 * 1024**3,
+)
+
+
+def build_jobs(cost_model: CostModel, samples) -> list[JobSpec]:
+    """A heterogeneous job mix: wide/narrow gangs, long/short epochs."""
+    planner_config = PlannerConfig(order_search=False, tmax_sample_count=8)
+    jobs = []
+    for index in range(NUM_JOBS):
+        wide = index % 3 == 0
+        jobs.append(
+            JobSpec(
+                name=f"job{index:02d}",
+                cost_model=cost_model,
+                samples=samples,
+                global_batch_tokens=8192 if wide else 4096,
+                parallel=ParallelConfig(2 if wide else 1, 2, 1),
+                num_iterations=ITERATIONS_LONG if index % 2 == 0 else 1,
+                planner_config=planner_config,
+                seed=index,
+                submit_time_ms=5.0 * (index // 4),
+            )
+        )
+    return jobs
+
+
+def run_policy(policy: str, jobs: list[JobSpec]):
+    topology = ClusterTopology.for_num_gpus(CLUSTER_GPUS, device_spec=FLEET_DEVICE)
+    scheduler = FleetScheduler(topology, FleetConfig(policy=policy))
+    for spec in jobs:
+        scheduler.submit(spec)
+    for time_ms, device in FAILURE_SCHEDULE:
+        scheduler.inject_device_failure(time_ms, device)
+    return scheduler.run()
+
+
+def run():
+    cost_model = CostModel(
+        FLEET_MODEL,
+        num_stages=2,
+        device_spec=FLEET_DEVICE,
+        max_profile_batch_size=32,
+        max_profile_seq_len=1024,
+    )
+    samples = truncate_samples(
+        SyntheticFlanDataset(num_samples=400, seed=7).samples, 512, decoder_only=True
+    )
+    jobs = build_jobs(cost_model, samples)
+    rows = []
+    reports = {}
+    for policy in ("fifo", "srw"):
+        report = run_policy(policy, jobs)
+        reports[policy] = report
+        summary = report.summary()
+        rows.append(
+            [
+                policy,
+                summary["jobs"],
+                summary["finished"],
+                summary["failed"],
+                round(summary["makespan_ms"], 1),
+                round(summary["mean_queueing_delay_ms"], 1),
+                round(summary["max_queueing_delay_ms"], 1),
+                round(summary["device_utilization"], 3),
+                summary["total_retries"],
+                summary["total_preemptions"],
+            ]
+        )
+    return rows, reports
+
+
+HEADERS = [
+    "policy", "jobs", "finished", "failed", "makespan_ms",
+    "mean_queue_ms", "max_queue_ms", "utilization", "retries", "preemptions",
+]
+
+
+@pytest.mark.tier2_bench
+def test_fleet_scheduler_bench(benchmark, capsys):
+    rows, reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fleet_scheduler",
+        f"Fleet scheduler: {NUM_JOBS} jobs on {CLUSTER_GPUS} GPUs, "
+        f"{len(FAILURE_SCHEDULE)} injected device failures",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    for policy, report in reports.items():
+        # Every job terminal; both failures recorded; nothing leaked.
+        for job in report.jobs:
+            assert job.state in (JobState.FINISHED, JobState.FAILED), (policy, job)
+            if job.state == JobState.FINISHED:
+                assert job.iterations_completed == job.target_iterations
+        assert report.failed_devices == sorted(d for _, d in FAILURE_SCHEDULE)
+        assert 0 < report.device_utilization <= 1
+        assert report.finished_jobs == NUM_JOBS  # elastic retries absorb the failures
+    # The heterogeneous mix is exactly where shortest-remaining-work earns
+    # its keep over FIFO on mean queueing delay (ties allowed).
+    assert (
+        reports["srw"].mean_queueing_delay_ms
+        <= reports["fifo"].mean_queueing_delay_ms * 1.001
+    )

@@ -42,6 +42,27 @@ ITERATIONS_PER_POINT = int(os.environ.get("REPRO_BENCH_ITERATIONS", "1"))
 #: Whether to include the multi-node (16/32 GPU) configurations.
 FULL_SCOPE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
+
+def _default_planner_processes() -> int:
+    """Planner-pool workers for the DynaPipe sessions (0 = inline planning).
+
+    Multi-core hosts running multi-iteration sweeps plan through a
+    process-backed :class:`~repro.runtime.planner_pool.PlannerPool` (plans
+    are bit-identical to inline planning, so the figures are unchanged);
+    single-core hosts and single-iteration points skip the pool, whose
+    spawn overhead would then exceed the planning it parallelises.
+    """
+    if (os.cpu_count() or 1) < 4 or ITERATIONS_PER_POINT < 2:
+        return 0
+    return 4
+
+
+#: Planner-pool workers used by the DynaPipe training sessions; override
+#: with ``REPRO_BENCH_PLANNER_PROCS`` (0 forces inline planning).
+PLANNER_PROCESSES = int(
+    os.environ.get("REPRO_BENCH_PLANNER_PROCS", str(_default_planner_processes()))
+)
+
 #: Cluster sizes covered by default (single p4d node, as in the artifact) and
 #: under the full scope.
 DEFAULT_CLUSTER_SIZES = (4, 8)
@@ -128,7 +149,14 @@ class PointResult:
     detail: str = ""
 
 
-def _run_session(planner, samples, global_batch_tokens: int, system: str, execute: bool) -> PointResult:
+def _run_session(
+    planner,
+    samples,
+    global_batch_tokens: int,
+    system: str,
+    execute: bool,
+    planner_processes: int = 0,
+) -> PointResult:
     session = TrainingSession(
         planner,
         list(samples),
@@ -139,6 +167,7 @@ def _run_session(planner, samples, global_batch_tokens: int, system: str, execut
             seed=0,
             max_seq_len=None,  # samples are already truncated
             execute_plans=execute,
+            planner_processes=planner_processes,
         ),
         system_name=system,
     )
@@ -178,7 +207,10 @@ def _dynapipe_single(
             data_parallel_size=config.data_parallel,
             config=PlannerConfig(order_search=order_search, tmax_sample_count=16),
         )
-        result = _run_session(planner, samples, global_batch_tokens, "DynaPipe", execute)
+        result = _run_session(
+            planner, samples, global_batch_tokens, "DynaPipe", execute,
+            planner_processes=PLANNER_PROCESSES,
+        )
     except OutOfMemoryError as exc:
         return PointResult(
             system="DynaPipe", x_value=0.0, throughput=0.0, padding_efficiency=0.0,

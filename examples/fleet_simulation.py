@@ -1,0 +1,129 @@
+"""Fleet simulation: many training jobs sharing one simulated cluster.
+
+The single-job runtime (planner pool + executor service) is the substrate;
+this example runs a *fleet* on top of it: six jobs with different gang
+shapes and epoch lengths are gang-scheduled onto an 8-GPU cluster under the
+shortest-remaining-work policy, two devices fail mid-run, and the affected
+jobs are elastically re-planned — resumed from their last committed
+iteration boundary, on a smaller replica group when the surviving cluster
+can no longer host the requested gang.
+
+Run with:  python examples/fleet_simulation.py
+
+It prints the per-job outcomes and fleet metrics, and writes a
+``chrome://tracing`` timeline of cluster occupancy next to this script.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import (
+    ClusterTopology,
+    CostModel,
+    FleetConfig,
+    FleetScheduler,
+    JobSpec,
+    ParallelConfig,
+    PlannerConfig,
+    SyntheticFlanDataset,
+)
+from repro.cluster.device import DeviceSpec
+from repro.data.truncation import truncate_samples
+from repro.model.config import ModelArch, ModelConfig
+
+MAX_SEQ_LEN = 512
+CLUSTER_GPUS = 8
+
+MODEL = ModelConfig(
+    name="gpt-fleet-demo",
+    arch=ModelArch.GPT,
+    num_layers=4,
+    hidden_size=512,
+    num_heads=8,
+    kv_channels=64,
+    ffn_hidden_size=2048,
+    vocab_size=32000,
+)
+
+DEVICE = DeviceSpec(
+    name="demo-gpu-8GB",
+    peak_flops=100e12,
+    memory_bandwidth=1e12,
+    memory_capacity=8 * 1024**3,
+)
+
+
+def main() -> None:
+    print(f"profiling {MODEL.name} for the shared cost model...")
+    cost_model = CostModel(
+        MODEL,
+        num_stages=2,
+        device_spec=DEVICE,
+        max_profile_batch_size=32,
+        max_profile_seq_len=1024,
+    )
+    samples = truncate_samples(
+        SyntheticFlanDataset(num_samples=600, seed=11).samples,
+        MAX_SEQ_LEN,
+        decoder_only=True,
+    )
+    planner_config = PlannerConfig(order_search=False, tmax_sample_count=8)
+
+    topology = ClusterTopology.for_num_gpus(CLUSTER_GPUS, device_spec=DEVICE)
+    scheduler = FleetScheduler(topology, FleetConfig(policy="srw"))
+    shapes = [
+        ("wide-a", ParallelConfig(2, 2, 1), 4),
+        ("narrow-a", ParallelConfig(1, 2, 1), 3),
+        ("narrow-b", ParallelConfig(1, 2, 1), 2),
+        ("wide-b", ParallelConfig(2, 2, 1), 3),
+        ("narrow-c", ParallelConfig(1, 2, 1), 4),
+        ("narrow-d", ParallelConfig(1, 2, 1), 2),
+    ]
+    for index, (name, shape, iterations) in enumerate(shapes):
+        scheduler.submit(
+            JobSpec(
+                name=name,
+                cost_model=cost_model,
+                samples=samples,
+                global_batch_tokens=8192 if shape.data_parallel > 1 else 4096,
+                parallel=shape,
+                num_iterations=iterations,
+                planner_config=planner_config,
+                seed=index,
+            )
+        )
+    scheduler.inject_device_failure(8.0, 0)
+    scheduler.inject_device_failure(20.0, 5)
+
+    print(f"running {len(shapes)} jobs on {CLUSTER_GPUS} GPUs with 2 injected failures...\n")
+    report = scheduler.run()
+
+    header = f"{'job':10} {'state':9} {'shape':10} {'iters':>5} {'attempts':>8} {'queue ms':>9} {'preempt':>7}"
+    print(header)
+    print("-" * len(header))
+    for job in report.jobs:
+        queue = f"{job.queueing_delay_ms:9.1f}" if job.queueing_delay_ms is not None else "        -"
+        print(
+            f"{job.name:10} {job.state:9} {job.parallel:10} "
+            f"{job.iterations_completed:5d} {job.attempts:8d} {queue} {job.preemptions:7d}"
+        )
+
+    summary = report.summary()
+    print(
+        f"\nmakespan {summary['makespan_ms']:.1f} ms | "
+        f"utilization {summary['device_utilization']:.1%} | "
+        f"mean queueing delay {summary['mean_queueing_delay_ms']:.1f} ms | "
+        f"retries {summary['total_retries']} | "
+        f"failed devices {summary['failed_devices']}"
+    )
+
+    trace_path = Path(__file__).parent / "fleet_trace.json"
+    report.save_chrome_trace(trace_path)
+    print(f"\ncluster-occupancy timeline written to {trace_path}")
+    print("open chrome://tracing (or https://ui.perfetto.dev) and load it to see")
+    print("gang placement, the two preemptions and the elastic re-planning.")
+
+
+if __name__ == "__main__":
+    main()

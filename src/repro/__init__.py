@@ -58,6 +58,13 @@ from repro.model import (
     RecomputeMode,
     get_model_config,
 )
+from repro.fleet import (
+    FleetConfig,
+    FleetReport,
+    FleetScheduler,
+    JobSpec,
+    JobState,
+)
 from repro.parallel import ParallelConfig, enumerate_parallel_configs, grid_search
 from repro.runtime import ExecutorService, PlannerPool, TrainingOrchestrator
 from repro.training import TrainerConfig, TrainingReport, TrainingSession
@@ -113,4 +120,10 @@ __all__ = [
     "PlannerPool",
     "ExecutorService",
     "TrainingOrchestrator",
+    # fleet scheduling
+    "FleetScheduler",
+    "FleetConfig",
+    "FleetReport",
+    "JobSpec",
+    "JobState",
 ]

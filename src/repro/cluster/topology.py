@@ -114,6 +114,12 @@ class ClusterTopology:
         """Whether global device indices ``a`` and ``b`` share a node."""
         return a // self.gpus_per_node == b // self.gpus_per_node
 
+    def node_of(self, index: int) -> int:
+        """Node holding the device with global index ``index``."""
+        if not 0 <= index < self.num_gpus:
+            raise ValueError(f"global index {index} out of range [0, {self.num_gpus})")
+        return index // self.gpus_per_node
+
     def map_coordinate(
         self, coord: DeviceCoordinate, pipeline_parallel: int, tensor_parallel: int
     ) -> int:

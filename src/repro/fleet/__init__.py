@@ -1,0 +1,42 @@
+"""Fleet scheduler: a multi-job elastic training runtime.
+
+Runs many concurrent training jobs on one shared simulated cluster — gang
+scheduling of pipeline-parallel device groups, FIFO / shortest-remaining-
+work admission, checkpointed progress, and an elastic failure path that
+re-plans preempted jobs on smaller or replacement gangs from their last
+committed iteration boundary.
+"""
+
+from repro.fleet.gang import DeviceGang, GangAllocator
+from repro.fleet.job import JobAttempt, JobCheckpoint, JobRecord, JobSpec, JobState
+from repro.fleet.metrics import FleetReport, JobSummary, summarize_job
+from repro.fleet.policies import (
+    FifoPolicy,
+    SchedulingPolicy,
+    ShortestRemainingWorkPolicy,
+    make_policy,
+)
+from repro.fleet.scheduler import DeviceFailure, FleetConfig, FleetScheduler
+from repro.fleet.session import JobExecution, JobPlanningError
+
+__all__ = [
+    "DeviceFailure",
+    "DeviceGang",
+    "FifoPolicy",
+    "FleetConfig",
+    "FleetReport",
+    "FleetScheduler",
+    "GangAllocator",
+    "JobAttempt",
+    "JobCheckpoint",
+    "JobExecution",
+    "JobPlanningError",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobSummary",
+    "SchedulingPolicy",
+    "ShortestRemainingWorkPolicy",
+    "make_policy",
+    "summarize_job",
+]

@@ -1,0 +1,188 @@
+"""Gang scheduling of pipeline-parallel device groups on a shared cluster.
+
+A job's replicas must start together on ``dp × pp × tp`` devices (pipeline
+stages deadlock if only part of the group is placed), so allocation is
+all-or-nothing.  The :class:`GangAllocator` partitions the cluster's devices
+into *free*, *allocated* and *failed* sets — the partition is an invariant
+(:meth:`GangAllocator.check_consistent`), which is what the fleet tests
+lean on to prove that preemption and elastic re-planning never leak a
+device.  Failed devices stay failed: the simulated cluster models permanent
+capacity loss, so elastic jobs shrink rather than wait for repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterTopology
+
+
+@dataclass(frozen=True)
+class DeviceGang:
+    """A set of devices running one job's pipeline-parallel replica group.
+
+    Attributes:
+        job: Name of the owning job.
+        devices: Global device indices of the gang, ascending.
+        data_parallel: Replica count placed on the gang (the *admitted*
+            degree, which elastic jobs may have shrunk below the request).
+        pipeline_parallel: Pipeline stages per replica.
+        tensor_parallel: Tensor-parallel degree per stage.
+    """
+
+    job: str
+    devices: tuple[int, ...]
+    data_parallel: int
+    pipeline_parallel: int
+    tensor_parallel: int
+
+    @property
+    def size(self) -> int:
+        """Number of devices in the gang."""
+        return len(self.devices)
+
+
+class GangAllocator:
+    """Tracks device ownership on the shared cluster.
+
+    Args:
+        topology: The cluster whose devices are managed.
+    """
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        self._free: set[int] = set(range(topology.num_gpus))
+        self._allocated: dict[int, DeviceGang] = {}
+        self._failed: set[int] = set()
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def num_devices(self) -> int:
+        """Total devices in the cluster (alive or failed)."""
+        return self.topology.num_gpus
+
+    @property
+    def alive_count(self) -> int:
+        """Devices that have not failed."""
+        return self.num_devices - len(self._failed)
+
+    @property
+    def free_count(self) -> int:
+        """Devices currently idle and alive."""
+        return len(self._free)
+
+    @property
+    def busy_count(self) -> int:
+        """Devices currently allocated to gangs."""
+        return len(self._allocated)
+
+    @property
+    def failed_devices(self) -> frozenset[int]:
+        """Devices that failed (permanently, in this model)."""
+        return frozenset(self._failed)
+
+    def owner_of(self, device: int) -> DeviceGang | None:
+        """The gang holding ``device``, if any."""
+        return self._allocated.get(device)
+
+    # ------------------------------------------------------------------ allocation
+
+    def allocate(
+        self, job: str, data_parallel: int, pipeline_parallel: int, tensor_parallel: int
+    ) -> DeviceGang | None:
+        """Allocate a gang for ``job``, or return ``None`` if it cannot fit.
+
+        All-or-nothing (gang scheduling): either every device of the
+        ``dp × pp × tp`` group is claimed or none is.  A contiguous run of
+        free device indices is preferred — with the Megatron-style packing
+        of :class:`~repro.cluster.topology.ClusterTopology` that keeps
+        tensor groups intra-node — and among contiguous runs one that does
+        not straddle a node boundary wins (a gang that fits in one node
+        should use one node's fast links).  When fragmentation (from
+        released and failed gangs) leaves no contiguous window at all, the
+        lowest free indices are taken.
+        """
+        size = data_parallel * pipeline_parallel * tensor_parallel
+        if size < 1:
+            raise ValueError(f"gang size must be >= 1, got {size}")
+        free = sorted(self._free)
+        if len(free) < size:
+            return None
+        devices: tuple[int, ...] | None = None
+        contiguous: tuple[int, ...] | None = None
+        for start in range(len(free) - size + 1):
+            if free[start + size - 1] - free[start] != size - 1:
+                continue
+            window = tuple(free[start : start + size])
+            if contiguous is None:
+                contiguous = window
+            if self.topology.node_of(window[0]) == self.topology.node_of(window[-1]):
+                devices = window
+                break
+        if devices is None:
+            devices = contiguous
+        if devices is None:
+            devices = tuple(free[:size])
+        gang = DeviceGang(
+            job=job,
+            devices=devices,
+            data_parallel=data_parallel,
+            pipeline_parallel=pipeline_parallel,
+            tensor_parallel=tensor_parallel,
+        )
+        for device in devices:
+            self._free.remove(device)
+            self._allocated[device] = gang
+        return gang
+
+    def release(self, gang: DeviceGang) -> list[int]:
+        """Return a gang's devices to the free pool; returns those released.
+
+        Devices of the gang that failed while allocated were already moved
+        to the failed set by :meth:`fail_device` and stay there — they are
+        *not* resurrected, which is exactly the accounting the
+        no-device-leaked test pins down.
+        """
+        released: list[int] = []
+        for device in gang.devices:
+            current = self._allocated.get(device)
+            if current is not gang:
+                continue  # failed mid-run (already removed) — stays failed
+            del self._allocated[device]
+            self._free.add(device)
+            released.append(device)
+        return released
+
+    def fail_device(self, device: int) -> DeviceGang | None:
+        """Mark ``device`` failed; returns the gang it interrupts, if any.
+
+        A free device simply leaves the pool (capacity shrinks).  An
+        allocated device is pulled out of its gang and the gang is returned
+        so the scheduler can preempt the owning job; the gang's surviving
+        devices stay allocated until the scheduler releases them.
+        """
+        if not 0 <= device < self.num_devices:
+            raise ValueError(f"device {device} out of range [0, {self.num_devices})")
+        if device in self._failed:
+            return None
+        gang = self._allocated.pop(device, None)
+        self._free.discard(device)
+        self._failed.add(device)
+        return gang
+
+    # ------------------------------------------------------------------ invariants
+
+    def check_consistent(self) -> None:
+        """Assert the free/allocated/failed sets partition the cluster.
+
+        Raises:
+            AssertionError: If a device is leaked or double-owned.
+        """
+        free, allocated, failed = self._free, set(self._allocated), self._failed
+        assert not free & allocated, f"devices both free and allocated: {free & allocated}"
+        assert not free & failed, f"devices both free and failed: {free & failed}"
+        assert not allocated & failed, f"devices both allocated and failed: {allocated & failed}"
+        union = free | allocated | failed
+        expected = set(range(self.num_devices))
+        assert union == expected, f"device leak: missing {expected - union}, extra {union - expected}"

@@ -1,0 +1,260 @@
+"""Job model of the fleet scheduler.
+
+A *job* is one multi-task training workload submitted to the shared
+simulated cluster: a model (via its cost model), a dataset slice, a global
+batch size and a requested 3D-parallel shape.  The scheduler tracks each
+job's life cycle — queued, gang-scheduled onto devices, preempted by device
+failures, elastically re-planned on a smaller gang, finished or failed after
+bounded retries — in a :class:`JobRecord`, and persists iteration-boundary
+progress in a JSON-safe :class:`JobCheckpoint` so a retried attempt resumes
+exactly where the last committed iteration left off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.planner import DynaPipePlanner, PlannerConfig
+from repro.costmodel.cost_model import CostModel
+from repro.data.tasks import Sample
+from repro.parallel.config import ParallelConfig
+from repro.training.throughput import IterationRecord, TrainingReport
+from repro.training.trainer import IterationPlanner, TrainerConfig
+from repro.utils.rng import SeedLike
+
+
+class JobState:
+    """Life-cycle states of a fleet job (plain strings for JSON-friendliness)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class JobSpec:
+    """Immutable description of one training job submitted to the fleet.
+
+    Attributes:
+        name: Unique job name within the fleet.
+        cost_model: Cost model of one replica's pipeline (defines pipeline
+            stages and tensor parallelism; shared across attempts, so the
+            profile is built once per job no matter how often it retries).
+        samples: Dataset samples of the job's epoch, already truncated to
+            the job's maximum sequence length (as the benchmarks do).
+        global_batch_tokens: Global batch size in tokens per iteration.
+        parallel: Requested 3D-parallel shape.  ``pipeline_parallel`` and
+            ``tensor_parallel`` must match the cost model; ``data_parallel``
+            is the *requested* replica count — the elastic path may admit
+            the job with fewer replicas after permanent capacity loss.
+        num_iterations: Iterations to train (bounded by the epoch length).
+        planner_config: Planner knobs used for every attempt.
+        noise_std / seed / execute_plans / stages_same_node: Per-job trainer
+            settings (see :class:`~repro.training.trainer.TrainerConfig`).
+        max_retries: Attempts beyond the first before the job is marked
+            failed (device failures and planning failures both count).
+        elastic: Whether the job may shrink its data-parallel degree when
+            the *alive* cluster can no longer host the requested gang.
+        submit_time_ms: Fleet-clock time at which the job arrives.
+        est_iteration_ms: Prior estimate of one iteration's execution time,
+            used by shortest-remaining-work ordering before any iteration of
+            the job has run.
+        planner_factory: Optional override building the per-attempt planner
+            from ``(spec, data_parallel)`` — for baselines or test doubles;
+            defaults to a :class:`~repro.core.planner.DynaPipePlanner`.
+    """
+
+    name: str
+    cost_model: CostModel
+    samples: Sequence[Sample]
+    global_batch_tokens: int
+    parallel: ParallelConfig
+    num_iterations: int = 4
+    planner_config: PlannerConfig | None = None
+    noise_std: float = 0.05
+    seed: SeedLike = 0
+    execute_plans: bool = True
+    stages_same_node: bool = True
+    max_retries: int = 2
+    elastic: bool = True
+    submit_time_ms: float = 0.0
+    est_iteration_ms: float = 1000.0
+    planner_factory: Callable[["JobSpec", int], IterationPlanner] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {self.num_iterations}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.submit_time_ms < 0:
+            raise ValueError(f"submit_time_ms must be >= 0, got {self.submit_time_ms}")
+
+    @property
+    def min_gang_size(self) -> int:
+        """Devices one replica needs — the floor of elastic shrinking."""
+        return self.parallel.pipeline_parallel * self.parallel.tensor_parallel
+
+    def gang_size(self, data_parallel: int) -> int:
+        """Devices a gang with ``data_parallel`` replicas occupies."""
+        return data_parallel * self.min_gang_size
+
+    def build_planner(self, data_parallel: int) -> IterationPlanner:
+        """Planner for one attempt with ``data_parallel`` replicas."""
+        if self.planner_factory is not None:
+            return self.planner_factory(self, data_parallel)
+        return DynaPipePlanner(
+            self.cost_model,
+            data_parallel_size=data_parallel,
+            config=self.planner_config,
+        )
+
+    def trainer_config(self, start_iteration: int = 0) -> TrainerConfig:
+        """Trainer configuration of an attempt resuming at ``start_iteration``.
+
+        Standalone equivalence hinges on this being the *only* place the
+        fleet derives trainer settings: running
+        ``TrainingSession(spec.build_planner(dp), spec.samples, ...,
+        spec.trainer_config())`` outside the fleet reproduces an
+        uninterrupted fleet job's records bit-identically.
+        """
+        return TrainerConfig(
+            max_iterations=self.num_iterations,
+            noise_std=self.noise_std,
+            seed=self.seed,
+            max_seq_len=None,  # samples arrive pre-truncated
+            stages_same_node=self.stages_same_node,
+            execute_plans=self.execute_plans,
+            start_iteration=start_iteration,
+        )
+
+
+@dataclass
+class JobCheckpoint:
+    """Iteration-boundary progress of a job, JSON round-trippable.
+
+    The fleet commits one entry per *completed* iteration; an iteration in
+    flight when a device fails is discarded and re-run by the next attempt,
+    which resumes at ``completed_iterations``.
+
+    Attributes:
+        completed_iterations: Iterations whose records are committed.
+        records: Per-iteration training records, in iteration order.
+        encoder_efficiencies: Per-iteration encoder padding efficiencies.
+        decoder_efficiencies: Per-iteration decoder padding efficiencies
+            (absent for decoder-only models).
+    """
+
+    completed_iterations: int = 0
+    records: list[IterationRecord] = field(default_factory=list)
+    encoder_efficiencies: list[float] = field(default_factory=list)
+    decoder_efficiencies: list[float] = field(default_factory=list)
+
+    def commit(self, record: IterationRecord, encoder_eff: float, decoder_eff: float | None) -> None:
+        """Commit one completed iteration."""
+        self.records.append(record)
+        self.completed_iterations += 1
+        self.encoder_efficiencies.append(encoder_eff)
+        if decoder_eff is not None:
+            self.decoder_efficiencies.append(decoder_eff)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the checkpoint (e.g. for an external job store)."""
+        return {
+            "completed_iterations": self.completed_iterations,
+            "records": [asdict(record) for record in self.records],
+            "encoder_efficiencies": list(self.encoder_efficiencies),
+            "decoder_efficiencies": list(self.decoder_efficiencies),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_dict` output."""
+        return cls(
+            completed_iterations=int(payload["completed_iterations"]),
+            records=[IterationRecord(**record) for record in payload["records"]],
+            encoder_efficiencies=[float(v) for v in payload["encoder_efficiencies"]],
+            decoder_efficiencies=[float(v) for v in payload["decoder_efficiencies"]],
+        )
+
+
+@dataclass
+class JobAttempt:
+    """One placement of a job on a device gang.
+
+    Attributes:
+        index: Attempt number (0 = first admission).
+        data_parallel: Replica count of this attempt's gang.
+        devices: Global device indices of the gang.
+        admitted_ms: Fleet-clock admission time.
+        start_iteration: First iteration this attempt was to execute.
+        ended_ms: Fleet-clock time the attempt ended (``None`` while running).
+        iterations_completed: Iterations this attempt committed.
+        outcome: ``"running"``, ``"finished"``, ``"device_failure"`` or
+            ``"plan_failure"``.
+    """
+
+    index: int
+    data_parallel: int
+    devices: tuple[int, ...]
+    admitted_ms: float
+    start_iteration: int
+    ended_ms: float | None = None
+    iterations_completed: int = 0
+    outcome: str = "running"
+
+
+@dataclass
+class JobRecord:
+    """Mutable scheduler-side state of one submitted job."""
+
+    spec: JobSpec
+    sequence: int = 0
+    state: str = JobState.PENDING
+    checkpoint: JobCheckpoint = field(default_factory=JobCheckpoint)
+    attempts: list[JobAttempt] = field(default_factory=list)
+    retries: int = 0
+    preemptions: int = 0
+    first_admitted_ms: float | None = None
+    finished_ms: float | None = None
+    failure_reason: str | None = None
+
+    @property
+    def queueing_delay_ms(self) -> float | None:
+        """Time from submission to first admission (``None`` if never admitted)."""
+        if self.first_admitted_ms is None:
+            return None
+        return self.first_admitted_ms - self.spec.submit_time_ms
+
+    @property
+    def remaining_iterations(self) -> int:
+        """Iterations still to run (by the spec's target)."""
+        return max(0, self.spec.num_iterations - self.checkpoint.completed_iterations)
+
+    def mean_iteration_ms(self) -> float:
+        """Mean measured iteration time so far, or the spec's prior."""
+        records = self.checkpoint.records
+        if not records:
+            return self.spec.est_iteration_ms
+        return sum(record.measured_ms for record in records) / len(records)
+
+    def remaining_work_ms(self) -> float:
+        """Estimated execution time still owed to the job (SRW ordering key)."""
+        return self.remaining_iterations * self.mean_iteration_ms()
+
+    def training_report(self) -> TrainingReport:
+        """The job's committed progress as a standard training report.
+
+        For a job that ran uninterrupted on its requested gang this is
+        identical (modulo wall-clock planning times) to the report of a
+        standalone :class:`~repro.training.trainer.TrainingSession` run.
+        """
+        report = TrainingReport(system=self.spec.name, records=list(self.checkpoint.records))
+        enc = self.checkpoint.encoder_efficiencies
+        dec = self.checkpoint.decoder_efficiencies
+        if enc:
+            report.encoder_padding_efficiency = sum(enc) / len(enc)
+        if dec:
+            report.decoder_padding_efficiency = sum(dec) / len(dec)
+        return report

@@ -1,0 +1,173 @@
+"""Fleet-level metrics: makespan, queueing delay, utilization, retries.
+
+The scheduler aggregates per-job summaries and a cluster-occupancy trace
+(one :class:`~repro.simulator.trace.TraceEvent` per device per committed
+iteration) into a :class:`FleetReport` — the multi-job analogue of
+:class:`~repro.training.throughput.TrainingReport`, exportable to
+``chrome://tracing`` for visual inspection of gang placement, preemptions
+and elastic re-planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.fleet.job import JobRecord, JobState
+from repro.simulator.chrome_trace import save_chrome_trace
+from repro.simulator.trace import ExecutionTrace
+from repro.utils.stats import mean
+
+
+@dataclass
+class JobSummary:
+    """Scheduling-level outcome of one job.
+
+    Attributes:
+        name: Job name.
+        state: Terminal state (``finished`` or ``failed``).
+        parallel: Requested shape, e.g. ``"dp2-pp2-tp1"``.
+        final_data_parallel: Replica count of the last attempt (smaller than
+            requested when the job shrank elastically), ``None`` if never
+            admitted.
+        submit_time_ms / first_admitted_ms / finished_ms: Fleet-clock marks.
+        queueing_delay_ms: Submission-to-first-admission delay.
+        iterations_completed / target_iterations: Progress vs. the spec.
+        attempts: Number of placements (1 = ran uninterrupted).
+        retries: Re-admissions after failures (device or planning).
+        preemptions: Device-failure interruptions.
+        throughput_tokens_per_s: Actual-token throughput over committed
+            iterations.
+        failure_reason: Why the job failed (``None`` for finished jobs).
+    """
+
+    name: str
+    state: str
+    parallel: str
+    final_data_parallel: int | None
+    submit_time_ms: float
+    first_admitted_ms: float | None
+    finished_ms: float | None
+    queueing_delay_ms: float | None
+    iterations_completed: int
+    target_iterations: int
+    attempts: int
+    retries: int
+    preemptions: int
+    throughput_tokens_per_s: float
+    failure_reason: str | None
+
+
+def summarize_job(record: JobRecord) -> JobSummary:
+    """Condense a job record into its scheduling-level summary."""
+    report = record.training_report()
+    final_dp = record.attempts[-1].data_parallel if record.attempts else None
+    return JobSummary(
+        name=record.spec.name,
+        state=record.state,
+        parallel=record.spec.parallel.describe(),
+        final_data_parallel=final_dp,
+        submit_time_ms=record.spec.submit_time_ms,
+        first_admitted_ms=record.first_admitted_ms,
+        finished_ms=record.finished_ms,
+        queueing_delay_ms=record.queueing_delay_ms,
+        iterations_completed=record.checkpoint.completed_iterations,
+        target_iterations=record.spec.num_iterations,
+        attempts=len(record.attempts),
+        retries=record.retries,
+        preemptions=record.preemptions,
+        throughput_tokens_per_s=report.throughput_tokens_per_s,
+        failure_reason=record.failure_reason,
+    )
+
+
+@dataclass
+class FleetReport:
+    """Aggregated outcome of one fleet run.
+
+    Attributes:
+        policy: Name of the admission policy that produced the run.
+        jobs: Per-job summaries, in submission order.
+        makespan_ms: Fleet-clock time of the last event.
+        busy_device_ms: Device-milliseconds spent on committed iterations
+            (work lost to preempted in-flight iterations does not count).
+        num_devices: Cluster size.
+        failed_devices: Devices that failed during the run.
+        trace: Cluster-occupancy trace (device × time → job iteration).
+    """
+
+    policy: str
+    jobs: list[JobSummary]
+    makespan_ms: float
+    busy_device_ms: float
+    num_devices: int
+    failed_devices: list[int] = field(default_factory=list)
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+
+    # ------------------------------------------------------------------ aggregates
+
+    @property
+    def finished_jobs(self) -> int:
+        """Jobs that completed their target iterations."""
+        return sum(1 for job in self.jobs if job.state == JobState.FINISHED)
+
+    @property
+    def failed_jobs(self) -> int:
+        """Jobs that failed (retry exhaustion or unschedulable)."""
+        return sum(1 for job in self.jobs if job.state == JobState.FAILED)
+
+    @property
+    def total_retries(self) -> int:
+        """Re-admissions across all jobs."""
+        return sum(job.retries for job in self.jobs)
+
+    @property
+    def total_preemptions(self) -> int:
+        """Device-failure interruptions across all jobs."""
+        return sum(job.preemptions for job in self.jobs)
+
+    @property
+    def mean_queueing_delay_ms(self) -> float:
+        """Mean submission-to-admission delay over admitted jobs."""
+        delays = [j.queueing_delay_ms for j in self.jobs if j.queueing_delay_ms is not None]
+        return mean(delays) if delays else 0.0
+
+    @property
+    def max_queueing_delay_ms(self) -> float:
+        """Largest admission delay over admitted jobs."""
+        delays = [j.queueing_delay_ms for j in self.jobs if j.queueing_delay_ms is not None]
+        return max(delays) if delays else 0.0
+
+    @property
+    def device_utilization(self) -> float:
+        """Committed device-time over total cluster capacity of the run.
+
+        Capacity counts every device (failed ones too) for the whole
+        makespan, so permanent failures *show up* as lost utilization
+        rather than silently shrinking the denominator.
+        """
+        capacity = self.num_devices * self.makespan_ms
+        if capacity <= 0:
+            return 0.0
+        return self.busy_device_ms / capacity
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary summary used by the benchmark harness."""
+        return {
+            "policy": self.policy,
+            "jobs": len(self.jobs),
+            "finished": self.finished_jobs,
+            "failed": self.failed_jobs,
+            "makespan_ms": self.makespan_ms,
+            "mean_queueing_delay_ms": self.mean_queueing_delay_ms,
+            "max_queueing_delay_ms": self.max_queueing_delay_ms,
+            "device_utilization": self.device_utilization,
+            "total_retries": self.total_retries,
+            "total_preemptions": self.total_preemptions,
+            "failed_devices": list(self.failed_devices),
+        }
+
+    def save_chrome_trace(self, path: "str | Path") -> Path:
+        """Write the cluster-occupancy timeline for ``chrome://tracing``."""
+        return save_chrome_trace(self.trace, path, process_name=f"fleet ({self.policy})")

@@ -1,0 +1,412 @@
+"""Multi-job elastic training runtime over one shared simulated cluster.
+
+The :class:`FleetScheduler` runs many training jobs concurrently on the
+devices of a single :class:`~repro.cluster.topology.ClusterTopology`:
+
+* **Admission** — queued jobs are ordered by a configurable policy (FIFO or
+  shortest-remaining-work) and gang-scheduled all-or-nothing onto
+  ``dp × pp × tp`` device groups, with backfilling: a job that does not fit
+  is skipped, not a barrier.
+* **Execution** — each admitted job's iterations run through the existing
+  planner/executor stack (optionally via the process-backed
+  :class:`~repro.runtime.planner_pool.PlannerPool` and its instruction
+  store); the fleet clock advances event by event, one committed iteration
+  at a time, so concurrent jobs interleave exactly as their simulated
+  iteration times dictate.
+* **Elastic failure path** — an injected device failure interrupts the
+  owning job mid-iteration: the in-flight iteration is discarded, the gang
+  is released (minus the dead device), and the job re-enters the queue to
+  be re-planned from its checkpointed iteration boundary — on a smaller
+  replica group when the alive cluster can no longer host the requested
+  gang.  Planning failures (including
+  :class:`~repro.instructions.store.PlanFailedError` markers from pool
+  workers) take the same path.  Both count against the job's bounded retry
+  budget; exhaustion marks the job *failed*, never hung.
+
+Determinism: with fixed specs, failure schedule and policy, the run is a
+pure function of its inputs — iteration times come from the seeded
+simulated executors and ties between simultaneous events are broken by
+(completion before failure, then submission order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterTopology
+from repro.fleet.gang import DeviceGang, GangAllocator
+from repro.fleet.job import JobAttempt, JobRecord, JobSpec, JobState
+from repro.fleet.metrics import FleetReport, summarize_job
+from repro.fleet.policies import SchedulingPolicy, make_policy
+from repro.fleet.session import JobExecution, JobPlanningError
+from repro.simulator.trace import ExecutionTrace, TraceEvent
+from repro.training.throughput import IterationRecord
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """A scheduled device failure (fleet-clock time, global device index)."""
+
+    time_ms: float
+    device: int
+
+
+@dataclass
+class FleetConfig:
+    """Tunable knobs of the fleet scheduler.
+
+    Attributes:
+        policy: Admission ordering — ``"fifo"``, ``"srw"`` or a
+            :class:`~repro.fleet.policies.SchedulingPolicy` instance.
+        planner_processes: When > 0, each job attempt plans through a
+            planner pool with that many worker processes.
+        planner_lookahead: Plan-ahead window of the pooled mode.
+        planner_backend: Pool backend (``"process"`` or ``"thread"``).
+        planner_timeout_s: Per-iteration plan wait bound of the pooled mode.
+        max_events: Safety valve on processed scheduler events.
+    """
+
+    policy: "str | SchedulingPolicy" = "fifo"
+    planner_processes: int = 0
+    planner_lookahead: int = 4
+    planner_backend: str = "process"
+    planner_timeout_s: float = 600.0
+    max_events: int = 1_000_000
+
+
+@dataclass
+class _RunningJob:
+    """Scheduler-side state of one admitted attempt."""
+
+    record: JobRecord
+    gang: DeviceGang
+    execution: JobExecution
+    attempt: JobAttempt
+    iteration_started_ms: float = 0.0
+    completion_ms: float = 0.0
+    #: The in-flight iteration's (record, stats); committed at completion,
+    #: discarded on preemption.
+    pending: "tuple[IterationRecord, object] | None" = None
+
+
+class FleetScheduler:
+    """Admits, runs, preempts and retries jobs on a shared cluster.
+
+    Args:
+        topology: The shared cluster.
+        config: Fleet configuration.
+    """
+
+    def __init__(self, topology: ClusterTopology, config: FleetConfig | None = None) -> None:
+        self.topology = topology
+        self.config = config or FleetConfig()
+        self.policy = make_policy(self.config.policy)
+        self.allocator = GangAllocator(topology)
+        self.jobs: dict[str, JobRecord] = {}
+        self._pending: list[JobRecord] = []
+        self._running: dict[str, _RunningJob] = {}
+        self._failures: list[DeviceFailure] = []
+        self._trace_events: list[TraceEvent] = []
+        self._busy_device_ms = 0.0
+        self._ran = False
+
+    # ------------------------------------------------------------------ submission
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Queue a job; returns its live record."""
+        if self._ran:
+            raise RuntimeError("cannot submit jobs after run()")
+        if spec.name in self.jobs:
+            raise ValueError(f"duplicate job name {spec.name!r}")
+        if spec.parallel.pipeline_parallel != spec.cost_model.num_stages:
+            raise ValueError(
+                f"job {spec.name}: parallel shape {spec.parallel.describe()} does not "
+                f"match the cost model's {spec.cost_model.num_stages} pipeline stages"
+            )
+        record = JobRecord(spec=spec, sequence=len(self.jobs))
+        self.jobs[spec.name] = record
+        self._pending.append(record)
+        return record
+
+    def inject_device_failure(self, time_ms: float, device: int) -> None:
+        """Schedule ``device`` to fail at fleet-clock ``time_ms``."""
+        if self._ran:
+            raise RuntimeError("cannot inject failures after run()")
+        if time_ms < 0:
+            raise ValueError(f"time_ms must be >= 0, got {time_ms}")
+        if not 0 <= device < self.topology.num_gpus:
+            raise ValueError(
+                f"device {device} out of range [0, {self.topology.num_gpus})"
+            )
+        self._failures.append(DeviceFailure(time_ms=time_ms, device=device))
+
+    # ------------------------------------------------------------------ event loop
+
+    def run(self) -> FleetReport:
+        """Process every submitted job to a terminal state; returns the report."""
+        if self._ran:
+            raise RuntimeError("run() may only be called once")
+        self._ran = True
+        failures = sorted(self._failures, key=lambda f: (f.time_ms, f.device))
+        next_failure = 0
+        clock = 0.0
+        events = 0
+        while self._pending or self._running:
+            events += 1
+            if events > self.config.max_events:
+                raise RuntimeError(
+                    f"fleet scheduler exceeded {self.config.max_events} events; "
+                    "likely a scheduling livelock"
+                )
+            self._admit(clock)
+            if not self._pending and not self._running:
+                break
+            # Next-event times.  Tie-breaking: a completion at the exact
+            # same clock as a failure or arrival commits first (the
+            # iteration finished before the device died); an arrival ties
+            # ahead of a failure (the job is admitted, then preempted).
+            infinity = float("inf")
+            arrivals = [
+                r.spec.submit_time_ms for r in self._pending if r.spec.submit_time_ms > clock
+            ]
+            t_arrival = min(arrivals) if arrivals else infinity
+            t_failure = (
+                max(failures[next_failure].time_ms, clock)
+                if next_failure < len(failures)
+                else infinity
+            )
+            if self._running:
+                running = min(
+                    self._running.values(),
+                    key=lambda rj: (rj.completion_ms, rj.record.sequence),
+                )
+                t_completion = running.completion_ms
+            else:
+                running = None
+                t_completion = infinity
+            if t_completion == t_arrival == t_failure == infinity:
+                # Nothing executing and no event can ever free capacity
+                # (failures only shrink it), so the remaining queue is
+                # unschedulable.  _admit normally catches this per job;
+                # this is the backstop.
+                for record in list(self._pending):
+                    self._mark_failed(
+                        record, clock, "unschedulable: no capacity and no pending events"
+                    )
+                continue
+            if t_completion <= t_arrival and t_completion <= t_failure:
+                clock = t_completion
+                self._complete_iteration(running, clock)
+            elif t_arrival <= t_failure:
+                clock = t_arrival  # loop re-admits at the arrival time
+            else:
+                clock = t_failure
+                self._apply_failure(failures[next_failure].device, clock)
+                next_failure += 1
+        # Failures due by the end of the run but after the last job event
+        # (e.g. a second device dying in the same instant that made the
+        # queue unschedulable) still count against the cluster.
+        while next_failure < len(failures) and failures[next_failure].time_ms <= clock:
+            self._apply_failure(failures[next_failure].device, clock)
+            next_failure += 1
+        return self._build_report(clock)
+
+    # ------------------------------------------------------------------ admission
+
+    def _allowed_data_parallel(self, spec: JobSpec) -> int | None:
+        """Largest replica count the *alive* cluster could ever host.
+
+        Elastic jobs shrink only on permanent capacity loss — contention
+        for currently-busy devices makes a job wait, not shrink.
+        """
+        alive = self.allocator.alive_count
+        requested = spec.parallel.data_parallel
+        if spec.gang_size(requested) <= alive:
+            return requested
+        if not spec.elastic:
+            return None
+        for data_parallel in range(requested - 1, 0, -1):
+            if spec.gang_size(data_parallel) <= alive:
+                return data_parallel
+        return None
+
+    def _admit(self, clock: float) -> None:
+        """Admit queued jobs (policy order, backfilling) while gangs fit."""
+        progressed = True
+        while progressed:
+            progressed = False
+            admissible = [r for r in self._pending if r.spec.submit_time_ms <= clock]
+            for record in self.policy.order(admissible, clock):
+                spec = record.spec
+                data_parallel = self._allowed_data_parallel(spec)
+                if data_parallel is None:
+                    self._mark_failed(
+                        record,
+                        clock,
+                        f"unschedulable: needs {spec.min_gang_size if spec.elastic else spec.gang_size(spec.parallel.data_parallel)} "
+                        f"devices, only {self.allocator.alive_count} alive",
+                    )
+                    progressed = True
+                    break
+                gang = self.allocator.allocate(
+                    spec.name,
+                    data_parallel,
+                    spec.parallel.pipeline_parallel,
+                    spec.parallel.tensor_parallel,
+                )
+                if gang is None:
+                    continue  # busy right now — backfill with the next job
+                self._start_attempt(record, gang, clock)
+                progressed = True
+                break  # queue changed; recompute policy order
+
+    def _start_attempt(self, record: JobRecord, gang: DeviceGang, clock: float) -> None:
+        """Place ``record`` on ``gang`` and execute its first iteration."""
+        spec = record.spec
+        self._pending.remove(record)
+        record.state = JobState.RUNNING
+        if record.first_admitted_ms is None:
+            record.first_admitted_ms = clock
+        attempt = JobAttempt(
+            index=len(record.attempts),
+            data_parallel=gang.data_parallel,
+            devices=gang.devices,
+            admitted_ms=clock,
+            start_iteration=record.checkpoint.completed_iterations,
+        )
+        record.attempts.append(attempt)
+        try:
+            execution = JobExecution(
+                record,
+                gang,
+                planner_processes=self.config.planner_processes,
+                planner_lookahead=self.config.planner_lookahead,
+                planner_backend=self.config.planner_backend,
+                planner_timeout_s=self.config.planner_timeout_s,
+            )
+        except JobPlanningError as error:
+            attempt.outcome = "plan_failure"
+            attempt.ended_ms = clock
+            self.allocator.release(gang)
+            self._retry_or_fail(record, clock, str(error))
+            return
+        running = _RunningJob(record=record, gang=gang, execution=execution, attempt=attempt)
+        self._running[spec.name] = running
+        self._advance(running, clock)
+
+    # ------------------------------------------------------------------ execution
+
+    def _advance(self, running: _RunningJob, clock: float) -> None:
+        """Start the job's next iteration (or finish the job)."""
+        try:
+            result = running.execution.step()
+        except JobPlanningError as error:
+            self._end_attempt(running, clock, outcome="plan_failure")
+            self._retry_or_fail(running.record, clock, str(error))
+            return
+        if result is None:
+            self._finish_job(running, clock)
+            return
+        record_, _stats = result
+        running.pending = result
+        running.iteration_started_ms = clock
+        running.completion_ms = clock + record_.measured_ms
+
+    def _complete_iteration(self, running: _RunningJob, clock: float) -> None:
+        """Commit the in-flight iteration at its completion time."""
+        assert running.pending is not None
+        record_, stats = running.pending
+        running.pending = None
+        running.record.checkpoint.commit(
+            record_,
+            stats.encoder_efficiency,
+            stats.decoder_efficiency,
+        )
+        running.attempt.iterations_completed += 1
+        duration = clock - running.iteration_started_ms
+        self._busy_device_ms += running.gang.size * duration
+        for device in running.gang.devices:
+            self._trace_events.append(
+                TraceEvent(
+                    device=device,
+                    name=f"{running.record.spec.name}:{record_.iteration}",
+                    start_ms=running.iteration_started_ms,
+                    end_ms=clock,
+                    category="compute",
+                    microbatch=record_.iteration,
+                )
+            )
+        self._advance(running, clock)
+
+    def _finish_job(self, running: _RunningJob, clock: float) -> None:
+        """The attempt ran out of iterations: the job is done."""
+        self._end_attempt(running, clock, outcome="finished")
+        record = running.record
+        record.state = JobState.FINISHED
+        record.finished_ms = clock
+
+    def _end_attempt(self, running: _RunningJob, clock: float, outcome: str) -> None:
+        """Tear down a running attempt and release its gang."""
+        running.execution.close()
+        running.attempt.outcome = outcome
+        running.attempt.ended_ms = clock
+        running.pending = None
+        self.allocator.release(running.gang)
+        del self._running[running.record.spec.name]
+
+    # ------------------------------------------------------------------ failures
+
+    def _apply_failure(self, device: int, clock: float) -> None:
+        """A device dies: preempt the owning job (if any) mid-iteration."""
+        gang = self.allocator.fail_device(device)
+        if gang is None:
+            return  # idle or already-failed device: capacity just shrank
+        running = self._running.get(gang.job)
+        if running is None or running.gang is not gang:  # pragma: no cover - defensive
+            return
+        record = running.record
+        record.preemptions += 1
+        self._end_attempt(running, clock, outcome="device_failure")
+        self._retry_or_fail(
+            record, clock, f"device {device} failed at {clock:.1f} ms mid-iteration"
+        )
+
+    def _retry_or_fail(self, record: JobRecord, clock: float, reason: str) -> None:
+        """Requeue the job from its checkpoint, or fail it after bounded retries."""
+        record.retries += 1
+        if record.retries > record.spec.max_retries:
+            self._mark_failed(
+                record,
+                clock,
+                f"retries exhausted ({record.spec.max_retries}): {reason}",
+                dequeue=False,
+            )
+            return
+        record.state = JobState.PENDING
+        self._pending.append(record)
+
+    def _mark_failed(
+        self, record: JobRecord, clock: float, reason: str, dequeue: bool = True
+    ) -> None:
+        """Terminal failure: the job keeps its checkpoint but never runs again."""
+        if dequeue and record in self._pending:
+            self._pending.remove(record)
+        record.state = JobState.FAILED
+        record.failure_reason = reason
+        record.finished_ms = clock
+
+    # ------------------------------------------------------------------ reporting
+
+    def _build_report(self, clock: float) -> FleetReport:
+        self.allocator.check_consistent()
+        assert not self._running, "jobs still running after the event loop"
+        jobs = sorted(self.jobs.values(), key=lambda r: r.sequence)
+        return FleetReport(
+            policy=self.policy.name,
+            jobs=[summarize_job(record) for record in jobs],
+            makespan_ms=clock,
+            busy_device_ms=self._busy_device_ms,
+            num_devices=self.topology.num_gpus,
+            failed_devices=sorted(self.allocator.failed_devices),
+            trace=ExecutionTrace(events=list(self._trace_events)),
+        )

@@ -1,0 +1,153 @@
+"""Per-attempt job execution: stepping a training session under fleet control.
+
+A :class:`JobExecution` owns one attempt of one job on an allocated gang.
+It builds the attempt's planner for the gang's (possibly shrunk) replica
+count, constructs a :class:`~repro.training.trainer.TrainingSession` resumed
+at the job's checkpoint boundary, and exposes the epoch one iteration at a
+time so the fleet clock can interleave jobs and inject failures at
+iteration granularity.
+
+Planning can run inline or through the existing process-backed
+:class:`~repro.runtime.planner_pool.PlannerPool` (plans travel through the
+pool's :class:`~repro.instructions.store.InstructionStore` exactly as in the
+single-job runtime).  Either way, every planning failure — an
+out-of-memory plan, a DP partition error, or a
+:class:`~repro.instructions.store.PlanFailedError` marker pushed by a pool
+worker — surfaces as a :class:`JobPlanningError` within one step, which the
+scheduler converts into a bounded job-level retry instead of a hang.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.batching.metrics import PaddingStats
+from repro.core.dp_solver import PartitionError
+from repro.core.recomputation import OutOfMemoryError
+from repro.instructions.store import PlanFailedError
+from repro.runtime.planner_pool import PlannerPool
+from repro.schedule.cyclic import ScheduleDeadlockError
+from repro.training.throughput import IterationRecord
+from repro.training.trainer import TrainingSession
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.fleet.gang import DeviceGang
+    from repro.fleet.job import JobRecord
+
+#: Exceptions that mean "this attempt cannot produce a plan" (as opposed to
+#: programming errors, which should propagate).
+_PLANNING_ERRORS = (PlanFailedError, OutOfMemoryError, PartitionError, ScheduleDeadlockError)
+
+
+class JobPlanningError(RuntimeError):
+    """Planning for a job attempt failed; the scheduler retries or fails the job."""
+
+
+class JobExecution:
+    """One attempt of a job, stepped iteration by iteration.
+
+    Args:
+        record: The job being attempted (checkpoint decides the resume point).
+        gang: The allocated device gang (its ``data_parallel`` sizes the
+            planner).
+        planner_processes: When > 0, plan through a
+            :class:`~repro.runtime.planner_pool.PlannerPool` with that many
+            workers (started lazily on the first step).
+        planner_lookahead: Plan-ahead window of the pooled mode.
+        planner_backend: Pool backend (``"process"`` or ``"thread"``).
+        planner_timeout_s: Per-iteration wait bound of the pooled mode.
+
+    Raises:
+        JobPlanningError: If the attempt's planner cannot even be built
+            (e.g. static memory exceeds the device under this gang shape).
+    """
+
+    def __init__(
+        self,
+        record: "JobRecord",
+        gang: "DeviceGang",
+        planner_processes: int = 0,
+        planner_lookahead: int = 4,
+        planner_backend: str = "process",
+        planner_timeout_s: float = 600.0,
+    ) -> None:
+        spec = record.spec
+        self.job_name = spec.name
+        self.start_iteration = record.checkpoint.completed_iterations
+        self._timeout_s = planner_timeout_s
+        try:
+            planner = spec.build_planner(gang.data_parallel)
+        except _PLANNING_ERRORS as error:
+            raise JobPlanningError(
+                f"job {spec.name}: cannot build planner for dp={gang.data_parallel}: {error}"
+            ) from error
+        self.session = TrainingSession(
+            planner,
+            spec.samples,
+            global_batch_tokens=spec.global_batch_tokens,
+            config=spec.trainer_config(self.start_iteration),
+            system_name=spec.name,
+        )
+        self.minibatches = self.session.epoch_minibatches()
+        self._position = 0
+        self._pool: PlannerPool | None = None
+        self._pool_started = False
+        if planner_processes > 0 and self.minibatches:
+            self._pool = PlannerPool(
+                planner=planner,
+                minibatches=[mb.samples for mb in self.minibatches],
+                num_workers=planner_processes,
+                lookahead=planner_lookahead,
+                backend=planner_backend,
+            )
+
+    @property
+    def total_iterations(self) -> int:
+        """Last iteration index this attempt will reach (epoch-bounded)."""
+        return self.start_iteration + len(self.minibatches)
+
+    def step(self) -> "tuple[IterationRecord, PaddingStats] | None":
+        """Plan and execute the next iteration.
+
+        Returns:
+            The iteration's record and padding statistics, or ``None`` when
+            the attempt has no iterations left.
+
+        Raises:
+            JobPlanningError: If planning the iteration failed (including a
+                pool worker's failure marker or a pooled-planning timeout).
+        """
+        if self._position >= len(self.minibatches):
+            return None
+        minibatch = self.minibatches[self._position]
+        try:
+            if self._pool is not None:
+                if not self._pool_started:
+                    self._pool.start()
+                    self._pool_started = True
+                # The pool keys tasks by position in its mini-batch list,
+                # not by absolute iteration index (they differ on resume).
+                payload = self._pool.wait_payload(self._position, timeout=self._timeout_s)
+                record, stats = self.session.record_from_payload(minibatch.index, payload)
+                self._pool.notify_consumed(self._position)
+            else:
+                record = self.session.run_iteration(minibatch)
+                stats = self.session.last_padding_stats
+        except _PLANNING_ERRORS as error:
+            raise JobPlanningError(
+                f"job {self.job_name}: planning failed at iteration {minibatch.index}: {error}"
+            ) from error
+        except TimeoutError as error:
+            raise JobPlanningError(
+                f"job {self.job_name}: no plan for iteration {minibatch.index} "
+                f"within {self._timeout_s:.1f}s: {error}"
+            ) from error
+        self._position += 1
+        return record, stats
+
+    def close(self) -> None:
+        """Stop the planner pool (idempotent); abandoned plans are dropped."""
+        if self._pool is not None and self._pool_started:
+            self._pool.stop()
+            self._pool_started = False
+            self._pool = None

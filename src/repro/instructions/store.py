@@ -29,7 +29,20 @@ class PlanFailedError(RuntimeError):
     Deliberately *not* a :class:`PlanNotReadyError` subclass: executors retry
     "not ready" (the plan may still arrive) but must fail fast on "failed"
     (the plan never will).
+
+    Attributes:
+        iteration: The store/pool key the failure marker was pushed under
+            (``None`` when the failure is not tied to one key).  Note this
+            is the *key*, not necessarily an absolute training iteration: a
+            planner pool keys tasks by position in its mini-batch list, so
+            on a resumed session the two differ.  Consumers resuming work
+            should rely on their own committed-progress accounting (as the
+            fleet's checkpoints do) and treat this as diagnostics.
     """
+
+    def __init__(self, message: str, iteration: int | None = None) -> None:
+        super().__init__(message)
+        self.iteration = iteration
 
 
 class InstructionStore:
@@ -74,7 +87,8 @@ class InstructionStore:
             if iteration in self._failures:
                 raise PlanFailedError(
                     f"planning failed for iteration {iteration}: "
-                    f"{self._failures[iteration]}"
+                    f"{self._failures[iteration]}",
+                    iteration=iteration,
                 )
             try:
                 return self._plans[(iteration, executor_rank)]

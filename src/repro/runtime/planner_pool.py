@@ -29,11 +29,15 @@ never failed), so a restart knows exactly what still needs planning.
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
+import os
 import pickle
 import queue
+import tempfile
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Protocol, Sequence
 
@@ -72,21 +76,82 @@ class PlanningRecord:
     worker: str = ""
 
 
+#: Lazily created directory for spilled planner specs; its finalizer removes
+#: anything left over at interpreter shutdown.
+_SPEC_SPILL_DIR: tempfile.TemporaryDirectory | None = None
+#: One spilled spec file per live planner object, so repeated ``start()``
+#: calls and multiple pools sharing one planner re-ship only a path.  Each
+#: entry's file is unlinked (via ``weakref.finalize``) when its planner is
+#: garbage-collected, so churning through planners — e.g. one per fleet job
+#: attempt — does not accumulate profile-sized temp files.
+_SPEC_FILES: "weakref.WeakKeyDictionary[Any, str]" = weakref.WeakKeyDictionary()
+_SPILL_LOCK = threading.Lock()
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:  # pragma: no cover - already gone / dir being torn down
+        pass
+
+
+def _spill_spec_path(planner: _Planner) -> str:
+    """Write ``planner.to_spec()`` to a JSON file once and return its path.
+
+    The profile database dominates the spec, so serialising it per
+    ``start()`` (and re-pickling it into every worker under the spawn start
+    method) is the pool's main startup cost.  Spilling the spec to disk once
+    per planner object means workers receive a short path and ``mmap``-read
+    the profile themselves; JSON keeps the payload bit-exact (the spec is
+    JSON-safe by construction, see ``costmodel/serialization.py``).  The
+    file lives exactly as long as its planner object.
+
+    Raises:
+        TypeError: If the spec is not JSON-serialisable (caller falls back
+            to pickling the planner whole).
+    """
+    global _SPEC_SPILL_DIR
+    with _SPILL_LOCK:
+        path = _SPEC_FILES.get(planner)
+        if path is not None and os.path.exists(path):
+            return path
+        if _SPEC_SPILL_DIR is None:
+            _SPEC_SPILL_DIR = tempfile.TemporaryDirectory(prefix="repro-planner-specs-")
+        fd, path = tempfile.mkstemp(dir=_SPEC_SPILL_DIR.name, suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(planner.to_spec(), handle)
+        except TypeError:
+            os.unlink(path)
+            raise
+        _SPEC_FILES[planner] = path
+        weakref.finalize(planner, _unlink_quietly, path)
+        return path
+
+
 def _planner_payload(planner: _Planner) -> dict[str, Any]:
     """Serialise ``planner`` for shipment to worker processes.
 
-    Planners exposing ``to_spec`` (the DynaPipe planner) travel as a spec —
-    profile database and configuration, rebuilt via ``from_spec`` — which is
-    robust across start methods.  Anything else is pickled whole.
+    Planners exposing ``to_spec`` (the DynaPipe planner) travel as the
+    *path* of a spilled spec file — the profile database is written to disk
+    once per planner, not re-pickled per ``start()`` or per worker — and are
+    rebuilt via ``from_spec``, which is robust across start methods.
+    Anything else is pickled whole.
     """
     if hasattr(planner, "to_spec"):
-        return {"kind": "spec", "spec": planner.to_spec()}
+        try:
+            return {"kind": "spec_file", "path": _spill_spec_path(planner)}
+        except TypeError:
+            pass  # non-JSON-safe spec: fall back to pickling the planner
     return {"kind": "pickle", "blob": pickle.dumps(planner)}
 
 
 def _rebuild_planner(payload: dict[str, Any]) -> _Planner:
     """Worker-side inverse of :func:`_planner_payload`."""
-    if payload["kind"] == "spec":
+    if payload["kind"] == "spec_file":
+        with open(payload["path"], "r", encoding="utf-8") as handle:
+            return DynaPipePlanner.from_spec(json.load(handle))
+    if payload["kind"] == "spec":  # in-memory spec (kept for direct callers)
         return DynaPipePlanner.from_spec(payload["spec"])
     return pickle.loads(payload["blob"])
 
@@ -602,7 +667,8 @@ class PlannerPool:
                 return payload
             if failure is not None:
                 raise PlanFailedError(
-                    f"planning failed for iteration {iteration}: {failure}"
+                    f"planning failed for iteration {iteration}: {failure}",
+                    iteration=iteration,
                 ) from failure
             if time.perf_counter() > deadline:
                 raise TimeoutError(

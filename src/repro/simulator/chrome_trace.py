@@ -19,9 +19,25 @@ from repro.simulator.trace import ExecutionTrace
 _US_PER_MS = 1000.0
 
 
-def trace_to_chrome_events(trace: ExecutionTrace, process_id: int = 0) -> list[dict[str, Any]]:
-    """Convert a trace to a list of Chrome trace-event dictionaries."""
+def trace_to_chrome_events(
+    trace: ExecutionTrace, process_id: int = 0, process_name: str | None = None
+) -> list[dict[str, Any]]:
+    """Convert a trace to a list of Chrome trace-event dictionaries.
+
+    ``process_name`` labels the whole trace's "process" row — the fleet
+    scheduler uses it to title a cluster-occupancy timeline, where each
+    device's track shows which job's iterations it ran.
+    """
     events: list[dict[str, Any]] = []
+    if process_name is not None:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": process_id,
+                "args": {"name": process_name},
+            }
+        )
     devices = sorted({event.device for event in trace.events})
     for device in devices:
         for suffix, category in (("compute", "compute"), ("comm", "comm")):
@@ -51,10 +67,15 @@ def trace_to_chrome_events(trace: ExecutionTrace, process_id: int = 0) -> list[d
     return events
 
 
-def save_chrome_trace(trace: ExecutionTrace, path: str | Path) -> Path:
+def save_chrome_trace(
+    trace: ExecutionTrace, path: str | Path, process_name: str | None = None
+) -> Path:
     """Write the trace as a ``chrome://tracing`` compatible JSON file."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"traceEvents": trace_to_chrome_events(trace), "displayTimeUnit": "ms"}
+    payload = {
+        "traceEvents": trace_to_chrome_events(trace, process_name=process_name),
+        "displayTimeUnit": "ms",
+    }
     path.write_text(json.dumps(payload))
     return path

@@ -77,6 +77,13 @@ class TrainerConfig:
         planner_timeout_s: Maximum time to wait for one iteration's plan in
             the pooled mode before failing the run (a slow-but-healthy
             planner should raise this, not die).
+        start_iteration: First iteration to process.  Earlier mini-batches
+            are skipped (but keep their iteration numbers) and the
+            execution-noise RNG is fast-forwarded as if they had executed,
+            so a session resumed at an iteration boundary reproduces
+            iterations ``>= start_iteration`` of an uninterrupted run
+            bit-identically — the checkpoint/resume contract of the fleet
+            scheduler's elastic re-plan path.
     """
 
     max_iterations: int | None = 20
@@ -88,6 +95,7 @@ class TrainerConfig:
     planner_processes: int = 0
     planner_lookahead: int = 4
     planner_timeout_s: float = 600.0
+    start_iteration: int = 0
 
 
 class TrainingSession:
@@ -113,6 +121,10 @@ class TrainingSession:
     ) -> None:
         self.planner = planner
         self.config = config or TrainerConfig()
+        if self.config.start_iteration < 0:
+            raise ValueError(
+                f"start_iteration must be >= 0, got {self.config.start_iteration}"
+            )
         self.system_name = system_name
         self.network = network or NetworkModel()
         cost_model = planner.cost_model
@@ -135,6 +147,13 @@ class TrainingSession:
             zero_shards=cost_model.zero_shards,
         )
         self._noise_rng = new_rng(self.config.seed)
+        # Resuming at an iteration boundary: burn the noise-seed draws the
+        # skipped iterations would have consumed (one per replica executor,
+        # data_parallel_size per iteration), so the remaining iterations see
+        # exactly the seeds an uninterrupted run would have given them.
+        replicas = max(1, getattr(planner, "data_parallel_size", 1))
+        for _ in range(self.config.start_iteration * replicas):
+            self._noise_rng.integers(0, 2**31 - 1)
 
     # ------------------------------------------------------------------ execution
 
@@ -202,8 +221,13 @@ class TrainingSession:
 
     # ------------------------------------------------------------------ run loop
 
-    def _epoch_minibatches(self) -> list[MiniBatch]:
-        """The epoch's mini-batches, truncated to ``max_iterations``."""
+    def epoch_minibatches(self) -> list[MiniBatch]:
+        """The epoch's mini-batches in ``[start_iteration, max_iterations)``.
+
+        Mini-batches keep their absolute iteration indices, so a resumed
+        session (``start_iteration > 0``) sees exactly the tail of the
+        uninterrupted epoch.  The fleet scheduler steps these one at a time.
+        """
         minibatches: list[MiniBatch] = []
         for minibatch in self.sampler.epoch(0):
             if (
@@ -211,6 +235,8 @@ class TrainingSession:
                 and minibatch.index >= self.config.max_iterations
             ):
                 break
+            if minibatch.index < self.config.start_iteration:
+                continue
             minibatches.append(minibatch)
         return minibatches
 
@@ -232,10 +258,10 @@ class TrainingSession:
         report = TrainingReport(system=self.system_name)
         enc_eff: list[float] = []
         dec_eff: list[float] = []
-        for minibatch in self._epoch_minibatches():
+        for minibatch in self.epoch_minibatches():
             record = self.run_iteration(minibatch)
             report.records.append(record)
-            stats = self._last_padding_stats
+            stats = self.last_padding_stats
             enc_eff.append(stats.encoder_efficiency)
             if stats.decoder_efficiency is not None:
                 dec_eff.append(stats.decoder_efficiency)
@@ -251,7 +277,7 @@ class TrainingSession:
         service does.
         """
         report = TrainingReport(system=self.system_name)
-        minibatches = self._epoch_minibatches()
+        minibatches = self.epoch_minibatches()
         if not minibatches:
             return report
         pool = PlannerPool(
@@ -264,21 +290,24 @@ class TrainingSession:
         dec_eff: list[float] = []
         pool.start()
         try:
-            for minibatch in minibatches:
+            # The pool keys tasks by *position* in its mini-batch list, which
+            # differs from the absolute iteration index when resuming
+            # (start_iteration > 0).
+            for position, minibatch in enumerate(minibatches):
                 payload = pool.wait_payload(
-                    minibatch.index, timeout=self.config.planner_timeout_s
+                    position, timeout=self.config.planner_timeout_s
                 )
-                record, stats = self._record_from_payload(minibatch.index, payload)
+                record, stats = self.record_from_payload(minibatch.index, payload)
                 report.records.append(record)
                 enc_eff.append(stats.encoder_efficiency)
                 if stats.decoder_efficiency is not None:
                     dec_eff.append(stats.decoder_efficiency)
-                pool.notify_consumed(minibatch.index)
+                pool.notify_consumed(position)
         finally:
             pool.stop()
         return self._finalize_report(report, enc_eff, dec_eff)
 
-    def _record_from_payload(
+    def record_from_payload(
         self, iteration: int, payload: dict
     ) -> tuple[IterationRecord, PaddingStats]:
         """Execute one pooled iteration's serialised plans and record it."""
@@ -305,6 +334,11 @@ class TrainingSession:
             recompute=str(payload["recompute"]),
         )
         return record, stats
+
+    @property
+    def last_padding_stats(self) -> PaddingStats:
+        """Padding statistics of the most recent :meth:`run_iteration` call."""
+        return self._last_padding_stats
 
     def run_iteration(self, minibatch: MiniBatch) -> IterationRecord:
         """Plan and execute one mini-batch, returning its record."""

@@ -93,3 +93,22 @@ def flan_samples_gpt():
     """The same sample set truncated for decoder-only (concatenated) use."""
     dataset = SyntheticFlanDataset(num_samples=600, seed=7)
     return truncate_samples(dataset.samples, 1024, decoder_only=True)
+
+
+@pytest.fixture(scope="session")
+def pp2_cost_model(tiny_gpt_config, small_device) -> CostModel:
+    """Cost model of the tiny GPT on a 2-stage pipeline (small fleet gangs)."""
+    return CostModel(
+        tiny_gpt_config,
+        num_stages=2,
+        device_spec=small_device,
+        max_profile_batch_size=32,
+        max_profile_seq_len=1024,
+    )
+
+
+@pytest.fixture(scope="session")
+def fleet_samples():
+    """A short decoder-only sample set for fast fleet iterations."""
+    dataset = SyntheticFlanDataset(num_samples=400, seed=7)
+    return truncate_samples(dataset.samples, 512, decoder_only=True)

@@ -1,14 +1,18 @@
 """Tier-1 smoke check for the tier-2 benchmark harnesses.
 
-The ``tier2_bench``-marked benchmarks guard the planner hot path and the
-planner pool's multi-core scaling, but they live outside the default test
-collection (``benchmarks/`` uses its own ``pytest.ini``), so nothing would
-notice if an API change broke them.  This test runs them as part of the
-tier-1 suite in *smoke mode* (``REPRO_BENCH_SMOKE=1``: reduced workload,
-timing assertions relaxed), so the benchmark files cannot silently rot while
-keeping tier-1 runtime and flakiness under control — the timing claims
-themselves are still enforced by the real tier-2 run
-(``pytest benchmarks/ -m tier2_bench``).
+The ``tier2_bench``-marked benchmarks guard the planner hot path, the
+planner pool's multi-core scaling and the fleet scheduler, but they live
+outside the default test collection (``benchmarks/`` uses its own
+``pytest.ini``), so nothing would notice if an API change broke them.  This
+test runs each benchmark file as part of the tier-1 suite in *smoke mode*
+(``REPRO_BENCH_SMOKE=1``: reduced workload, timing assertions relaxed), so
+the benchmark files cannot silently rot while keeping tier-1 runtime and
+flakiness under control — the timing claims themselves are still enforced
+by the real tier-2 run (``pytest benchmarks/ -m tier2_bench``).
+
+Parametrising per file (rather than one ``pytest benchmarks/`` run) makes a
+single rotten benchmark name the failing test directly and keeps the list
+here an explicit registry every new tier-2 benchmark must join.
 """
 
 from __future__ import annotations
@@ -18,10 +22,30 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Every tier-2 benchmark file; new benchmarks register here so the smoke
+#: check covers them.
+TIER2_BENCH_FILES = (
+    "bench_planner_hotpath.py",
+    "bench_fleet_scheduler.py",
+)
 
-def test_tier2_bench_smoke():
+
+def test_registry_matches_marked_files():
+    """The registry lists exactly the files using the tier2_bench marker."""
+    marked = {
+        path.name
+        for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+        if "tier2_bench" in path.read_text()
+    }
+    assert marked == set(TIER2_BENCH_FILES)
+
+
+@pytest.mark.parametrize("bench_file", TIER2_BENCH_FILES)
+def test_tier2_bench_smoke(bench_file):
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")
@@ -29,7 +53,7 @@ def test_tier2_bench_smoke():
     env["REPRO_BENCH_SMOKE"] = "1"
     result = subprocess.run(
         [
-            sys.executable, "-m", "pytest", "benchmarks/",
+            sys.executable, "-m", "pytest", f"benchmarks/{bench_file}",
             "-m", "tier2_bench", "--benchmark-disable", "-q",
             "-p", "no:cacheprovider",
         ],
@@ -40,9 +64,9 @@ def test_tier2_bench_smoke():
         timeout=600,
     )
     assert result.returncode == 0, (
-        f"tier2_bench smoke run failed (exit {result.returncode}):\n"
+        f"tier2_bench smoke run of {bench_file} failed (exit {result.returncode}):\n"
         f"{result.stdout}\n{result.stderr}"
     )
-    # Collection must have found the tier-2 benchmarks (a marker or naming
+    # Collection must have found the benchmark (a marker or naming
     # regression that deselects everything should fail loudly here).
     assert " passed" in result.stdout, result.stdout

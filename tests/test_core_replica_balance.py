@@ -2,11 +2,86 @@
 
 from __future__ import annotations
 
+import heapq
+import itertools
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.replica_balance import karmarkar_karp_partition
+from repro.core.replica_balance import ReplicaAssignment, karmarkar_karp_partition
+
+
+def _karmarkar_karp_reference(values, num_parts) -> ReplicaAssignment:
+    """The original (pre-tightening) formulation — naive lambda sort keys and
+    a separate spread negation — kept verbatim as the bit-identity reference
+    for the optimised merge loop."""
+    if num_parts < 1:
+        raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    if num_parts == 1:
+        return ReplicaAssignment(groups=[list(range(len(values)))], sums=[float(sum(values))])
+    if not values:
+        return ReplicaAssignment(groups=[[] for _ in range(num_parts)], sums=[0.0] * num_parts)
+
+    counter = itertools.count()
+    heap: list[tuple[float, int, list[tuple[float, list[int]]]]] = []
+    for index, value in enumerate(values):
+        groups: list[tuple[float, list[int]]] = [(float(value), [index])]
+        groups.extend((0.0, []) for _ in range(num_parts - 1))
+        spread = float(value)
+        heapq.heappush(heap, (-spread, next(counter), groups))
+
+    while len(heap) > 1:
+        _, _, groups_a = heapq.heappop(heap)
+        _, _, groups_b = heapq.heappop(heap)
+        groups_a.sort(key=lambda g: g[0], reverse=True)
+        groups_b.sort(key=lambda g: g[0])
+        merged = [
+            (sum_a + sum_b, items_a + items_b)
+            for (sum_a, items_a), (sum_b, items_b) in zip(groups_a, groups_b)
+        ]
+        spread = max(s for s, _ in merged) - min(s for s, _ in merged)
+        heapq.heappush(heap, (-spread, next(counter), merged))
+
+    _, _, final_groups = heap[0]
+    final_groups.sort(key=lambda g: g[0], reverse=True)
+    return ReplicaAssignment(
+        groups=[sorted(items) for _, items in final_groups],
+        sums=[float(s) for s, _ in final_groups],
+    )
+
+
+class TestTightenedMergeEquivalence:
+    """The tightened merge loop (hoisted ``itemgetter`` key, fused spread)
+    must be bit-identical to the original formulation."""
+
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=0, max_size=48),
+        parts=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_bit_identical_to_reference(self, values, parts):
+        fast = karmarkar_karp_partition(values, parts)
+        reference = _karmarkar_karp_reference(values, parts)
+        assert fast.groups == reference.groups
+        # Exact float equality: same additions in the same order.
+        assert fast.sums == reference.sums
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=40),
+        parts=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bit_identical_under_heavy_ties(self, values, parts):
+        """Quantised values force equal sums, exercising the stable-sort
+        tie-breaking that must match Python's stable sort exactly."""
+        floats = [float(v) for v in values]
+        fast = karmarkar_karp_partition(floats, parts)
+        reference = _karmarkar_karp_reference(floats, parts)
+        assert fast.groups == reference.groups
+        assert fast.sums == reference.sums
 
 
 class TestBasics:

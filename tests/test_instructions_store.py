@@ -57,8 +57,10 @@ class TestFailureMarkers:
     def test_failure_makes_fetch_raise(self):
         store = InstructionStore()
         store.push_failure(0, "planner exploded")
-        with pytest.raises(PlanFailedError, match="planner exploded"):
+        with pytest.raises(PlanFailedError, match="planner exploded") as excinfo:
             store.fetch(0, 0)
+        # The exception carries the failed store key for diagnostics.
+        assert excinfo.value.iteration == 0
 
     def test_failure_reports_ready_for_every_rank(self):
         """Polling executors must wake up on a failed iteration, whatever

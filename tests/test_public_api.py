@@ -46,6 +46,7 @@ class TestPublicApi:
             "repro.training",
             "repro.runtime",
             "repro.instructions",
+            "repro.fleet",
             "repro.utils",
         ):
             assert importlib.import_module(module) is not None

@@ -65,6 +65,53 @@ def minibatches_t5(flan_samples):
     return batches
 
 
+class TestSpecSpill:
+    def test_spec_file_written_once_and_reclaimed_with_planner(self, gpt_cost_model):
+        """The spilled spec file is shared across payload builds for one
+        planner object and unlinked when the planner is garbage-collected
+        (one fleet-job attempt = one planner must not leak a profile-sized
+        temp file)."""
+        import gc
+        import os
+
+        from repro.runtime.planner_pool import _planner_payload, _rebuild_planner
+
+        local = DynaPipePlanner(
+            gpt_cost_model, config=PlannerConfig(order_search=False, tmax_sample_count=8)
+        )
+        first = _planner_payload(local)
+        second = _planner_payload(local)
+        assert first["kind"] == "spec_file"
+        assert first["path"] == second["path"]
+        path = first["path"]
+        assert os.path.exists(path)
+        rebuilt = _rebuild_planner(first)
+        assert isinstance(rebuilt, DynaPipePlanner)
+        assert rebuilt.data_parallel_size == local.data_parallel_size
+        del local
+        gc.collect()
+        assert not os.path.exists(path)
+
+    def test_non_json_spec_falls_back_to_pickle(self):
+        import pickle
+
+        from repro.runtime.planner_pool import _planner_payload
+
+        payload = _planner_payload(SpecNotJsonPlanner())
+        assert payload["kind"] == "pickle"
+        assert isinstance(pickle.loads(payload["blob"]), SpecNotJsonPlanner)
+
+
+class SpecNotJsonPlanner:
+    """Exposes ``to_spec`` but its spec is not JSON-safe (and it pickles fine)."""
+
+    def to_spec(self):
+        return {"bad": ExplodingPlanner()}
+
+    def plan(self, samples, iteration=0):  # pragma: no cover - never planned
+        raise NotImplementedError
+
+
 class TestPlannerPool:
     def test_plans_pushed_to_store(self, planner, minibatches):
         store = InstructionStore()

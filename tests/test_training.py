@@ -216,3 +216,52 @@ class TestPooledPlanning:
         assert len(report.records) == 2
         assert report.throughput_tokens_per_s > 0
         assert all(record.planning_time_s > 0 for record in report.records)
+
+
+class TestResumeFromIterationBoundary:
+    """``TrainerConfig.start_iteration`` — the fleet's checkpoint/resume hook."""
+
+    def _session(self, cost_model, samples, start_iteration: int, data_parallel: int = 1):
+        planner = DynaPipePlanner(
+            cost_model,
+            data_parallel_size=data_parallel,
+            config=PlannerConfig(order_search=False, tmax_sample_count=8),
+        )
+        return TrainingSession(
+            planner,
+            samples,
+            global_batch_tokens=8192,
+            config=TrainerConfig(
+                max_iterations=4,
+                noise_std=0.05,
+                seed=0,
+                max_seq_len=1024,
+                start_iteration=start_iteration,
+            ),
+        )
+
+    @pytest.mark.parametrize("data_parallel", [1, 2])
+    def test_resumed_tail_matches_uninterrupted_run(
+        self, gpt_cost_model, flan_samples_gpt, data_parallel
+    ):
+        """A session resumed at iteration 2 reproduces iterations 2..3 of the
+        uninterrupted run bit-identically (mini-batch skipping + noise-RNG
+        fast-forward, one draw per replica executor per skipped iteration)."""
+        full = self._session(gpt_cost_model, flan_samples_gpt, 0, data_parallel).run()
+        resumed = self._session(gpt_cost_model, flan_samples_gpt, 2, data_parallel).run()
+        assert [r.iteration for r in resumed.records] == [2, 3]
+        for ours, theirs in zip(resumed.records, full.records[2:]):
+            assert ours.iteration == theirs.iteration
+            assert ours.actual_tokens == theirs.actual_tokens
+            assert ours.measured_ms == theirs.measured_ms
+            assert ours.predicted_ms == theirs.predicted_ms
+            assert ours.measured_peak_bytes == theirs.measured_peak_bytes
+
+    def test_resume_past_the_epoch_is_empty(self, gpt_cost_model, flan_samples_gpt):
+        session = self._session(gpt_cost_model, flan_samples_gpt, 4)
+        assert session.epoch_minibatches() == []
+        assert session.run().records == []
+
+    def test_negative_start_rejected(self, gpt_cost_model, flan_samples_gpt):
+        with pytest.raises(ValueError, match="start_iteration"):
+            self._session(gpt_cost_model, flan_samples_gpt, -1)
