@@ -21,6 +21,7 @@ Set ``REPRO_BENCH_SMOKE=1`` for the reduced workload the tier-1 suite runs
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -43,6 +44,8 @@ NUM_JOBS = 4 if SMOKE else 10
 ITERATIONS_LONG = 2 if SMOKE else 4
 CLUSTER_GPUS = 8
 FAILURE_SCHEDULE = ((10.0, 0), (25.0, 5))
+#: Planner workers of the pooled planning-mode comparison.
+PLANNER_PROCS = 1 if SMOKE else 2
 
 FLEET_MODEL = ModelConfig(
     name="gpt-fleet-small",
@@ -85,14 +88,51 @@ def build_jobs(cost_model: CostModel, samples) -> list[JobSpec]:
     return jobs
 
 
-def run_policy(policy: str, jobs: list[JobSpec]):
+def run_policy(policy: str, jobs: list[JobSpec], **config):
     topology = ClusterTopology.for_num_gpus(CLUSTER_GPUS, device_spec=FLEET_DEVICE)
-    scheduler = FleetScheduler(topology, FleetConfig(policy=policy))
+    scheduler = FleetScheduler(topology, FleetConfig(policy=policy, **config))
     for spec in jobs:
         scheduler.submit(spec)
     for time_ms, device in FAILURE_SCHEDULE:
         scheduler.inject_device_failure(time_ms, device)
     return scheduler.run()
+
+
+#: Planning transports compared by the planning-mode table: private pools
+#: per job attempt vs. the fleet-wide shared pool ("planning cluster").
+PLANNING_MODES = {
+    "per-attempt": dict(planner_processes=PLANNER_PROCS),
+    "shared-pool": dict(planner_processes=PLANNER_PROCS, shared_planner_pool=True),
+}
+
+
+def run_planning_modes(jobs: list[JobSpec]):
+    """The same fleet, planned through per-attempt pools vs the shared pool.
+
+    Simulated results (makespan, per-job outcomes) are identical by
+    construction — the rows show what the planning *cluster* buys: worker
+    spawn is paid once for the fleet instead of once per attempt.
+    """
+    rows = []
+    reports = {}
+    for mode, config in PLANNING_MODES.items():
+        start = time.perf_counter()
+        report = run_policy("fifo", jobs, **config)
+        wall_s = time.perf_counter() - start
+        reports[mode] = report
+        summary = report.summary()
+        rows.append(
+            [
+                mode,
+                summary["jobs"],
+                summary["finished"],
+                round(summary["makespan_ms"], 1),
+                sum(job.attempts for job in report.jobs),
+                report.planner_workers_spawned,
+                round(wall_s, 2),
+            ]
+        )
+    return rows, reports
 
 
 def run():
@@ -135,6 +175,11 @@ HEADERS = [
     "mean_queue_ms", "max_queue_ms", "utilization", "retries", "preemptions",
 ]
 
+PLANNING_HEADERS = [
+    "planning", "jobs", "finished", "makespan_ms", "attempts",
+    "workers_spawned", "wall_s",
+]
+
 
 @pytest.mark.tier2_bench
 def test_fleet_scheduler_bench(benchmark, capsys):
@@ -162,3 +207,41 @@ def test_fleet_scheduler_bench(benchmark, capsys):
         reports["srw"].mean_queueing_delay_ms
         <= reports["fifo"].mean_queueing_delay_ms * 1.001
     )
+
+
+@pytest.mark.tier2_bench
+def test_fleet_planning_modes_bench(benchmark, capsys):
+    """Per-attempt pools vs the fleet-wide shared pool (planning cluster)."""
+    cost_model = CostModel(
+        FLEET_MODEL,
+        num_stages=2,
+        device_spec=FLEET_DEVICE,
+        max_profile_batch_size=32,
+        max_profile_seq_len=1024,
+    )
+    samples = truncate_samples(
+        SyntheticFlanDataset(num_samples=400, seed=7).samples, 512, decoder_only=True
+    )
+    jobs = build_jobs(cost_model, samples)
+    rows, reports = benchmark.pedantic(
+        run_planning_modes, args=(jobs,), rounds=1, iterations=1
+    )
+    emit(
+        "fleet_planning_modes",
+        f"Fleet planning transports: {NUM_JOBS} jobs, {PLANNER_PROCS} planner "
+        f"worker(s), {len(FAILURE_SCHEDULE)} injected device failures",
+        PLANNING_HEADERS,
+        rows,
+        capsys,
+    )
+    per_attempt = reports["per-attempt"]
+    shared = reports["shared-pool"]
+    # The transport is invisible in the simulated outcome...
+    assert per_attempt.finished_jobs == shared.finished_jobs == NUM_JOBS
+    assert per_attempt.makespan_ms == shared.makespan_ms
+    # ...but worker spawn is amortised fleet-wide: exactly one pool's
+    # workers for the whole run vs one pool per job attempt.
+    assert shared.planner_workers_spawned == PLANNER_PROCS
+    total_attempts = sum(job.attempts for job in per_attempt.jobs)
+    assert per_attempt.planner_workers_spawned == total_attempts * PLANNER_PROCS
+    assert shared.planner_workers_spawned < per_attempt.planner_workers_spawned

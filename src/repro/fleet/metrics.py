@@ -95,6 +95,10 @@ class FleetReport:
         num_devices: Cluster size.
         failed_devices: Devices that failed during the run.
         trace: Cluster-occupancy trace (device × time → job iteration).
+        planner_workers_spawned: Planner workers spawned over the whole run
+            — ``planner_processes`` per *attempt* with private pools, but
+            only ``planner_processes`` *total* with the shared planning
+            cluster (the spawn-amortisation the paper's architecture buys).
     """
 
     policy: str
@@ -104,6 +108,7 @@ class FleetReport:
     num_devices: int
     failed_devices: list[int] = field(default_factory=list)
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    planner_workers_spawned: int = 0
 
     # ------------------------------------------------------------------ aggregates
 
@@ -166,6 +171,7 @@ class FleetReport:
             "total_retries": self.total_retries,
             "total_preemptions": self.total_preemptions,
             "failed_devices": list(self.failed_devices),
+            "planner_workers_spawned": self.planner_workers_spawned,
         }
 
     def save_chrome_trace(self, path: "str | Path") -> Path:

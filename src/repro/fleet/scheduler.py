@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 
 from repro.cluster.topology import ClusterTopology
 from repro.fleet.gang import DeviceGang, GangAllocator
+from repro.instructions.store import InstructionStore
+from repro.runtime.planner_pool import PlannerPool
 from repro.fleet.job import JobAttempt, JobRecord, JobSpec, JobState
 from repro.fleet.metrics import FleetReport, summarize_job
 from repro.fleet.policies import SchedulingPolicy, make_policy
@@ -58,9 +60,19 @@ class FleetConfig:
     Attributes:
         policy: Admission ordering — ``"fifo"``, ``"srw"`` or a
             :class:`~repro.fleet.policies.SchedulingPolicy` instance.
-        planner_processes: When > 0, each job attempt plans through a
-            planner pool with that many worker processes.
-        planner_lookahead: Plan-ahead window of the pooled mode.
+        planner_processes: When > 0, job attempts plan through a planner
+            pool with that many worker processes.
+        shared_planner_pool: When True (and ``planner_processes > 0``), one
+            fleet-wide pool — the paper's CPU-side *planning cluster* —
+            serves every job's iterations through one shared
+            :class:`~repro.instructions.store.InstructionStore`: its
+            workers are spawned once for the whole run instead of once per
+            job attempt, and each attempt gets its own store namespace.
+            When False each attempt spawns a private pool (the pre-cluster
+            behaviour, kept as a fallback mode).  Plans are bit-identical
+            either way.
+        planner_lookahead: Plan-ahead window of the pooled mode (per job
+            stream in shared mode).
         planner_backend: Pool backend (``"process"`` or ``"thread"``).
         planner_timeout_s: Per-iteration plan wait bound of the pooled mode.
         max_events: Safety valve on processed scheduler events.
@@ -68,6 +80,7 @@ class FleetConfig:
 
     policy: "str | SchedulingPolicy" = "fifo"
     planner_processes: int = 0
+    shared_planner_pool: bool = False
     planner_lookahead: int = 4
     planner_backend: str = "process"
     planner_timeout_s: float = 600.0
@@ -109,6 +122,38 @@ class FleetScheduler:
         self._trace_events: list[TraceEvent] = []
         self._busy_device_ms = 0.0
         self._ran = False
+        #: The fleet-wide planning cluster (shared mode only): one store,
+        #: one pool, spawned lazily on the first pooled attempt and stopped
+        #: exactly once when run() ends.
+        self.store: InstructionStore | None = None
+        self._shared_pool: PlannerPool | None = None
+        self._planner_workers_spawned = 0
+
+    # ------------------------------------------------------------------ planning cluster
+
+    @property
+    def _pooled(self) -> bool:
+        return self.config.planner_processes > 0
+
+    def _shared_pool_handle(self) -> PlannerPool | None:
+        """The fleet-wide pool (started), or ``None`` outside shared mode."""
+        if not (self._pooled and self.config.shared_planner_pool):
+            return None
+        if self._shared_pool is None:
+            self.store = InstructionStore()
+            self._shared_pool = PlannerPool(
+                store=self.store,
+                num_workers=self.config.planner_processes,
+                lookahead=self.config.planner_lookahead,
+                backend=self.config.planner_backend,
+            )
+            self._shared_pool.start()
+            self._planner_workers_spawned += self._shared_pool.num_workers
+        return self._shared_pool
+
+    def _stop_shared_pool(self) -> None:
+        if self._shared_pool is not None:
+            self._shared_pool.stop()
 
     # ------------------------------------------------------------------ submission
 
@@ -147,6 +192,20 @@ class FleetScheduler:
         if self._ran:
             raise RuntimeError("run() may only be called once")
         self._ran = True
+        try:
+            clock = self._run_event_loop()
+        finally:
+            # Pool lifecycle is exactly-once even when the event loop dies
+            # unexpectedly: every still-running attempt's planning resources
+            # are released (its stream retired / its private pool stopped),
+            # then the planning cluster itself is torn down.
+            for running in list(self._running.values()):
+                running.execution.close()
+            self._stop_shared_pool()
+        return self._build_report(clock)
+
+    def _run_event_loop(self) -> float:
+        """Process events until every job is terminal; returns the end clock."""
         failures = sorted(self._failures, key=lambda f: (f.time_ms, f.device))
         next_failure = 0
         clock = 0.0
@@ -209,7 +268,7 @@ class FleetScheduler:
         while next_failure < len(failures) and failures[next_failure].time_ms <= clock:
             self._apply_failure(failures[next_failure].device, clock)
             next_failure += 1
-        return self._build_report(clock)
+        return clock
 
     # ------------------------------------------------------------------ admission
 
@@ -283,6 +342,7 @@ class FleetScheduler:
                 planner_lookahead=self.config.planner_lookahead,
                 planner_backend=self.config.planner_backend,
                 planner_timeout_s=self.config.planner_timeout_s,
+                shared_pool=self._shared_pool_handle(),
             )
         except JobPlanningError as error:
             attempt.outcome = "plan_failure"
@@ -346,8 +406,16 @@ class FleetScheduler:
         record.finished_ms = clock
 
     def _end_attempt(self, running: _RunningJob, clock: float, outcome: str) -> None:
-        """Tear down a running attempt and release its gang."""
+        """Tear down a running attempt and release its gang.
+
+        Every attempt that entered ``_running`` passes through here exactly
+        once, whatever its outcome (finished, device failure, plan failure)
+        — ``close()`` is therefore called exactly once per attempt, so no
+        private pool's workers outlive the attempt and no shared-pool
+        stream stays registered after its job leaves the cluster.
+        """
         running.execution.close()
+        self._planner_workers_spawned += running.execution.planner_workers_spawned
         running.attempt.outcome = outcome
         running.attempt.ended_ms = clock
         running.pending = None
@@ -409,4 +477,5 @@ class FleetScheduler:
             num_devices=self.topology.num_gpus,
             failed_devices=sorted(self.allocator.failed_devices),
             trace=ExecutionTrace(events=list(self._trace_events)),
+            planner_workers_spawned=self._planner_workers_spawned,
         )

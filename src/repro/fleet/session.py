@@ -7,10 +7,15 @@ at the job's checkpoint boundary, and exposes the epoch one iteration at a
 time so the fleet clock can interleave jobs and inject failures at
 iteration granularity.
 
-Planning can run inline or through the existing process-backed
-:class:`~repro.runtime.planner_pool.PlannerPool` (plans travel through the
-pool's :class:`~repro.instructions.store.InstructionStore` exactly as in the
-single-job runtime).  Either way, every planning failure — an
+Planning can run inline, through a private per-attempt
+:class:`~repro.runtime.planner_pool.PlannerPool`, or — the paper's
+"planning cluster" — through a **fleet-wide shared pool** owned by the
+scheduler: the attempt registers a uniquely named job stream
+(``submit_job``), its plans land in the shared
+:class:`~repro.instructions.store.InstructionStore` under
+``(job, iteration, replica)`` keys, and :meth:`JobExecution.close` retires
+exactly that stream (draining only its queued tasks) so a preemption never
+perturbs co-tenant jobs.  Either way, every planning failure — an
 out-of-memory plan, a DP partition error, or a
 :class:`~repro.instructions.store.PlanFailedError` marker pushed by a pool
 worker — surfaces as a :class:`JobPlanningError` within one step, which the
@@ -52,10 +57,17 @@ class JobExecution:
             planner).
         planner_processes: When > 0, plan through a
             :class:`~repro.runtime.planner_pool.PlannerPool` with that many
-            workers (started lazily on the first step).
+            workers — a private pool started lazily on the first step, or
+            the ``shared_pool`` if one is given.
         planner_lookahead: Plan-ahead window of the pooled mode.
-        planner_backend: Pool backend (``"process"`` or ``"thread"``).
+        planner_backend: Pool backend (``"process"`` or ``"thread"``);
+            ignored when ``shared_pool`` is given (the pool was built with
+            its own backend).
         planner_timeout_s: Per-iteration wait bound of the pooled mode.
+        shared_pool: The fleet-wide planning cluster.  When set (and
+            ``planner_processes > 0``) the attempt registers a uniquely
+            named job stream on it instead of spawning a private pool —
+            worker spawn is amortised across every job of the fleet.
 
     Raises:
         JobPlanningError: If the attempt's planner cannot even be built
@@ -70,6 +82,7 @@ class JobExecution:
         planner_lookahead: int = 4,
         planner_backend: str = "process",
         planner_timeout_s: float = 600.0,
+        shared_pool: PlannerPool | None = None,
     ) -> None:
         spec = record.spec
         self.job_name = spec.name
@@ -92,19 +105,43 @@ class JobExecution:
         self._position = 0
         self._pool: PlannerPool | None = None
         self._pool_started = False
+        self._workers_spawned = 0
+        self._shared_pool: PlannerPool | None = None
+        #: Stream key on the shared pool — unique per attempt, so a retried
+        #: attempt's stream can never receive (or be poisoned by) a dead
+        #: attempt's late results or stale failure markers.
+        self._stream_key: str | None = None
+        self._stream_retired = False
         if planner_processes > 0 and self.minibatches:
-            self._pool = PlannerPool(
-                planner=planner,
-                minibatches=[mb.samples for mb in self.minibatches],
-                num_workers=planner_processes,
-                lookahead=planner_lookahead,
-                backend=planner_backend,
-            )
+            if shared_pool is not None:
+                self._shared_pool = shared_pool
+                self._stream_key = f"{spec.name}#a{len(record.attempts)}"
+                shared_pool.submit_job(
+                    self._stream_key,
+                    planner,
+                    [mb.samples for mb in self.minibatches],
+                    start=self.start_iteration,
+                    lookahead=planner_lookahead,
+                )
+            else:
+                self._pool = PlannerPool(
+                    planner=planner,
+                    minibatches=[mb.samples for mb in self.minibatches],
+                    num_workers=planner_processes,
+                    lookahead=planner_lookahead,
+                    backend=planner_backend,
+                    start_iteration=self.start_iteration,
+                )
 
     @property
     def total_iterations(self) -> int:
         """Last iteration index this attempt will reach (epoch-bounded)."""
         return self.start_iteration + len(self.minibatches)
+
+    @property
+    def planner_workers_spawned(self) -> int:
+        """Workers this attempt's *private* pool spawned (0 in shared mode)."""
+        return self._workers_spawned
 
     def step(self) -> "tuple[IterationRecord, PaddingStats] | None":
         """Plan and execute the next iteration.
@@ -121,15 +158,22 @@ class JobExecution:
             return None
         minibatch = self.minibatches[self._position]
         try:
-            if self._pool is not None:
+            if self._shared_pool is not None:
+                payload = self._shared_pool.wait_payload(
+                    minibatch.index, timeout=self._timeout_s, job=self._stream_key
+                )
+                record, stats = self.session.record_from_payload(minibatch.index, payload)
+                self._shared_pool.notify_consumed(minibatch.index, job=self._stream_key)
+            elif self._pool is not None:
                 if not self._pool_started:
                     self._pool.start()
                     self._pool_started = True
-                # The pool keys tasks by position in its mini-batch list,
-                # not by absolute iteration index (they differ on resume).
-                payload = self._pool.wait_payload(self._position, timeout=self._timeout_s)
+                    self._workers_spawned = self._pool.num_workers
+                # Plans are keyed by absolute iteration (the pool's
+                # start_iteration anchors a resumed attempt's tail).
+                payload = self._pool.wait_payload(minibatch.index, timeout=self._timeout_s)
                 record, stats = self.session.record_from_payload(minibatch.index, payload)
-                self._pool.notify_consumed(self._position)
+                self._pool.notify_consumed(minibatch.index)
             else:
                 record = self.session.run_iteration(minibatch)
                 stats = self.session.last_padding_stats
@@ -146,8 +190,18 @@ class JobExecution:
         return record, stats
 
     def close(self) -> None:
-        """Stop the planner pool (idempotent); abandoned plans are dropped."""
+        """Release the attempt's planning resources (idempotent).
+
+        Private pool: stop the workers (abandoned plans are dropped).
+        Shared pool: retire this attempt's stream — only *its* queued tasks
+        are drained and only *its* store namespace is evicted; the pool and
+        its workers keep serving every other job.
+        """
         if self._pool is not None and self._pool_started:
             self._pool.stop()
             self._pool_started = False
             self._pool = None
+        if self._shared_pool is not None and not self._stream_retired:
+            self._shared_pool.retire_job(self._stream_key)
+            self._stream_retired = True
+            self._shared_pool = None

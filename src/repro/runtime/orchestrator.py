@@ -10,7 +10,7 @@ the first iteration's planning latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.costmodel.cost_model import CostModel
@@ -33,6 +33,12 @@ class OrchestratorReport:
             plans (the planning cost that was *not* hidden).
         total_simulated_ms: Total simulated execution time.
         mean_planning_s: Mean per-iteration planning time.
+        planning_errors: Planning failures that did *not* affect any
+            executed iteration, as ``(iteration, message)`` pairs — e.g. a
+            worker that died after the last consumed plan, or pool-level
+            incidents keyed ``-1`` (a worker that failed to start while its
+            peers served the whole run).  A failure of a *consumed*
+            iteration still raises from :meth:`TrainingOrchestrator.run`.
     """
 
     iterations: int
@@ -40,6 +46,7 @@ class OrchestratorReport:
     exposed_stall_s: float
     total_simulated_ms: float
     mean_planning_s: float
+    planning_errors: list[tuple[int, str]] = field(default_factory=list)
 
     @property
     def overlap_fraction(self) -> float:
@@ -115,10 +122,15 @@ class TrainingOrchestrator:
         """Run the overlapped planning/execution loop.
 
         Raises:
-            RuntimeError: If planning of any iteration failed.  Failures
-                surface *during* the loop (the pool pushes failure markers,
-                so the executor's fetch raises within its poll interval
-                instead of timing out), with the planner's error chained.
+            RuntimeError: If planning of a *consumed* iteration failed.
+                Failures surface *during* the loop (the pool pushes failure
+                markers, so the executor's fetch raises within its poll
+                interval instead of timing out), with the error recorded
+                for exactly that iteration chained — never an unrelated
+                failure (e.g. a worker spawn incident keyed ``-1``).
+                Failures that touched no executed iteration do not fail a
+                successful run; they are surfaced in
+                :attr:`OrchestratorReport.planning_errors`.
         """
         self.pool.start()
         try:
@@ -126,10 +138,14 @@ class TrainingOrchestrator:
                 try:
                     self.executor.run_iteration(iteration)
                 except PlanFailedError as failure:
-                    errors = self.pool.errors
+                    # Attribute the failure to *this* iteration's recorded
+                    # error only; an unrelated entry (a spawn failure at
+                    # key -1, a later iteration's crash) must not be named
+                    # as the cause.  The marker's own message, carried by
+                    # the PlanFailedError, is the ground truth otherwise.
                     cause = next(
-                        (error for it, error in errors if it == iteration),
-                        errors[0][1] if errors else failure,
+                        (error for it, error in self.pool.errors if it == iteration),
+                        failure,
                     )
                     raise RuntimeError(
                         f"planning failed for iteration {iteration}: {cause}"
@@ -137,9 +153,22 @@ class TrainingOrchestrator:
                 self.pool.notify_consumed(iteration)
         finally:
             self.pool.stop()
-        if self.pool.errors:
-            iteration, error = self.pool.errors[0]
+        # The loop consumed every iteration, so errors on consumed indices
+        # cannot exist at this point; anything recorded is an unconsumed
+        # look-ahead index or a pool-level incident (keyed -1).  Those did
+        # not affect the run — report them instead of mislabelling the run
+        # as failed (or blaming the fetched iteration for them).
+        consumed_failures = [
+            (it, error) for it, error in self.pool.errors if 0 <= it < self.num_iterations
+        ]
+        if consumed_failures:  # pragma: no cover - defensive (loop raises first)
+            iteration, error = consumed_failures[0]
             raise RuntimeError(f"planning failed for iteration {iteration}: {error}") from error
+        planning_errors = [
+            (it, str(error))
+            for it, error in self.pool.errors
+            if not 0 <= it < self.num_iterations
+        ]
         total_planning = sum(record.planning_time_s for record in self.pool.records)
         return OrchestratorReport(
             iterations=self.num_iterations,
@@ -147,4 +176,5 @@ class TrainingOrchestrator:
             exposed_stall_s=self.executor.total_stall_s(),
             total_simulated_ms=self.executor.total_simulated_ms(),
             mean_planning_s=total_planning / max(len(self.pool.records), 1),
+            planning_errors=planning_errors,
         )

@@ -1,34 +1,46 @@
 """Asynchronous planning ahead of execution, on real CPU cores.
 
-A :class:`PlannerPool` owns a planner (DynaPipe's or the baseline's), a
-sequence of mini-batches, and the shared instruction store.  Worker
-*processes* (the default backend) pull iteration indices from a task queue,
-plan them, and ship the serialised :meth:`IterationPlan.to_dict` payloads
-back over a result queue; the parent pushes each replica's plan to the store
-keyed by (iteration, replica).  Every worker rebuilds the planner from a
-serialised spec — the cost model's profile database travels once, at spawn —
-so planning runs outside the parent's GIL and extra workers add *real*
-parallel speed-up on multi-core hosts, exactly the paper's "planning
-overlaps execution using a handful of CPU cores" claim (Fig. 17).  Rebuilt
-planners answer every cost-model query bit-identically, so pooled plans
-match serial planning exactly.
+A :class:`PlannerPool` is the reproduction's model of the paper's CPU-side
+*planning cluster*: worker *processes* (the default backend) pull planning
+tasks from a shared task queue, plan them, and ship the serialised
+:meth:`IterationPlan.to_dict` payloads back over a result queue; the parent
+pushes each replica's plan to the shared
+:class:`~repro.instructions.store.InstructionStore` keyed by
+``(job, iteration, replica)``.  Planners travel as serialised specs — the
+cost model's profile database is spilled to disk once per planner — and
+every worker rebuilds them bit-identically, so pooled plans match serial
+planning exactly while running outside the parent's GIL (the paper's
+"planning overlaps execution using a handful of CPU cores" claim, Fig. 17).
 
-A ``backend="thread"`` fallback keeps the old in-process workers for
-planners that cannot be serialised; it provides the same overlap
-architecture without the parallel speed-up.
+The pool serves *dynamic task streams*: besides the legacy construction-time
+``planner`` + ``minibatches`` binding (one anonymous job, used by the
+single-job runtime), :meth:`PlannerPool.submit_job` registers a named job's
+mini-batches at any time and :meth:`PlannerPool.retire_job` cancels exactly
+that job's queued tasks — one pool (and one set of spawned workers) can
+therefore serve every job of a fleet, with per-job look-ahead windows and
+per-job planned/failed/abandoned accounting.  Workers cache rebuilt
+planners per job, so a stream's planner is rebuilt once per worker, not
+once per task.
+
+A ``backend="thread"`` fallback keeps in-process workers for planners that
+cannot be serialised; it provides the same overlap architecture without the
+parallel speed-up.
 
 Failure handling is fail-fast on both backends: a worker that raises (or a
-worker process that dies) pushes a failure marker to the store, so an
-executor polling :meth:`~repro.instructions.store.InstructionStore.ready` /
-``fetch`` for that iteration observes
+worker process that dies) pushes a failure marker to the store — scoped to
+the failing job, so co-tenant jobs sharing the pool never observe it — and
+an executor polling :meth:`~repro.instructions.store.InstructionStore.ready`
+/ ``fetch`` for that iteration observes
 :class:`~repro.instructions.store.PlanFailedError` immediately instead of
-spinning until its fetch timeout.  :meth:`PlannerPool.stop` drains the task
-queue and reports which enqueued iterations were *abandoned* (never planned,
-never failed), so a restart knows exactly what still needs planning.
+spinning until its fetch timeout.  :meth:`PlannerPool.stop` and
+:meth:`PlannerPool.retire_job` report which enqueued iterations were
+*abandoned* (never planned, never failed), so a restart knows exactly what
+still needs planning.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing as mp
 import os
@@ -38,12 +50,13 @@ import tempfile
 import threading
 import time
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Protocol, Sequence
 
 from repro.core.planner import DynaPipePlanner, IterationPlan
 from repro.data.tasks import Sample
-from repro.instructions.store import InstructionStore, PlanFailedError
+from repro.instructions.store import DEFAULT_JOB, InstructionStore, PlanFailedError
 
 
 class _Planner(Protocol):
@@ -56,7 +69,8 @@ class PlanningRecord:
     """Bookkeeping for one planned iteration.
 
     Attributes:
-        iteration: Iteration index the record describes.
+        iteration: Iteration index the record describes (absolute — a
+            resumed job stream's first record carries its ``start``).
         planning_time_s: Wall-clock planning time of the iteration (measured
             inside the worker).
         num_microbatches: Micro-batches in the produced plan.
@@ -66,6 +80,8 @@ class PlanningRecord:
             window shapes on the vectorized fast path); 0 for planners that
             do not run the DP (baselines).
         worker: Identifier of the worker that planned the iteration.
+        job: Job stream the iteration belongs to (:data:`DEFAULT_JOB` for
+            the legacy construction-time stream).
     """
 
     iteration: int
@@ -74,6 +90,7 @@ class PlanningRecord:
     pushed_at: float
     dp_cost_evaluations: int = 0
     worker: str = ""
+    job: str = DEFAULT_JOB
 
 
 #: Lazily created directory for spilled planner specs; its finalizer removes
@@ -86,6 +103,11 @@ _SPEC_SPILL_DIR: tempfile.TemporaryDirectory | None = None
 #: attempt — does not accumulate profile-sized temp files.
 _SPEC_FILES: "weakref.WeakKeyDictionary[Any, str]" = weakref.WeakKeyDictionary()
 _SPILL_LOCK = threading.Lock()
+
+#: Rebuilt planners a worker keeps alive at once (LRU).  Profile databases
+#: dominate planner memory, so the cache is small; with job-affine task
+#: pickup patterns a handful of entries already gives one-rebuild-per-job.
+_WORKER_PLANNER_CACHE = 4
 
 
 def _unlink_quietly(path: str) -> None:
@@ -134,7 +156,7 @@ def _planner_payload(planner: _Planner) -> dict[str, Any]:
 
     Planners exposing ``to_spec`` (the DynaPipe planner) travel as the
     *path* of a spilled spec file — the profile database is written to disk
-    once per planner, not re-pickled per ``start()`` or per worker — and are
+    once per planner, not re-pickled per ``start()`` or per task — and are
     rebuilt via ``from_spec``, which is robust across start methods.
     Anything else is pickled whole.
     """
@@ -156,6 +178,27 @@ def _rebuild_planner(payload: dict[str, Any]) -> _Planner:
     return pickle.loads(payload["blob"])
 
 
+def _cached_planner(cache: "OrderedDict[str, _Planner]", payload: dict[str, Any]) -> _Planner:
+    """Rebuild ``payload``'s planner, memoised per worker by its cache key.
+
+    Tasks of one job stream all carry the same ``cache_key``, so a worker
+    rebuilds each job's planner once (LRU-bounded) instead of per task —
+    the fleet-wide pool's analogue of the old one-planner-per-worker spawn.
+    """
+    key = payload.get("cache_key")
+    if key is None:
+        return _rebuild_planner(payload)
+    planner = cache.get(key)
+    if planner is None:
+        planner = _rebuild_planner(payload)
+        cache[key] = planner
+        if len(cache) > _WORKER_PLANNER_CACHE:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return planner
+
+
 def _plan_one(planner: _Planner, minibatch: Sequence[Sample], iteration: int):
     """Plan one iteration; returns (payload, record fields)."""
     start = time.perf_counter()
@@ -172,71 +215,136 @@ def _plan_one(planner: _Planner, minibatch: Sequence[Sample], iteration: int):
 
 def _process_worker(
     worker_id: str,
-    planner_payload: dict[str, Any],
     tasks: "mp.Queue",
     results: "mp.Queue",
 ) -> None:
-    """Worker-process main loop: rebuild the planner, plan until sentinel.
+    """Worker-process main loop: plan tasks until sentinel.
 
-    Tasks arrive as ``(iteration, samples)`` pairs — each mini-batch is
-    shipped exactly once, with its task, rather than the whole epoch being
-    copied into every worker at spawn.  Every message on ``results`` is a
-    tuple whose first element names the event; the parent's collector thread
-    keys its bookkeeping off the ``claimed``/``planned``/``failed`` sequence
-    so that a worker that dies mid-plan leaves an unresolved claim behind
-    for crash detection.
+    Tasks arrive as ``(job, iteration, samples, planner_payload)`` tuples —
+    each mini-batch is shipped exactly once, with its task, and the planner
+    payload is a short reference (spec-file path + cache key) rebuilt
+    lazily and memoised per worker.  Every message on ``results`` is a
+    tuple whose first element names the event; the parent's collector
+    thread keys its bookkeeping off the ``claimed``/``planned``/``failed``
+    sequence so that a worker that dies mid-plan leaves an unresolved claim
+    behind for crash detection.
     """
-    try:
-        planner = _rebuild_planner(planner_payload)
-    except Exception as error:  # noqa: BLE001 - surfaced to the parent
-        results.put(("spawn_failed", worker_id, f"{type(error).__name__}: {error}"))
-        return
+    planners: "OrderedDict[str, _Planner]" = OrderedDict()
     while True:
         task = tasks.get()
         if task is None:
             break
-        iteration, samples = task
-        results.put(("claimed", worker_id, iteration))
+        job, iteration, samples, payload = task
+        results.put(("claimed", worker_id, job, iteration))
         try:
-            payload, info = _plan_one(planner, samples, iteration)
-            results.put(("planned", worker_id, iteration, payload, info))
+            planner = _cached_planner(planners, payload)
+            plan_payload, info = _plan_one(planner, samples, iteration)
+            results.put(("planned", worker_id, job, iteration, plan_payload, info))
         except Exception as error:  # noqa: BLE001 - surfaced to the parent
-            results.put(("failed", worker_id, iteration, f"{type(error).__name__}: {error}"))
+            results.put(
+                ("failed", worker_id, job, iteration, f"{type(error).__name__}: {error}")
+            )
     results.put(("exited", worker_id))
+
+
+@dataclass
+class _JobStream:
+    """Parent-side state of one job's task stream on the pool.
+
+    The legacy construction-time ``minibatches`` binding is stream
+    :data:`~repro.instructions.store.DEFAULT_JOB`; fleet jobs register one
+    stream per attempt via :meth:`PlannerPool.submit_job`.  All iteration
+    indices are *absolute*: ``start`` names the first mini-batch's
+    iteration, so a resumed job's plans land in the store under the same
+    keys an uninterrupted run would have used.
+    """
+
+    name: str
+    planner: _Planner | None
+    minibatches: Sequence[Sequence[Sample]]
+    start: int
+    lookahead: int
+    retain_payloads: bool
+    #: Per-task planner reference: the live planner (thread backend) or a
+    #: payload dict with a stream-unique ``cache_key`` (process backend).
+    task_ref: Any = None
+    consumed: int = field(init=False)
+    next_to_enqueue: int = field(init=False)
+    num_minibatches: int = field(init=False)
+    completed: set[int] = field(default_factory=set)
+    failed: set[int] = field(default_factory=set)
+    errors: list[tuple[int, Exception]] = field(default_factory=list)
+    payloads: dict[int, dict] = field(default_factory=dict)
+    abandoned: list[int] = field(default_factory=list)
+    retired: bool = False
+
+    def __post_init__(self) -> None:
+        self.consumed = self.start - 1
+        self.next_to_enqueue = self.start
+        self.num_minibatches = len(self.minibatches)
+
+    @property
+    def end(self) -> int:
+        """One past the stream's last iteration index."""
+        return self.start + self.num_minibatches
+
+    def unserved(self) -> list[int]:
+        """Enqueued iterations that were neither planned nor failed."""
+        return sorted(
+            iteration
+            for iteration in range(self.start, self.next_to_enqueue)
+            if iteration not in self.completed and iteration not in self.failed
+        )
 
 
 @dataclass
 class PlannerPool:
     """Plans iterations ahead of time and pushes them to the store.
 
+    Two usage modes share one worker group:
+
+    * **Single job** (legacy) — construct with ``planner`` + ``minibatches``;
+      the pool plans that one stream, exactly as before.
+    * **Planning cluster** (fleet) — construct with neither, then
+      :meth:`submit_job` / :meth:`retire_job` register and cancel named job
+      streams dynamically while the workers keep running.  Worker spawn is
+      paid once for the whole fleet, not once per job attempt.
+
     Attributes:
-        planner: The system planner used for every iteration.
-        minibatches: The samples of each iteration, indexed by iteration.
-        store: The shared instruction store plans are pushed to.  When
-            omitted, the pool creates its own store and additionally retains
-            each iteration's full payload for :meth:`wait_payload` /
-            :meth:`payload` consumers (the pooled trainer); with an external
-            store only the store holds plans, so nothing is double-buffered.
+        planner: The legacy stream's planner (``None`` in fleet mode).
+        minibatches: The legacy stream's samples, indexed by position.
+        store: The shared instruction store plans are pushed to, keyed
+            ``(job, iteration, replica)``.  When omitted, the pool creates
+            its own store and additionally retains the legacy stream's full
+            payloads for :meth:`wait_payload` / :meth:`payload` consumers
+            (the pooled trainer); with an external store the legacy stream
+            is not double-buffered.  Streams registered via
+            :meth:`submit_job` always retain payloads until consumed or
+            retired (their consumers step through :meth:`wait_payload`).
         num_workers: Number of planning workers (the paper parallelises
             planning over CPU cores / machines).
-        lookahead: Maximum number of iterations planned beyond the last one
-            the executor has consumed (bounds plan memory, like the paper's
-            prefetch window).
-        backend: ``"process"`` (default; real parallelism, planner rebuilt
-            per worker from its serialised spec) or ``"thread"`` (in-process
-            fallback sharing the live planner object).
+        lookahead: Default per-stream look-ahead: iterations planned beyond
+            the last one the stream's executor has consumed (bounds plan
+            memory, like the paper's prefetch window).
+        backend: ``"process"`` (default; real parallelism, planners rebuilt
+            in workers from serialised specs) or ``"thread"`` (in-process
+            fallback sharing the live planner objects).
         mp_start_method: ``multiprocessing`` start method for the process
             backend (defaults to the platform default — ``fork`` on Linux,
             ``spawn`` on macOS/Windows, where fork is unsafe).
+        start_iteration: Absolute iteration index of ``minibatches[0]``
+            (legacy stream); plans are keyed by absolute iteration, so a
+            resumed session passes its resume boundary here.
     """
 
-    planner: _Planner
-    minibatches: Sequence[Sequence[Sample]]
+    planner: _Planner | None = None
+    minibatches: Sequence[Sequence[Sample]] = ()
     store: InstructionStore | None = None
     num_workers: int = 2
     lookahead: int = 4
     backend: str = "process"
     mp_start_method: str | None = None
+    start_iteration: int = 0
     records: list[PlanningRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -246,25 +354,35 @@ class PlannerPool:
             raise ValueError(f"lookahead must be >= 1, got {self.lookahead}")
         if self.backend not in ("process", "thread"):
             raise ValueError(f"backend must be 'process' or 'thread', got {self.backend!r}")
+        if self.start_iteration < 0:
+            raise ValueError(f"start_iteration must be >= 0, got {self.start_iteration}")
+        if self.planner is None and len(self.minibatches) > 0:
+            raise ValueError("minibatches given without a planner")
         self._external_store = self.store is not None
         if self.store is None:
             self.store = InstructionStore()
         self._lock = threading.Lock()
-        self._consumed = -1
-        self._next_to_enqueue = 0
-        self._errors: list[tuple[int, Exception]] = []
-        self._payloads: dict[int, dict[str, Any]] = {}
-        self._completed: set[int] = set()
-        self._failed: set[int] = set()
-        self._claims: dict[str, int] = {}
-        self._abandoned: list[int] = []
+        self._streams: dict[str, _JobStream] = {}
+        if self.planner is not None:
+            self._streams[DEFAULT_JOB] = _JobStream(
+                name=DEFAULT_JOB,
+                planner=self.planner,
+                minibatches=self.minibatches,
+                start=self.start_iteration,
+                lookahead=self.lookahead,
+                retain_payloads=not self._external_store,
+            )
+        self._ref_seq = itertools.count()
+        self._claims: dict[str, tuple[str, int]] = {}
+        self._pool_errors: list[Exception] = []
         self._pool_failure: Exception | None = None
-        #: Iterations that looked lost (enqueued, unclaimed, not in the task
+        #: Tasks that looked lost (enqueued, unclaimed, not in the task
         #: queue) at the last crash sweep; confirmed lost on the next sweep.
-        self._suspect_lost: set[int] = set()
+        self._suspect_lost: set[tuple[str, int]] = set()
         #: Once sealed (by :meth:`stop`), late worker results are dropped so
         #: the planned/failed/abandoned accounting stays consistent.
         self._sealed = False
+        self._started = False
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._processes: list[mp.process.BaseProcess] = []
@@ -273,33 +391,176 @@ class PlannerPool:
         self._queue: Any = None  # queue.Queue (thread) or mp.Queue (process)
         self._results: Any = None  # mp.Queue (process backend only)
 
+    # ------------------------------------------------------------------ job streams
+
+    def _make_task_ref(self, stream: _JobStream) -> Any:
+        """Build the per-task planner reference of one stream.
+
+        Serialising a planner spills the whole profile database (spec file)
+        or pickles the planner, so this is never called under the pool lock
+        — the collector and co-tenant consumers must not stall on one
+        stream's registration.
+        """
+        if self.backend == "thread":
+            return stream.planner
+        payload = _planner_payload(stream.planner)
+        payload["cache_key"] = f"{stream.name}#{next(self._ref_seq)}"
+        return payload
+
+    def submit_job(
+        self,
+        job: str,
+        planner: _Planner,
+        minibatches: Sequence[Sequence[Sample]],
+        start: int = 0,
+        lookahead: int | None = None,
+    ) -> None:
+        """Register a named job stream on the (possibly running) pool.
+
+        Args:
+            job: Stream name; becomes the store namespace of the stream's
+                plans and failure markers.  Must be unique for the pool's
+                lifetime — a retried fleet attempt submits a fresh name so
+                a dead attempt's late results can never pollute it.
+            planner: Planner for every iteration of the stream (each
+                attempt's planner captures its gang shape).
+            minibatches: The stream's mini-batches, in iteration order.
+            start: Absolute iteration index of ``minibatches[0]`` (the
+                job's checkpoint boundary on a resumed attempt).
+            lookahead: Per-stream look-ahead window; defaults to the pool's.
+
+        Raises:
+            ValueError: On a reserved/duplicate name or invalid window.
+        """
+        if not job:
+            raise ValueError("job name must be non-empty (the anonymous stream is reserved)")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        window = self.lookahead if lookahead is None else lookahead
+        if window < 1:
+            raise ValueError(f"lookahead must be >= 1, got {window}")
+        stream = _JobStream(
+            name=job,
+            planner=planner,
+            minibatches=minibatches,
+            start=start,
+            lookahead=window,
+            retain_payloads=True,
+        )
+        with self._lock:
+            if self._sealed:
+                raise RuntimeError("cannot submit jobs to a stopped pool")
+            if job in self._streams:
+                raise ValueError(f"duplicate job stream {job!r}")
+            self._streams[job] = stream  # reserves the name
+            started = self._started
+        if started:
+            # Planner serialisation (profile-DB spill / pickling) happens
+            # outside the lock so one registration never stalls the
+            # collector or co-tenant consumers.
+            ref = self._make_task_ref(stream)
+            with self._lock:
+                stream.task_ref = ref
+            self._refill(stream)
+
+    def retire_job(self, job: str) -> list[int]:
+        """Cancel a job stream: drain *its* queued tasks, evict its state.
+
+        Only the retired job's tasks leave the queue — co-tenant streams
+        keep planning undisturbed (the preemption contract of the fleet's
+        shared pool).  A worker already planning one of the job's
+        iterations finishes, but its late result is dropped, and the job's
+        store namespace (plans *and* failure markers) is evicted, so
+        nothing of the attempt survives into a successor stream.
+
+        Returns the abandoned iterations (enqueued, never planned, never
+        failed), like :meth:`stop` does for the whole pool.
+        """
+        with self._lock:
+            stream = self._streams.get(job)
+            if stream is None:
+                raise KeyError(f"unknown job stream {job!r}")
+            if stream.retired:
+                return list(stream.abandoned)
+        if self._queue is not None:
+            requeue = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None or item[0] != job:
+                    requeue.append(item)
+            for item in requeue:
+                self._queue.put(item)
+        with self._lock:
+            stream.abandoned = stream.unserved()
+            stream.retired = True
+            stream.payloads.clear()
+            stream.minibatches = ()
+            # The stream stays registered as a tombstone (late results must
+            # keep being dropped), but its heavy references — the planner
+            # with its profile database, and the task ref pinning a spilled
+            # spec file (or a pickle blob) — are released now, so a fleet
+            # churning through attempts does not grow the parent's memory
+            # by one planner per retired stream.
+            stream.planner = None
+            stream.task_ref = None
+            self._suspect_lost = {
+                key for key in self._suspect_lost if key[0] != job
+            }
+        self.store.evict_job(job)
+        with self._lock:
+            return list(stream.abandoned)
+
+    def job_names(self, include_retired: bool = False) -> list[str]:
+        """Names of registered streams (the anonymous stream excluded)."""
+        with self._lock:
+            return sorted(
+                name
+                for name, stream in self._streams.items()
+                if name != DEFAULT_JOB and (include_retired or not stream.retired)
+            )
+
+    def _stream(self, job: str) -> _JobStream:
+        stream = self._streams.get(job)
+        if stream is None:
+            raise KeyError(f"unknown job stream {job!r}")
+        return stream
+
     # ------------------------------------------------------------------ bookkeeping
 
-    def _record_planned(self, worker: str, iteration: int, payload: dict, info: dict) -> None:
+    def _record_planned(
+        self, worker: str, job: str, iteration: int, payload: dict, info: dict
+    ) -> None:
         """Push a finished iteration's plans to the store and record it.
 
         The store push happens under the pool lock so that :meth:`stop` can
-        seal the pool and snapshot the abandoned set atomically — a thread
+        seal the pool and snapshot the abandoned sets atomically — a thread
         worker finishing *after* the seal must not make an "abandoned"
-        iteration retroactively planned.
+        iteration retroactively planned.  Results for retired streams are
+        dropped for the same reason: the attempt they belong to is gone.
         """
         with self._lock:
+            self._claims.pop(worker, None)
             if self._sealed:
                 return
-            if iteration in self._failed:
+            stream = self._streams.get(job)
+            if stream is None or stream.retired:
+                return
+            if iteration in stream.failed:
                 # A crash sweep already failed this iteration (e.g. the
                 # worker was killed right after shipping the result); the
                 # failure has been surfaced to consumers, so the late result
                 # is dropped rather than leaving the iteration both planned
                 # and failed.
                 return
+            self._suspect_lost.discard((job, iteration))
             for replica_index, replica_payload in enumerate(payload["replicas"]):
-                self.store.push(iteration, replica_index, replica_payload)
-            self._claims.pop(worker, None)
-            self._suspect_lost.discard(iteration)
-            if not self._external_store:
-                self._payloads[iteration] = payload
-            self._completed.add(iteration)
+                self.store.push(iteration, replica_index, replica_payload, job=job)
+            if stream.retain_payloads:
+                stream.payloads[iteration] = payload
+            stream.completed.add(iteration)
             self.records.append(
                 PlanningRecord(
                     iteration=iteration,
@@ -308,22 +569,28 @@ class PlannerPool:
                     pushed_at=time.perf_counter(),
                     dp_cost_evaluations=info["dp_cost_evaluations"],
                     worker=worker,
+                    job=job,
                 )
             )
 
-    def _record_failed(self, worker: str, iteration: int, error: Exception) -> None:
+    def _record_failed(self, worker: str, job: str, iteration: int, error: Exception) -> None:
         """Record a planning failure and mark it in the store (fail fast)."""
         with self._lock:
+            self._claims.pop(worker, None)
             if self._sealed:
                 return
-            self._claims.pop(worker, None)
-            self._suspect_lost.discard(iteration)
-            if iteration in self._completed:
+            stream = self._streams.get(job)
+            if stream is None or stream.retired:
+                return
+            self._suspect_lost.discard((job, iteration))
+            if iteration in stream.completed:
                 # The plan already landed; keep the success.
                 return
-            self._errors.append((iteration, error))
-            self._failed.add(iteration)
-            self.store.push_failure(iteration, str(error))
+            if iteration in stream.failed:
+                return
+            stream.errors.append((iteration, error))
+            stream.failed.add(iteration)
+            self.store.push_failure(iteration, str(error), job=job)
 
     # ------------------------------------------------------------------ thread backend
 
@@ -335,14 +602,14 @@ class PlannerPool:
                 continue
             if task is None:
                 break
-            iteration, samples = task
+            job, iteration, samples, planner = task
             with self._lock:
-                self._claims[worker_id] = iteration
+                self._claims[worker_id] = (job, iteration)
             try:
-                payload, info = _plan_one(self.planner, samples, iteration)
-                self._record_planned(worker_id, iteration, payload, info)
+                payload, info = _plan_one(planner, samples, iteration)
+                self._record_planned(worker_id, job, iteration, payload, info)
             except Exception as error:  # noqa: BLE001 - surfaced via .errors + store
-                self._record_failed(worker_id, iteration, error)
+                self._record_failed(worker_id, job, iteration, error)
 
     # ------------------------------------------------------------------ process backend
 
@@ -377,6 +644,7 @@ class PlannerPool:
                 continue
             kind, worker_id = message[0], message[1]
             if kind == "claimed":
+                _, _, job, iteration = message
                 if worker_id in self._exited:
                     # The claim outlived its worker (the death sweep ran
                     # before this buffered message was readable); recording
@@ -385,28 +653,19 @@ class PlannerPool:
                     # sweep skips claimed iterations.  Fail it directly.
                     self._record_failed(
                         worker_id,
-                        message[2],
+                        job,
+                        iteration,
                         RuntimeError(f"planner worker {worker_id} died while planning"),
                     )
                 else:
                     with self._lock:
-                        self._claims[worker_id] = message[2]
+                        self._claims[worker_id] = (job, iteration)
             elif kind == "planned":
-                _, _, iteration, payload, info = message
-                self._record_planned(worker_id, iteration, payload, info)
+                _, _, job, iteration, payload, info = message
+                self._record_planned(worker_id, job, iteration, payload, info)
             elif kind == "failed":
-                _, _, iteration, text = message
-                self._record_failed(worker_id, iteration, RuntimeError(text))
-            elif kind == "spawn_failed":
-                alive_ids.discard(worker_id)
-                self._exited.add(worker_id)
-                with self._lock:
-                    self._errors.append(
-                        (-1, RuntimeError(f"worker {worker_id} failed to start: {message[2]}"))
-                    )
-                if not alive_ids and not self._stop.is_set():
-                    self._fail_unserved("no planner worker started")
-                    return
+                _, _, job, iteration, text = message
+                self._record_failed(worker_id, job, iteration, RuntimeError(text))
             elif kind == "exited":
                 self._exited.add(worker_id)
                 alive_ids.discard(worker_id)
@@ -420,7 +679,7 @@ class PlannerPool:
         flushed loses the task silently: it is no longer in the queue and no
         claim points at it, so neither the crash handler nor ``stop()``'s
         drain would ever account for it.  After observing worker deaths the
-        collector therefore sweeps: an enqueued iteration that is neither
+        collector therefore sweeps: an enqueued task that is neither
         completed, failed, claimed, nor present in the task queue across two
         consecutive sweeps (the second sweep gives an in-flight ``claimed``
         message time to arrive) is failed like a claimed crash victim.
@@ -435,22 +694,28 @@ class PlannerPool:
                 break
         for item in items:
             self._queue.put(item)
-        present = {item[0] for item in items if item is not None}
+        present = {(item[0], item[1]) for item in items if item is not None}
         with self._lock:
             claimed = set(self._claims.values())
-            unaccounted = {
-                iteration
-                for iteration in range(self._next_to_enqueue)
-                if iteration not in self._completed
-                and iteration not in self._failed
-                and iteration not in claimed
-                and iteration not in present
-            }
+            unaccounted = set()
+            for stream in self._streams.values():
+                if stream.retired:
+                    continue
+                for iteration in range(stream.start, stream.next_to_enqueue):
+                    key = (stream.name, iteration)
+                    if (
+                        iteration not in stream.completed
+                        and iteration not in stream.failed
+                        and key not in claimed
+                        and key not in present
+                    ):
+                        unaccounted.add(key)
             lost = self._suspect_lost & unaccounted
             self._suspect_lost = unaccounted - lost
-        for iteration in sorted(lost):
+        for job, iteration in sorted(lost):
             self._record_failed(
                 "pool",
+                job,
                 iteration,
                 RuntimeError("planner worker died holding this iteration's task"),
             )
@@ -464,10 +729,15 @@ class PlannerPool:
         self._exited.add(worker_id)
         with self._lock:
             claimed = self._claims.get(worker_id)
-        if claimed is not None and claimed not in self._completed:
+            self._pool_errors.append(
+                RuntimeError(f"planner worker {worker_id} died unexpectedly")
+            )
+        if claimed is not None:
+            job, iteration = claimed
             self._record_failed(
                 worker_id,
-                claimed,
+                job,
+                iteration,
                 RuntimeError(f"planner worker {worker_id} died while planning"),
             )
 
@@ -476,17 +746,18 @@ class PlannerPool:
         with self._lock:
             self._pool_failure = RuntimeError(reason)
             pending = [
-                iteration
-                for iteration in range(self._next_to_enqueue)
-                if iteration not in self._completed and iteration not in self._failed
+                (stream.name, iteration)
+                for stream in self._streams.values()
+                if not stream.retired
+                for iteration in stream.unserved()
             ]
-        for iteration in pending:
-            self._record_failed("pool", iteration, RuntimeError(reason))
+        for job, iteration in pending:
+            self._record_failed("pool", job, iteration, RuntimeError(reason))
 
     # ------------------------------------------------------------------ control
 
     def start(self) -> None:
-        """Start the workers and enqueue the initial look-ahead window."""
+        """Start the workers and enqueue every stream's initial window."""
         if self.backend == "thread":
             self._queue = queue.Queue()
             self._threads = [
@@ -504,11 +775,10 @@ class PlannerPool:
             ctx = mp.get_context(self.mp_start_method)
             self._queue = ctx.Queue()
             self._results = ctx.Queue()
-            payload = _planner_payload(self.planner)
             self._processes = [
                 ctx.Process(
                     target=_process_worker,
-                    args=(f"planner-{i}", payload, self._queue, self._results),
+                    args=(f"planner-{i}", self._queue, self._results),
                     name=f"planner-{i}",
                     daemon=True,
                 )
@@ -520,64 +790,76 @@ class PlannerPool:
                 target=self._collect, name="planner-collector", daemon=True
             )
             self._collector.start()
-        self._refill()
-
-    def _refill(self) -> None:
         with self._lock:
-            if self._stop.is_set():
+            self._started = True
+            streams = [s for s in self._streams.values() if not s.retired]
+        for stream in streams:
+            if stream.task_ref is None:
+                ref = self._make_task_ref(stream)
+                with self._lock:
+                    stream.task_ref = ref
+            self._refill(stream)
+
+    def _refill(self, stream: _JobStream) -> None:
+        with self._lock:
+            if self._stop.is_set() or stream.retired or self._queue is None:
                 return
             failure = self._pool_failure
-            limit = min(len(self.minibatches), self._consumed + 1 + self.lookahead)
-            fresh = list(range(self._next_to_enqueue, limit))
-            self._next_to_enqueue = max(self._next_to_enqueue, limit)
+            limit = min(stream.end, stream.consumed + 1 + stream.lookahead)
+            fresh = list(range(stream.next_to_enqueue, limit))
+            stream.next_to_enqueue = max(stream.next_to_enqueue, limit)
             if failure is None:
                 for iteration in fresh:
-                    self._queue.put((iteration, list(self.minibatches[iteration])))
+                    samples = list(stream.minibatches[iteration - stream.start])
+                    self._queue.put((stream.name, iteration, samples, stream.task_ref))
         if failure is not None:
             # No worker is left to serve new iterations; keep the fail-fast
             # guarantee by marking them failed instead of enqueueing them
             # onto a queue nobody drains.
             for iteration in fresh:
-                self._record_failed("pool", iteration, RuntimeError(str(failure)))
+                self._record_failed(
+                    "pool", stream.name, iteration, RuntimeError(str(failure))
+                )
 
-    def notify_consumed(self, iteration: int) -> None:
+    def notify_consumed(self, iteration: int, job: str = DEFAULT_JOB) -> None:
         """Tell the pool the executor finished ``iteration`` (advances the window)."""
         with self._lock:
-            self._consumed = max(self._consumed, iteration)
-            self._payloads.pop(iteration, None)
-        self.store.evict_iteration(iteration)
-        self._refill()
+            stream = self._stream(job)
+            if stream.retired:
+                return
+            stream.consumed = max(stream.consumed, iteration)
+            stream.payloads.pop(iteration, None)
+        self.store.evict_iteration(iteration, job=job)
+        self._refill(stream)
 
-    def _drain_tasks(self) -> list[int]:
-        drained: list[int] = []
+    def _drain_tasks(self) -> None:
         if self._queue is None:
-            return drained
+            return
         while True:
             try:
-                item = self._queue.get_nowait()
+                self._queue.get_nowait()
             except queue.Empty:
                 break
-            if item is not None:
-                drained.append(item[0])
-        return drained
 
     def stop(self) -> list[int]:
         """Stop the workers and report the abandoned iterations.
 
         The task queue is drained so no worker picks up new work; each
-        worker finishes (or is terminated after a timeout) and the enqueued
-        iterations that were neither planned nor failed are returned — and
-        exposed as :attr:`abandoned` — so a restart can re-plan exactly
-        those instead of double-planning finished ones or silently skipping
-        pending ones.
+        worker finishes (or is terminated after a timeout) and every
+        stream's enqueued iterations that were neither planned nor failed
+        are recorded as *abandoned* (per stream — see
+        :meth:`job_abandoned`), so a restart can re-plan exactly those
+        instead of double-planning finished ones or silently skipping
+        pending ones.  Returns the legacy (anonymous) stream's abandoned
+        iterations.
         """
         with self._lock:
             if self._sealed:
                 # Already stopped: keep the first snapshot instead of
                 # recomputing from a now-empty queue.
-                return list(self._abandoned)
+                return self._default_abandoned_locked()
         self._stop.set()
-        drained = self._drain_tasks()
+        self._drain_tasks()
         if self._queue is not None:
             for _ in range(self.num_workers):
                 self._queue.put(None)
@@ -590,65 +872,104 @@ class PlannerPool:
                 process.join(timeout=5.0)
         if self._collector is not None:
             self._collector.join(timeout=5.0)
-        drained += self._drain_tasks()
+        self._drain_tasks()
         with self._lock:
             # Seal and snapshot atomically: a still-running thread worker
             # finishing after this point has its result dropped, so nothing
             # reported abandoned here can later turn up planned.
             self._sealed = True
-            unfinished = [
-                it for it in self._claims.values()
-                if it not in self._completed and it not in self._failed
-            ]
-            abandoned = sorted(
-                set(drained + unfinished) - self._completed - self._failed
-            )
-            self._abandoned = abandoned
-        return abandoned
+            for stream in self._streams.values():
+                if not stream.retired:
+                    stream.abandoned = stream.unserved()
+            return self._default_abandoned_locked()
+
+    def _default_abandoned_locked(self) -> list[int]:
+        stream = self._streams.get(DEFAULT_JOB)
+        return list(stream.abandoned) if stream is not None else []
 
     # ------------------------------------------------------------------ status
 
     @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has spawned the workers."""
+        return self._started
+
+    def live_workers(self) -> int:
+        """Worker threads/processes currently alive (0 after a clean stop)."""
+        return sum(t.is_alive() for t in self._threads) + sum(
+            p.is_alive() for p in self._processes
+        )
+
+    @property
     def errors(self) -> list[tuple[int, Exception]]:
-        """Planning failures, as (iteration, exception) pairs."""
+        """The legacy stream's planning failures, as (iteration, exception)
+        pairs, plus pool-level failures (worker deaths, total worker loss)
+        keyed ``-1``."""
         with self._lock:
-            return list(self._errors)
+            stream = self._streams.get(DEFAULT_JOB)
+            listed = list(stream.errors) if stream is not None else []
+            listed.extend((-1, error) for error in self._pool_errors)
+            return listed
+
+    def job_errors(self, job: str = DEFAULT_JOB) -> list[tuple[int, Exception]]:
+        """One stream's planning failures, as (iteration, exception) pairs."""
+        with self._lock:
+            return list(self._stream(job).errors)
+
+    @property
+    def pool_errors(self) -> list[Exception]:
+        """Failures of the pool itself (worker deaths), not tied to a task."""
+        with self._lock:
+            return list(self._pool_errors)
 
     @property
     def abandoned(self) -> list[int]:
-        """Iterations :meth:`stop` drained before they were ever planned."""
+        """Legacy-stream iterations :meth:`stop` drained before planning."""
         with self._lock:
-            return list(self._abandoned)
+            return self._default_abandoned_locked()
 
-    def planned_iterations(self) -> list[int]:
-        """Iterations whose plans have been pushed so far."""
+    def job_abandoned(self, job: str = DEFAULT_JOB) -> list[int]:
+        """One stream's abandoned iterations (set by stop/retire)."""
         with self._lock:
-            return sorted(record.iteration for record in self.records)
+            return list(self._stream(job).abandoned)
 
-    def failed_iterations(self) -> list[int]:
-        """Iterations whose planning failed."""
+    def planned_iterations(self, job: str = DEFAULT_JOB) -> list[int]:
+        """Iterations of ``job`` whose plans have been pushed so far."""
         with self._lock:
-            return sorted(self._failed)
+            return sorted(record.iteration for record in self.records if record.job == job)
 
-    def payload(self, iteration: int) -> dict[str, Any] | None:
+    def failed_iterations(self, job: str = DEFAULT_JOB) -> list[int]:
+        """Iterations of ``job`` whose planning failed."""
+        with self._lock:
+            stream = self._streams.get(job)
+            return sorted(stream.failed) if stream is not None else []
+
+    def payload(self, iteration: int, job: str = DEFAULT_JOB) -> dict[str, Any] | None:
         """The :meth:`IterationPlan.to_dict` payload of ``iteration``, if planned.
 
-        Payloads are retained only when the pool owns its store (no ``store``
-        argument was given); with an external store, fetch plans from it.
+        Payloads are retained for :meth:`submit_job` streams and for the
+        legacy stream of a pool that owns its store; with an external store
+        the legacy stream's plans live only in the store.
         """
         with self._lock:
-            return self._payloads.get(iteration)
+            stream = self._streams.get(job)
+            return stream.payloads.get(iteration) if stream is not None else None
 
-    def wait_payload(self, iteration: int, timeout: float = 120.0) -> dict[str, Any]:
-        """Block until ``iteration`` is planned and return its payload.
+    def wait_payload(
+        self, iteration: int, timeout: float = 120.0, job: str = DEFAULT_JOB
+    ) -> dict[str, Any]:
+        """Block until ``(job, iteration)`` is planned and return its payload.
 
         Raises:
-            RuntimeError: If the pool was built with an external store
-                (payloads are not retained there; poll the store instead).
+            RuntimeError: If the stream does not retain payloads (the legacy
+                stream of a pool built with an external store; poll the
+                store instead).
             PlanFailedError: If planning of the iteration failed.
             TimeoutError: If the payload does not appear within ``timeout``.
         """
-        if self._external_store:
+        with self._lock:
+            stream = self._stream(job)
+        if not stream.retain_payloads:
             raise RuntimeError(
                 "wait_payload() requires a pool-owned store (construct the "
                 "PlannerPool without `store`); consumers of an external store "
@@ -657,9 +978,9 @@ class PlannerPool:
         deadline = time.perf_counter() + timeout
         while True:
             with self._lock:
-                payload = self._payloads.get(iteration)
+                payload = stream.payloads.get(iteration)
                 failure = next(
-                    (error for it, error in self._errors if it == iteration), None
+                    (error for it, error in stream.errors if it == iteration), None
                 )
                 if failure is None:
                     failure = self._pool_failure
@@ -669,6 +990,7 @@ class PlannerPool:
                 raise PlanFailedError(
                     f"planning failed for iteration {iteration}: {failure}",
                     iteration=iteration,
+                    job=job,
                 ) from failure
             if time.perf_counter() > deadline:
                 raise TimeoutError(

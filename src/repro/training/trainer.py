@@ -285,24 +285,25 @@ class TrainingSession:
             minibatches=[mb.samples for mb in minibatches],
             num_workers=self.config.planner_processes,
             lookahead=self.config.planner_lookahead,
+            start_iteration=minibatches[0].index,
         )
         enc_eff: list[float] = []
         dec_eff: list[float] = []
         pool.start()
         try:
-            # The pool keys tasks by *position* in its mini-batch list, which
-            # differs from the absolute iteration index when resuming
-            # (start_iteration > 0).
-            for position, minibatch in enumerate(minibatches):
+            # Plans are keyed by absolute iteration index (the pool's
+            # start_iteration anchors a resumed session's tail), matching
+            # the keys an uninterrupted run would use.
+            for minibatch in minibatches:
                 payload = pool.wait_payload(
-                    position, timeout=self.config.planner_timeout_s
+                    minibatch.index, timeout=self.config.planner_timeout_s
                 )
                 record, stats = self.record_from_payload(minibatch.index, payload)
                 report.records.append(record)
                 enc_eff.append(stats.encoder_efficiency)
                 if stats.decoder_efficiency is not None:
                     dec_eff.append(stats.decoder_efficiency)
-                pool.notify_consumed(position)
+                pool.notify_consumed(minibatch.index)
         finally:
             pool.stop()
         return self._finalize_report(report, enc_eff, dec_eff)

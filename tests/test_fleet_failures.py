@@ -183,6 +183,118 @@ class TestPoolFailureMarkers:
         assert scheduler.allocator.busy_count == 0
 
 
+class TestPoolLifecycle:
+    """Every attempt's planning resources are released exactly once — no
+    leaked pool workers after preempted, plan-failed or crashed runs."""
+
+    @pytest.fixture()
+    def pool_registry(self, monkeypatch):
+        """Instrument JobExecution's private pools: record every instance
+        and count its stop() calls."""
+        import repro.fleet.session as session_module
+        from repro.runtime.planner_pool import PlannerPool
+
+        created = []
+
+        class RegisteredPool(PlannerPool):
+            def __post_init__(self):
+                super().__post_init__()
+                self.stop_calls = 0
+                created.append(self)
+
+            def stop(self):
+                self.stop_calls += 1
+                return super().stop()
+
+        monkeypatch.setattr(session_module, "PlannerPool", RegisteredPool)
+        return created
+
+    def test_no_live_workers_after_injected_failures(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device, pool_registry
+    ):
+        """Per-attempt mode under the full failure mix — a device failure
+        preempting a pooled attempt, mid-epoch plan failures, retries —
+        leaves zero live pool workers and every started pool stopped
+        exactly once."""
+        attempts_built: list[int] = []
+
+        def flaky_factory(spec, data_parallel):
+            attempt = len(attempts_built)
+            attempts_built.append(attempt)
+            planner = DynaPipePlanner(
+                spec.cost_model,
+                data_parallel_size=data_parallel,
+                config=spec.planner_config,
+            )
+            if attempt == 0:
+                real_plan = planner.plan
+
+                def plan(samples, iteration=0):
+                    if iteration >= 1:
+                        raise RuntimeError("synthetic worker crash")
+                    return real_plan(samples, iteration=iteration)
+
+                planner.plan = plan
+            return planner
+
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(
+            topology, FleetConfig(planner_processes=1, planner_backend="thread")
+        )
+        scheduler.submit(
+            make_spec(
+                pp2_cost_model, fleet_samples, planner_config,
+                name="flaky", max_retries=1, planner_factory=flaky_factory,
+            )
+        )
+        scheduler.submit(
+            make_spec(pp2_cost_model, fleet_samples, planner_config, name="steady", seed=1)
+        )
+        scheduler.inject_device_failure(10.0, 0)
+        report = scheduler.run()
+        assert {job.state for job in report.jobs} == {JobState.FINISHED}
+        # One pool per attempt that reached step(); each stopped exactly once.
+        started = [pool for pool in pool_registry if pool.started]
+        assert started, "pooled attempts should have started pools"
+        assert len(started) == sum(job.attempts for job in report.jobs)
+        for pool in started:
+            assert pool.stop_calls == 1
+            assert pool.live_workers() == 0
+        assert report.planner_workers_spawned == len(started)
+        scheduler.allocator.check_consistent()
+        assert scheduler.allocator.busy_count == 0
+
+    def test_unexpected_execution_error_still_tears_down_planning(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device, monkeypatch
+    ):
+        """A non-planning crash mid-run (here: execution of a fetched
+        payload explodes) propagates, but the shared planning cluster and
+        every running attempt's stream are still torn down — the event
+        loop's failure must not leak worker threads/processes."""
+        from repro.training.trainer import TrainingSession
+
+        def boom(self, iteration, payload):
+            raise RuntimeError("synthetic executor crash")
+
+        monkeypatch.setattr(TrainingSession, "record_from_payload", boom)
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(
+            topology,
+            FleetConfig(
+                planner_processes=1, planner_backend="thread", shared_planner_pool=True
+            ),
+        )
+        scheduler.submit(
+            make_spec(pp2_cost_model, fleet_samples, planner_config, name="crasher")
+        )
+        with pytest.raises(RuntimeError, match="synthetic executor crash"):
+            scheduler.run()
+        pool = scheduler._shared_pool
+        assert pool is not None
+        assert pool.live_workers() == 0
+        assert pool.job_names() == []  # the running attempt's stream retired
+
+
 class TestDeviceFailureAccounting:
     def test_idle_device_failure_only_shrinks_capacity(
         self, pp2_cost_model, fleet_samples, planner_config, small_device

@@ -1,0 +1,217 @@
+"""Fleet-wide shared planner pool ("planning cluster") tests.
+
+The acceptance bar: a fleet run with ``shared_planner_pool=True`` spawns
+exactly one pool's workers for the whole fleet, survives injected device
+failures and job retries with no cross-job plan/failure leakage, and its
+per-job reports are bit-identical to per-attempt pools and to inline
+planning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.planner import PlannerConfig
+from repro.core.recomputation import OutOfMemoryError
+from repro.fleet import FleetConfig, FleetScheduler, JobSpec, JobState
+from repro.parallel.config import ParallelConfig
+
+from test_fleet_scheduler import assert_records_identical, standalone_records
+
+#: The three planning modes whose per-job reports must agree bit for bit.
+MODES = {
+    "inline": dict(planner_processes=0),
+    "per_attempt": dict(planner_processes=1, planner_backend="thread"),
+    "shared": dict(
+        planner_processes=1, planner_backend="thread", shared_planner_pool=True
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def planner_config():
+    return PlannerConfig(order_search=False, tmax_sample_count=8)
+
+
+def build_specs(pp2_cost_model, fleet_samples, planner_config):
+    """Three dp1-pp2 jobs; a 4-GPU cluster runs two at a time."""
+    return [
+        JobSpec(
+            name=f"job{index}",
+            cost_model=pp2_cost_model,
+            samples=fleet_samples,
+            global_batch_tokens=4096 if index % 2 else 8192,
+            parallel=ParallelConfig(1, 2, 1),
+            num_iterations=3,
+            planner_config=planner_config,
+            seed=index,
+        )
+        for index in range(3)
+    ]
+
+
+def run_fleet(pp2_cost_model, fleet_samples, planner_config, small_device, **config):
+    topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+    scheduler = FleetScheduler(topology, FleetConfig(**config))
+    for spec in build_specs(pp2_cost_model, fleet_samples, planner_config):
+        scheduler.submit(spec)
+    # Mid-run failure: preempts whichever gang owns device 0 at t=10 ms and
+    # forces a checkpoint-boundary retry — under the shared pool that means
+    # one stream is retired mid-flight while co-tenant streams keep planning.
+    scheduler.inject_device_failure(10.0, 0)
+    return scheduler, scheduler.run()
+
+
+@pytest.fixture(scope="module")
+def fleet_runs(pp2_cost_model, fleet_samples, planner_config, small_device):
+    return {
+        mode: run_fleet(
+            pp2_cost_model, fleet_samples, planner_config, small_device, **config
+        )
+        for mode, config in MODES.items()
+    }
+
+
+class TestSharedPoolBitIdentity:
+    def test_all_jobs_finish_in_every_mode(self, fleet_runs):
+        for mode, (_, report) in fleet_runs.items():
+            assert report.finished_jobs == 3, mode
+            assert report.total_preemptions == 1, mode
+
+    def test_reports_bit_identical_across_planning_modes(self, fleet_runs):
+        """The planning transport (inline / private pools / planning
+        cluster) must be invisible in the results: per-job records agree
+        bit for bit across all three modes."""
+        baseline_scheduler, _ = fleet_runs["inline"]
+        for mode in ("per_attempt", "shared"):
+            scheduler, _ = fleet_runs[mode]
+            for name, record in baseline_scheduler.jobs.items():
+                assert_records_identical(
+                    scheduler.jobs[name].checkpoint.records, record.checkpoint.records
+                )
+
+    def test_shared_mode_matches_standalone_runs(self, fleet_runs):
+        """Transitively implied by the cross-mode test, but pinned directly:
+        uninterrupted shared-pool jobs equal standalone sessions."""
+        scheduler, _ = fleet_runs["shared"]
+        uninterrupted = [
+            record
+            for record in scheduler.jobs.values()
+            if len(record.attempts) == 1 and record.preemptions == 0
+        ]
+        assert uninterrupted, "scenario should leave some jobs untouched"
+        record = uninterrupted[0]
+        expected = standalone_records(record.spec, record.attempts[0].data_parallel)
+        assert_records_identical(record.checkpoint.records, expected)
+
+    def test_one_pool_for_the_whole_fleet(self, fleet_runs):
+        """Worker-spawn amortisation: the shared run spawns exactly one
+        pool's workers; per-attempt mode pays one pool per attempt."""
+        _, shared_report = fleet_runs["shared"]
+        _, per_attempt_report = fleet_runs["per_attempt"]
+        _, inline_report = fleet_runs["inline"]
+        total_attempts = sum(job.attempts for job in shared_report.jobs)
+        assert total_attempts == 4  # 3 first admissions + 1 retry
+        assert shared_report.planner_workers_spawned == 1
+        assert per_attempt_report.planner_workers_spawned == total_attempts
+        assert inline_report.planner_workers_spawned == 0
+
+    def test_shared_pool_torn_down_and_store_clean(self, fleet_runs):
+        """After the run the planning cluster is stopped and every attempt's
+        stream retired — no live workers, no store residue."""
+        scheduler, _ = fleet_runs["shared"]
+        pool = scheduler._shared_pool
+        assert pool is not None and pool.started
+        assert pool.live_workers() == 0
+        assert pool.job_names() == []  # every stream retired
+        assert scheduler.store is not None
+        assert len(scheduler.store) == 0
+        assert scheduler.store.jobs() == []
+
+
+class _ExplodingPlanner:
+    """A planner that can never produce a plan (picklable-free, thread mode)."""
+
+    def __init__(self, cost_model, data_parallel_size):
+        self.cost_model = cost_model
+        self.data_parallel_size = data_parallel_size
+
+    def plan(self, samples, iteration=0):
+        raise OutOfMemoryError("synthetic planning failure")
+
+
+class TestSharedPoolIsolation:
+    def test_doomed_job_never_perturbs_neighbours(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        """One job's planning failures (failure markers in the shared store)
+        must stay in its own namespace: the healthy co-tenant finishes with
+        records bit-identical to a standalone run."""
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(
+            topology,
+            FleetConfig(
+                planner_processes=1,
+                planner_backend="thread",
+                shared_planner_pool=True,
+            ),
+        )
+        scheduler.submit(
+            JobSpec(
+                name="doomed",
+                cost_model=pp2_cost_model,
+                samples=fleet_samples,
+                global_batch_tokens=4096,
+                parallel=ParallelConfig(1, 2, 1),
+                num_iterations=3,
+                planner_config=planner_config,
+                max_retries=1,
+                planner_factory=lambda spec, dp: _ExplodingPlanner(spec.cost_model, dp),
+            )
+        )
+        healthy = scheduler.submit(
+            JobSpec(
+                name="healthy",
+                cost_model=pp2_cost_model,
+                samples=fleet_samples,
+                global_batch_tokens=4096,
+                parallel=ParallelConfig(1, 2, 1),
+                num_iterations=3,
+                planner_config=planner_config,
+                seed=1,
+            )
+        )
+        report = scheduler.run()
+        states = {job.name: job.state for job in report.jobs}
+        assert states == {"doomed": JobState.FAILED, "healthy": JobState.FINISHED}
+        assert "planning failed" in scheduler.jobs["doomed"].failure_reason
+        assert_records_identical(
+            healthy.checkpoint.records, standalone_records(healthy.spec, 1)
+        )
+        # The failed attempts' markers were evicted with their streams.
+        assert scheduler.store.jobs() == []
+        assert scheduler._shared_pool.live_workers() == 0
+
+    def test_shared_pool_with_process_backend(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        """The planning cluster also runs on real worker processes (the
+        default backend): one spawned worker serves two jobs' streams and
+        the results equal inline planning."""
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(
+            topology,
+            FleetConfig(planner_processes=1, shared_planner_pool=True),
+        )
+        specs = build_specs(pp2_cost_model, fleet_samples, planner_config)[:2]
+        for spec in specs:
+            scheduler.submit(spec)
+        report = scheduler.run()
+        assert report.finished_jobs == 2
+        assert report.planner_workers_spawned == 1
+        assert scheduler._shared_pool.live_workers() == 0
+        for spec in specs:
+            record = scheduler.jobs[spec.name]
+            expected = standalone_records(spec, spec.parallel.data_parallel)
+            assert_records_identical(record.checkpoint.records, expected)

@@ -7,6 +7,7 @@ import threading
 import pytest
 
 from repro.instructions.store import (
+    DEFAULT_JOB,
     InstructionStore,
     PlanFailedError,
     PlanNotReadyError,
@@ -80,12 +81,42 @@ class TestFailureMarkers:
             store.fetch(1, 0)
         assert not issubclass(PlanFailedError, PlanNotReadyError)
 
-    def test_failure_wins_over_pushed_plans(self):
+    def test_late_failure_marks_pushed_plans(self):
+        """Markers are last-writer-wins: a failure pushed *after* a plan
+        (e.g. the planning worker died right after shipping some replicas)
+        still fails the iteration."""
         store = InstructionStore()
         store.push(0, 0, "plan")
         store.push_failure(0, "late failure")
         with pytest.raises(PlanFailedError):
             store.fetch(0, 0)
+
+    def test_push_after_failure_clears_the_marker(self):
+        """Regression (stale failure markers): a successful push supersedes
+        an earlier failure marker — under the old "failure wins" contract a
+        retried job could never re-publish a plan for an iteration a
+        previous attempt had failed, permanently poisoning every rank."""
+        store = InstructionStore()
+        store.push_failure(0, "first attempt exploded")
+        with pytest.raises(PlanFailedError):
+            store.fetch(0, 0)
+        store.push(0, 0, "retried plan")
+        assert store.fetch(0, 0) == "retried plan"
+        assert store.failed_iterations() == {}
+        # Ranks the retry has not reached yet poll "not ready", not "failed".
+        with pytest.raises(PlanNotReadyError):
+            store.fetch(0, 1)
+
+    def test_retry_after_failure_round_trip(self):
+        """Full retry cycle: fail, re-push every rank, fetch everywhere."""
+        store = InstructionStore()
+        store.push_failure(2, "boom")
+        for rank in range(2):
+            store.push(2, rank, f"plan-{rank}")
+        for rank in range(2):
+            assert store.fetch(2, rank) == f"plan-{rank}"
+        assert store.ready(2, 0) and store.ready(2, 1)
+        assert store.failed_iterations() == {}
 
     def test_evict_clears_failure(self):
         store = InstructionStore()
@@ -107,7 +138,55 @@ class TestFailureMarkers:
         store.push(0, 0, "a")
         store.push(0, 1, "b")
         assert len(store) == 2
-        assert set(store) == {(0, 0), (0, 1)}
+        assert set(store) == {(DEFAULT_JOB, 0, 0), (DEFAULT_JOB, 0, 1)}
+
+    def test_job_namespaces_are_isolated(self):
+        """Plans of different jobs never collide, even at the same
+        (iteration, replica) coordinates."""
+        store = InstructionStore()
+        store.push(0, 0, "plan-a", job="a")
+        store.push(0, 0, "plan-b", job="b")
+        assert store.fetch(0, 0, job="a") == "plan-a"
+        assert store.fetch(0, 0, job="b") == "plan-b"
+        assert store.iterations(job="a") == [0]
+        with pytest.raises(PlanNotReadyError):
+            store.fetch(0, 0)  # the default namespace is untouched
+        assert store.jobs() == ["a", "b"]
+
+    def test_failure_marker_scoped_to_its_job(self):
+        """Regression (shared-store poisoning): a failure marker for one
+        job's iteration must not fail every rank of every *other* job that
+        happens to share the iteration index."""
+        store = InstructionStore()
+        store.push(3, 0, "healthy-plan", job="healthy")
+        store.push_failure(3, "boom", job="doomed")
+        assert store.fetch(3, 0, job="healthy") == "healthy-plan"
+        assert not store.ready(3, 1)  # default namespace unaffected too
+        with pytest.raises(PlanFailedError) as excinfo:
+            store.fetch(3, 0, job="doomed")
+        assert excinfo.value.iteration == 3
+        assert excinfo.value.job == "doomed"
+        assert store.failed_iterations(job="doomed") == {3: "boom"}
+        assert store.failed_iterations(job="healthy") == {}
+
+    def test_evict_job_removes_plans_and_markers(self):
+        store = InstructionStore()
+        store.push(0, 0, "a", job="gone")
+        store.push(1, 0, "b", job="gone")
+        store.push_failure(2, "boom", job="gone")
+        store.push(0, 0, "keep", job="stays")
+        assert store.evict_job("gone") == 2
+        assert store.iterations(job="gone") == []
+        assert store.failed_iterations(job="gone") == {}
+        assert store.fetch(0, 0, job="stays") == "keep"
+        assert store.jobs() == ["stays"]
+
+    def test_evict_iteration_is_job_scoped(self):
+        store = InstructionStore()
+        store.push(0, 0, "a", job="x")
+        store.push(0, 0, "b", job="y")
+        assert store.evict_iteration(0, job="x") == 1
+        assert store.fetch(0, 0, job="y") == "b"
 
     def test_thread_safety_under_concurrent_pushes(self):
         """Concurrent planner threads should not lose plans."""

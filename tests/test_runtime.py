@@ -280,26 +280,30 @@ class TestPlannerPoolFailurePaths:
         after a second pass, giving an in-flight claim message time to land."""
         import queue as queue_module
 
+        from repro.instructions.store import DEFAULT_JOB
+
         pool = PlannerPool(
             planner=planner, minibatches=minibatches, store=InstructionStore(),
             num_workers=1, backend="thread",
         )
+        stream = pool._streams[DEFAULT_JOB]
         pool._queue = queue_module.Queue()
-        pool._queue.put((2, list(minibatches[2])))  # still safely enqueued
-        pool._next_to_enqueue = 3
-        pool._completed.add(0)
+        # Still safely enqueued: (job, iteration, samples, planner ref).
+        pool._queue.put((DEFAULT_JOB, 2, list(minibatches[2]), planner))
+        stream.next_to_enqueue = 3
+        stream.completed.add(0)
         # Iteration 1 was dequeued by a worker that died pre-claim: sweep 1
         # only marks it suspect, sweep 2 confirms it lost.
         pool._reconcile_lost_tasks()
         assert pool.failed_iterations() == []
-        assert pool._suspect_lost == {1}
+        assert pool._suspect_lost == {(DEFAULT_JOB, 1)}
         pool._reconcile_lost_tasks()
         assert pool.failed_iterations() == [1]
         assert not pool.store.ready(2, 0)
         with pytest.raises(PlanFailedError, match="died holding"):
             pool.store.fetch(1, 0)
         # The enqueued task survived the sweep's drain-and-requeue.
-        assert pool._queue.get_nowait()[0] == 2
+        assert pool._queue.get_nowait()[1] == 2
 
     def test_refill_after_total_worker_loss_fails_new_iterations(self, minibatches):
         """Once every worker is gone, iterations entering the look-ahead
@@ -337,6 +341,195 @@ class TestPlannerPoolFailurePaths:
         with pytest.raises(RuntimeError, match="planning failed"):
             orchestrator.run()
         assert time.perf_counter() - start < 60.0
+
+
+class GatedPlanner:
+    """Thread-backend planner that blocks until released (one test's gate)."""
+
+    def __init__(self, inner):
+        import threading
+
+        self.gate = threading.Event()
+        self.inner = inner
+
+    def plan(self, samples, iteration=0):
+        self.gate.wait(30)
+        return self.inner.plan(samples, iteration=iteration)
+
+
+class TestMultiJobPool:
+    """The pool as a fleet-wide planning cluster: dynamic job streams."""
+
+    def _config(self):
+        return PlannerConfig(order_search=False, tmax_sample_count=8)
+
+    def test_two_job_streams_bit_identical_and_isolated(
+        self, gpt_cost_model, t5_cost_model, minibatches, minibatches_t5
+    ):
+        """One process pool serves two jobs with *different* planners; every
+        plan matches serial planning bit for bit, lands under its job's
+        (job, iteration, replica) store keys at absolute iterations, and
+        per-job accounting never mixes the streams."""
+        store = InstructionStore()
+        pool = PlannerPool(store=store, num_workers=2, backend="process", lookahead=8)
+        pool.start()
+        try:
+            pool.submit_job(
+                "gpt-job",
+                DynaPipePlanner(gpt_cost_model, config=self._config()),
+                minibatches,
+            )
+            # A resumed stream: minibatches_t5[0] is absolute iteration 5.
+            pool.submit_job(
+                "t5-job",
+                DynaPipePlanner(t5_cost_model, config=self._config()),
+                minibatches_t5,
+                start=5,
+            )
+            assert _wait_until(
+                lambda: len(pool.planned_iterations("gpt-job")) >= len(minibatches)
+                and len(pool.planned_iterations("t5-job")) >= len(minibatches_t5),
+                timeout=120,
+            ), (pool.planned_iterations("gpt-job"), pool.planned_iterations("t5-job"),
+                pool.errors, pool.pool_errors)
+        finally:
+            pool.stop()
+        assert pool.planned_iterations("gpt-job") == list(range(len(minibatches)))
+        assert pool.planned_iterations("t5-job") == [5 + i for i in range(len(minibatches_t5))]
+        assert not pool.job_errors("gpt-job") and not pool.job_errors("t5-job")
+        for job, cost_model, batches, start in (
+            ("gpt-job", gpt_cost_model, minibatches, 0),
+            ("t5-job", t5_cost_model, minibatches_t5, 5),
+        ):
+            serial = DynaPipePlanner(cost_model, config=self._config())
+            for position, samples in enumerate(batches):
+                iteration = start + position
+                expected = serial.plan(list(samples), iteration=iteration)
+                for replica, plan in enumerate(expected.plans):
+                    stored = store.fetch(iteration, replica, job=job)
+                    want = plan.to_dict()
+                    want["metadata"]["planning_time_s"] = stored["metadata"]["planning_time_s"]
+                    assert stored == want, (job, iteration, replica)
+
+    def test_retire_job_drains_only_its_tasks(self, planner, minibatches):
+        """Retiring one stream cancels exactly its queued tasks: the
+        co-tenant stream's in-flight work proceeds untouched."""
+        store = InstructionStore()
+        pool = PlannerPool(store=store, num_workers=1, backend="thread")
+        pool.start()
+        try:
+            gated = GatedPlanner(planner)
+            pool.submit_job("slow", gated, minibatches[:1])
+            # The single worker is now blocked inside slow:0.
+            assert _wait_until(lambda: bool(pool._claims))
+            pool.submit_job("victim", planner, minibatches[:2])
+            abandoned = pool.retire_job("victim")
+            assert abandoned == [0, 1]
+            assert pool.job_abandoned("victim") == [0, 1]
+            gated.gate.set()
+            assert _wait_until(lambda: pool.planned_iterations("slow") == [0])
+        finally:
+            pool.stop()
+        assert store.ready(0, 0, job="slow")
+        assert not store.ready(0, 0, job="victim")
+        assert store.jobs() == ["slow"]
+        assert pool.planned_iterations("victim") == []
+        # A second retire keeps the first snapshot.
+        assert pool.retire_job("victim") == [0, 1]
+
+    def test_late_result_of_retired_stream_is_dropped(self, planner, minibatches):
+        """A worker already planning a retired job's iteration finishes, but
+        its result must be discarded — the attempt it belonged to is gone,
+        and a successor stream under a new name must never inherit it."""
+        store = InstructionStore()
+        pool = PlannerPool(store=store, num_workers=1, backend="thread")
+        pool.start()
+        try:
+            gated = GatedPlanner(planner)
+            pool.submit_job("dying", gated, minibatches[:1])
+            assert _wait_until(lambda: bool(pool._claims))
+            assert pool.retire_job("dying") == [0]
+            gated.gate.set()
+            # The worker completes the plan, the pool drops it.
+            assert _wait_until(lambda: not pool._claims)
+            time.sleep(0.05)
+        finally:
+            pool.stop()
+        assert pool.planned_iterations("dying") == []
+        assert not store.ready(0, 0, job="dying")
+        assert store.jobs() == []
+
+    def test_stream_failure_marker_scoped_to_its_job(self, planner, minibatches):
+        """A failing stream's markers poison only its own namespace."""
+        store = InstructionStore()
+        pool = PlannerPool(store=store, num_workers=1, backend="thread")
+        pool.start()
+        try:
+            pool.submit_job("doomed", ExplodingPlanner(), minibatches[:2])
+            pool.submit_job("healthy", planner, minibatches[:2])
+            assert _wait_until(
+                lambda: len(pool.failed_iterations("doomed")) == 2
+                and len(pool.planned_iterations("healthy")) == 2
+            ), (pool.failed_iterations("doomed"), pool.planned_iterations("healthy"))
+        finally:
+            pool.stop()
+        with pytest.raises(PlanFailedError, match="boom"):
+            store.fetch(0, 0, job="doomed")
+        assert store.fetch(0, 0, job="healthy") is not None
+        assert pool.job_errors("healthy") == []
+        assert [it for it, _ in pool.job_errors("doomed")] == [0, 1]
+
+    def test_retired_stream_releases_planner_and_spec_file(
+        self, gpt_cost_model, minibatches
+    ):
+        """Retiring a stream drops its planner and task ref, so a fleet
+        churning through attempts neither accumulates profile databases in
+        the parent nor pins spilled spec files on disk."""
+        import gc
+        import os
+
+        store = InstructionStore()
+        pool = PlannerPool(store=store, num_workers=1, backend="process")
+        pool.start()
+        try:
+            local = DynaPipePlanner(gpt_cost_model, config=self._config())
+            pool.submit_job("a", local, minibatches[:1])
+            assert _wait_until(lambda: pool.planned_iterations("a") == [0]), (
+                pool.errors, pool.pool_errors,
+            )
+            spec_path = pool._streams["a"].task_ref["path"]
+            assert os.path.exists(spec_path)
+            pool.retire_job("a")
+            assert pool._streams["a"].planner is None
+            assert pool._streams["a"].task_ref is None
+            del local
+            gc.collect()
+            assert not os.path.exists(spec_path)
+        finally:
+            pool.stop()
+
+    def test_submission_contract(self, planner, minibatches):
+        pool = PlannerPool(store=InstructionStore(), num_workers=1, backend="thread")
+        with pytest.raises(ValueError, match="non-empty"):
+            pool.submit_job("", planner, minibatches)
+        with pytest.raises(ValueError, match="start"):
+            pool.submit_job("a", planner, minibatches, start=-1)
+        pool.submit_job("a", planner, minibatches[:1])
+        with pytest.raises(ValueError, match="duplicate"):
+            pool.submit_job("a", planner, minibatches[:1])
+        with pytest.raises(KeyError):
+            pool.retire_job("unknown")
+        assert pool.job_names() == ["a"]
+        pool.start()
+        try:
+            assert _wait_until(lambda: pool.planned_iterations("a") == [0])
+        finally:
+            pool.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            pool.submit_job("b", planner, minibatches[:1])
+        # Fleet-mode construction: minibatches without a planner is an error.
+        with pytest.raises(ValueError, match="planner"):
+            PlannerPool(minibatches=minibatches)
 
 
 class TestExecutorService:
@@ -379,6 +572,61 @@ class TestOrchestrator:
         # the exposed stall is well below the total planning time.
         assert report.exposed_stall_s <= report.total_planning_s
         assert 0.0 <= report.overlap_fraction <= 1.0
+
+    def test_spawn_failure_does_not_fail_a_successful_run(
+        self, planner, gpt_cost_model, flan_samples_gpt
+    ):
+        """Regression (misattributed planning errors): a pool-level incident
+        — e.g. one worker of several failing to start while its peers plan
+        every consumed iteration — must not turn a successful run into a
+        RuntimeError blaming 'iteration -1'.  It is surfaced in the report
+        instead."""
+        orchestrator = TrainingOrchestrator(
+            planner,
+            gpt_cost_model,
+            flan_samples_gpt,
+            global_batch_tokens=8192,
+            num_iterations=2,
+            planner_workers=1,
+            planner_backend="thread",
+        )
+        orchestrator.pool._pool_errors.append(
+            RuntimeError("planner worker planner-1 failed to start: synthetic")
+        )
+        report = orchestrator.run()  # must not raise
+        assert report.iterations == 2
+        assert (-1, "planner worker planner-1 failed to start: synthetic") in [
+            (it, msg) for it, msg in report.planning_errors
+        ]
+
+    def test_loop_failure_names_the_true_cause(self, gpt_cost_model, flan_samples_gpt):
+        """Regression (misattributed planning errors): when the fetched
+        iteration's failure has no matching pool error entry, the raised
+        error must carry the failure marker's own message — not fall back
+        to errors[0], which may be an unrelated incident (here a synthetic
+        worker spawn failure recorded at key -1)."""
+        orchestrator = TrainingOrchestrator(
+            DynaPipePlanner(
+                gpt_cost_model,
+                config=PlannerConfig(order_search=False, tmax_sample_count=8),
+            ),
+            gpt_cost_model,
+            flan_samples_gpt,
+            global_batch_tokens=8192,
+            num_iterations=2,
+            planner_workers=1,
+            planner_backend="thread",
+        )
+        # The marker exists in the store, but no pool error entry matches
+        # iteration 0 — only an unrelated pool-level incident is recorded.
+        orchestrator.pool._streams.clear()  # nothing will ever be planned
+        orchestrator.store.push_failure(0, "true cause: planner OOM")
+        orchestrator.pool._pool_errors.append(
+            RuntimeError("planner worker planner-1 failed to start: unrelated")
+        )
+        with pytest.raises(RuntimeError, match="iteration 0.*true cause") as excinfo:
+            orchestrator.run()
+        assert "failed to start" not in str(excinfo.value)
 
     def test_too_few_minibatches_rejected(self, planner, gpt_cost_model, flan_samples_gpt):
         with pytest.raises(ValueError):
