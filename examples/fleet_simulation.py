@@ -1,17 +1,25 @@
-"""Fleet simulation: many training jobs sharing one simulated cluster.
+"""Fleet simulation: many training jobs sharing one dynamic cluster.
 
 The single-job runtime (planner pool + executor service) is the substrate;
 this example runs a *fleet* on top of it: six jobs with different gang
-shapes and epoch lengths are gang-scheduled onto an 8-GPU cluster under the
-shortest-remaining-work policy, two devices fail mid-run, and the affected
-jobs are elastically re-planned — resumed from their last committed
-iteration boundary, on a smaller replica group when the surviving cluster
-can no longer host the requested gang.
+shapes, epoch lengths and priorities are gang-scheduled onto an 8-GPU
+cluster under the preemptive-priority policy, and the cluster itself is
+dynamic —
+
+* two devices fail mid-run and are **repaired** 25 ms later;
+* two devices are absent at the start and **arrive** late;
+* a high-priority job lands mid-run and **evicts** a running low-priority
+  gang at its next iteration boundary (the in-flight iteration commits
+  first — graceful preemption, not a failure);
+* jobs that shrank their data-parallel degree after a failure **regrow**
+  toward the requested gang at a checkpoint boundary once capacity
+  returns.
 
 Run with:  python examples/fleet_simulation.py
 
-It prints the per-job outcomes and fleet metrics, and writes a
-``chrome://tracing`` timeline of cluster occupancy next to this script.
+It prints the per-job outcomes, the capacity timeline and fleet metrics,
+and writes a ``chrome://tracing`` timeline of cluster occupancy next to
+this script.
 """
 
 from __future__ import annotations
@@ -71,16 +79,19 @@ def main() -> None:
     planner_config = PlannerConfig(order_search=False, tmax_sample_count=8)
 
     topology = ClusterTopology.for_num_gpus(CLUSTER_GPUS, device_spec=DEVICE)
-    scheduler = FleetScheduler(topology, FleetConfig(policy="srw"))
-    shapes = [
-        ("wide-a", ParallelConfig(2, 2, 1), 4),
-        ("narrow-a", ParallelConfig(1, 2, 1), 3),
-        ("narrow-b", ParallelConfig(1, 2, 1), 2),
-        ("wide-b", ParallelConfig(2, 2, 1), 3),
-        ("narrow-c", ParallelConfig(1, 2, 1), 4),
-        ("narrow-d", ParallelConfig(1, 2, 1), 2),
+    scheduler = FleetScheduler(
+        topology, FleetConfig(policy="priority", repair_delay_ms=25.0)
+    )
+    #                name       shape                 iters  priority  submit
+    job_table = [
+        ("wide-a",   ParallelConfig(2, 2, 1), 5,     0,        0.0),
+        ("narrow-a", ParallelConfig(1, 2, 1), 3,     0,       45.0),
+        ("narrow-b", ParallelConfig(1, 2, 1), 2,     0,       45.0),
+        ("wide-b",   ParallelConfig(2, 2, 1), 3,     0,       45.0),
+        ("narrow-c", ParallelConfig(1, 2, 1), 4,     0,       45.0),
+        ("urgent",   ParallelConfig(2, 2, 1), 2,     5,       55.0),
     ]
-    for index, (name, shape, iterations) in enumerate(shapes):
+    for index, (name, shape, iterations, priority, submit_ms) in enumerate(job_table):
         scheduler.submit(
             JobSpec(
                 name=name,
@@ -91,38 +102,62 @@ def main() -> None:
                 num_iterations=iterations,
                 planner_config=planner_config,
                 seed=index,
+                priority=priority,
+                submit_time_ms=submit_ms,
             )
         )
+    # Devices 5-7 join the cluster late (only 5 devices at t=0); 0 and 1
+    # die mid-run — shrinking the alive set below a dp2 gang, so the wide
+    # job re-plans on dp1 — and are auto-repaired 25 ms later
+    # (FleetConfig.repair_delay_ms), letting it regrow at a boundary.
+    scheduler.inject_device_arrival(20.0, 5)
+    scheduler.inject_device_arrival(20.0, 6)
+    scheduler.inject_device_arrival(20.0, 7)
     scheduler.inject_device_failure(8.0, 0)
-    scheduler.inject_device_failure(20.0, 5)
+    scheduler.inject_device_failure(9.0, 1)
 
-    print(f"running {len(shapes)} jobs on {CLUSTER_GPUS} GPUs with 2 injected failures...\n")
+    print(
+        f"running {len(job_table)} jobs on {CLUSTER_GPUS} GPUs "
+        "(3 late arrivals, 2 failures + repairs, 1 priority arrival)...\n"
+    )
     report = scheduler.run()
 
-    header = f"{'job':10} {'state':9} {'shape':10} {'iters':>5} {'attempts':>8} {'queue ms':>9} {'preempt':>7}"
+    header = (
+        f"{'job':10} {'state':9} {'shape':10} {'iters':>5} {'attempts':>8} "
+        f"{'queue ms':>9} {'preempt':>7} {'evict':>5} {'regrow':>6}"
+    )
     print(header)
     print("-" * len(header))
     for job in report.jobs:
         queue = f"{job.queueing_delay_ms:9.1f}" if job.queueing_delay_ms is not None else "        -"
         print(
             f"{job.name:10} {job.state:9} {job.parallel:10} "
-            f"{job.iterations_completed:5d} {job.attempts:8d} {queue} {job.preemptions:7d}"
+            f"{job.iterations_completed:5d} {job.attempts:8d} {queue} "
+            f"{job.preemptions:7d} {job.evictions:5d} {job.regrows:6d}"
+        )
+
+    print("\ncapacity timeline (alive devices after each event):")
+    for event in report.capacity_timeline:
+        print(
+            f"  t={event.time_ms:7.1f} ms  {event.event:8}  device {event.device}  "
+            f"-> {event.alive_count} alive"
         )
 
     summary = report.summary()
     print(
         f"\nmakespan {summary['makespan_ms']:.1f} ms | "
-        f"utilization {summary['device_utilization']:.1%} | "
+        f"utilization {summary['device_utilization']:.1%} "
+        f"(dead {summary['dead_device_ms']:.0f} device-ms excluded) | "
         f"mean queueing delay {summary['mean_queueing_delay_ms']:.1f} ms | "
-        f"retries {summary['total_retries']} | "
-        f"failed devices {summary['failed_devices']}"
+        f"retries {summary['total_retries']} | evictions {summary['total_evictions']} | "
+        f"regrows {summary['total_regrows']}"
     )
 
     trace_path = Path(__file__).parent / "fleet_trace.json"
     report.save_chrome_trace(trace_path)
     print(f"\ncluster-occupancy timeline written to {trace_path}")
     print("open chrome://tracing (or https://ui.perfetto.dev) and load it to see")
-    print("gang placement, the two preemptions and the elastic re-planning.")
+    print("gang placement, the eviction and the elastic shrink/regrow cycles.")
 
 
 if __name__ == "__main__":

@@ -64,6 +64,7 @@ from repro.fleet import (
     FleetScheduler,
     JobSpec,
     JobState,
+    PreemptivePriorityPolicy,
 )
 from repro.parallel import ParallelConfig, enumerate_parallel_configs, grid_search
 from repro.runtime import ExecutorService, PlannerPool, TrainingOrchestrator
@@ -126,4 +127,5 @@ __all__ = [
     "FleetReport",
     "JobSpec",
     "JobState",
+    "PreemptivePriorityPolicy",
 ]

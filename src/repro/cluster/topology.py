@@ -120,6 +120,18 @@ class ClusterTopology:
             raise ValueError(f"global index {index} out of range [0, {self.num_gpus})")
         return index // self.gpus_per_node
 
+    def node_devices(self, node: int) -> tuple[int, ...]:
+        """Global device indices of ``node``, ascending.
+
+        The fleet layer uses this to reason about whole-node events — e.g.
+        injecting a correlated failure or arrival for every device of a
+        node at once.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        start = node * self.gpus_per_node
+        return tuple(range(start, start + self.gpus_per_node))
+
     def map_coordinate(
         self, coord: DeviceCoordinate, pipeline_parallel: int, tensor_parallel: int
     ) -> int:

@@ -2,26 +2,44 @@
 
 Runs many concurrent training jobs on one shared simulated cluster — gang
 scheduling of pipeline-parallel device groups, FIFO / shortest-remaining-
-work admission, checkpointed progress, and an elastic failure path that
-re-plans preempted jobs on smaller or replacement gangs from their last
-committed iteration boundary.
+work / preemptive-priority admission, checkpointed progress, and a fully
+dynamic capacity model: device failures shrink the cluster, repairs and
+late arrivals grow it back, elastic jobs shrink their data-parallel degree
+after capacity loss and regrow toward the requested gang at iteration
+boundaries, and higher-priority jobs gracefully evict running gangs at
+iteration boundaries (time-slicing).  All re-admissions resume from the
+job's last committed iteration boundary, bit-identical to a standalone
+checkpoint-boundary restart.
+
+See ``docs/ARCHITECTURE.md`` for the layer map, the event-ordering
+contract and the elasticity state machine.
 """
 
 from repro.fleet.gang import DeviceGang, GangAllocator
 from repro.fleet.job import JobAttempt, JobCheckpoint, JobRecord, JobSpec, JobState
-from repro.fleet.metrics import FleetReport, JobSummary, summarize_job
+from repro.fleet.metrics import CapacityEvent, FleetReport, JobSummary, summarize_job
 from repro.fleet.policies import (
     FifoPolicy,
+    PreemptivePriorityPolicy,
     SchedulingPolicy,
     ShortestRemainingWorkPolicy,
     make_policy,
 )
-from repro.fleet.scheduler import DeviceFailure, FleetConfig, FleetScheduler
+from repro.fleet.scheduler import (
+    DeviceArrivalEvent,
+    DeviceFailure,
+    DeviceRepairEvent,
+    FleetConfig,
+    FleetScheduler,
+)
 from repro.fleet.session import JobExecution, JobPlanningError
 
 __all__ = [
+    "CapacityEvent",
+    "DeviceArrivalEvent",
     "DeviceFailure",
     "DeviceGang",
+    "DeviceRepairEvent",
     "FifoPolicy",
     "FleetConfig",
     "FleetReport",
@@ -35,6 +53,7 @@ __all__ = [
     "JobSpec",
     "JobState",
     "JobSummary",
+    "PreemptivePriorityPolicy",
     "SchedulingPolicy",
     "ShortestRemainingWorkPolicy",
     "make_policy",

@@ -3,11 +3,26 @@
 A job's replicas must start together on ``dp × pp × tp`` devices (pipeline
 stages deadlock if only part of the group is placed), so allocation is
 all-or-nothing.  The :class:`GangAllocator` partitions the cluster's devices
-into *free*, *allocated* and *failed* sets — the partition is an invariant
-(:meth:`GangAllocator.check_consistent`), which is what the fleet tests
-lean on to prove that preemption and elastic re-planning never leak a
-device.  Failed devices stay failed: the simulated cluster models permanent
-capacity loss, so elastic jobs shrink rather than wait for repair.
+into four disjoint sets:
+
+* **free** — alive and idle, available for allocation;
+* **allocated** — alive and owned by exactly one :class:`DeviceGang`;
+* **failed** — dead; a failed device leaves its gang immediately and stays
+  out of the pool until (and unless) :meth:`GangAllocator.repair_device`
+  returns it;
+* **absent** — not yet part of the cluster: a device with a scheduled late
+  arrival starts here and joins the free pool through
+  :meth:`GangAllocator.arrive_device`.
+
+**Partition invariant**: ``free ∪ allocated ∪ failed ∪ absent`` equals the
+cluster's device set and the four sets are pairwise disjoint — checked by
+:meth:`GangAllocator.check_consistent`, which is what the fleet tests lean
+on to prove that preemption, repair, elastic shrinking and regrowth never
+leak or double-own a device.  Release-and-regrow bookkeeping rests on the
+same invariant: releasing a gang returns only its still-alive devices, a
+repair resurrects a device *only* through the explicit failed → free
+transition, and an absent device can neither fail nor be allocated before
+it arrives.
 """
 
 from __future__ import annotations
@@ -54,18 +69,19 @@ class GangAllocator:
         self._free: set[int] = set(range(topology.num_gpus))
         self._allocated: dict[int, DeviceGang] = {}
         self._failed: set[int] = set()
+        self._absent: set[int] = set()
 
     # ------------------------------------------------------------------ queries
 
     @property
     def num_devices(self) -> int:
-        """Total devices in the cluster (alive or failed)."""
+        """Total devices in the cluster (alive, failed or absent)."""
         return self.topology.num_gpus
 
     @property
     def alive_count(self) -> int:
-        """Devices that have not failed."""
-        return self.num_devices - len(self._failed)
+        """Devices currently part of the cluster and not failed."""
+        return self.num_devices - len(self._failed) - len(self._absent)
 
     @property
     def free_count(self) -> int:
@@ -79,8 +95,13 @@ class GangAllocator:
 
     @property
     def failed_devices(self) -> frozenset[int]:
-        """Devices that failed (permanently, in this model)."""
+        """Devices that failed and have not (yet) been repaired."""
         return frozenset(self._failed)
+
+    @property
+    def absent_devices(self) -> frozenset[int]:
+        """Devices that have not (yet) arrived in the cluster."""
+        return frozenset(self._absent)
 
     def owner_of(self, device: int) -> DeviceGang | None:
         """The gang holding ``device``, if any."""
@@ -141,8 +162,8 @@ class GangAllocator:
 
         Devices of the gang that failed while allocated were already moved
         to the failed set by :meth:`fail_device` and stay there — they are
-        *not* resurrected, which is exactly the accounting the
-        no-device-leaked test pins down.
+        *not* resurrected (only :meth:`repair_device` can do that), which is
+        exactly the accounting the no-device-leaked tests pin down.
         """
         released: list[int] = []
         for device in gang.devices:
@@ -160,29 +181,75 @@ class GangAllocator:
         A free device simply leaves the pool (capacity shrinks).  An
         allocated device is pulled out of its gang and the gang is returned
         so the scheduler can preempt the owning job; the gang's surviving
-        devices stay allocated until the scheduler releases them.
+        devices stay allocated until the scheduler releases them.  Failing
+        an already-failed or absent device is a no-op — a device that has
+        not arrived cannot die.
         """
         if not 0 <= device < self.num_devices:
             raise ValueError(f"device {device} out of range [0, {self.num_devices})")
-        if device in self._failed:
+        if device in self._failed or device in self._absent:
             return None
         gang = self._allocated.pop(device, None)
         self._free.discard(device)
         self._failed.add(device)
         return gang
 
+    # ------------------------------------------------------------------ repair / arrival
+
+    def repair_device(self, device: int) -> bool:
+        """Return a failed device to the free pool.
+
+        Returns:
+            True if the device was failed and is now free; False if the
+            device was not failed (a stale repair event is a no-op — the
+            scheduler may schedule repairs for devices that never die, or
+            repair a device twice).
+        """
+        if not 0 <= device < self.num_devices:
+            raise ValueError(f"device {device} out of range [0, {self.num_devices})")
+        if device not in self._failed:
+            return False
+        self._failed.remove(device)
+        self._free.add(device)
+        return True
+
+    def mark_absent(self, device: int) -> None:
+        """Move a free device out of the cluster (pre-run setup only).
+
+        The scheduler calls this at the start of a run for every device
+        with a scheduled late arrival; an allocated or failed device cannot
+        be marked absent.
+        """
+        if device not in self._free:
+            raise ValueError(
+                f"device {device} is not free; only idle devices can start absent"
+            )
+        self._free.remove(device)
+        self._absent.add(device)
+
+    def arrive_device(self, device: int) -> None:
+        """An absent device joins the cluster: absent → free."""
+        if device not in self._absent:
+            raise ValueError(f"device {device} is not absent; cannot arrive")
+        self._absent.remove(device)
+        self._free.add(device)
+
     # ------------------------------------------------------------------ invariants
 
     def check_consistent(self) -> None:
-        """Assert the free/allocated/failed sets partition the cluster.
+        """Assert free/allocated/failed/absent partition the cluster.
 
         Raises:
             AssertionError: If a device is leaked or double-owned.
         """
-        free, allocated, failed = self._free, set(self._allocated), self._failed
-        assert not free & allocated, f"devices both free and allocated: {free & allocated}"
-        assert not free & failed, f"devices both free and failed: {free & failed}"
-        assert not allocated & failed, f"devices both allocated and failed: {allocated & failed}"
-        union = free | allocated | failed
+        free, allocated = self._free, set(self._allocated)
+        failed, absent = self._failed, self._absent
+        sets = {"free": free, "allocated": allocated, "failed": failed, "absent": absent}
+        names = sorted(sets)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                overlap = sets[a] & sets[b]
+                assert not overlap, f"devices both {a} and {b}: {overlap}"
+        union = free | allocated | failed | absent
         expected = set(range(self.num_devices))
         assert union == expected, f"device leak: missing {expected - union}, extra {union - expected}"

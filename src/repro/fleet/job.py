@@ -2,12 +2,22 @@
 
 A *job* is one multi-task training workload submitted to the shared
 simulated cluster: a model (via its cost model), a dataset slice, a global
-batch size and a requested 3D-parallel shape.  The scheduler tracks each
-job's life cycle — queued, gang-scheduled onto devices, preempted by device
-failures, elastically re-planned on a smaller gang, finished or failed after
-bounded retries — in a :class:`JobRecord`, and persists iteration-boundary
-progress in a JSON-safe :class:`JobCheckpoint` so a retried attempt resumes
-exactly where the last committed iteration left off.
+batch size, a requested 3D-parallel shape and a scheduling priority.  The
+scheduler tracks each job's life cycle — queued, gang-scheduled onto
+devices, preempted (by a device failure mid-iteration, or gracefully at an
+iteration boundary by a higher-priority job), elastically re-planned on a
+smaller gang after capacity loss, regrown toward the requested gang when
+capacity returns, finished or failed after bounded retries — in a
+:class:`JobRecord`, and persists iteration-boundary progress in a JSON-safe
+:class:`JobCheckpoint` so every re-admission resumes exactly where the last
+committed iteration left off.
+
+Two preemption flavours share that checkpoint/resume machinery but differ
+in what they keep: a **failure preemption** (device death) discards the
+in-flight iteration and counts against the job's bounded retry budget; a
+**graceful preemption** (priority eviction or elastic regrowth) happens
+only *at* an iteration boundary — the in-flight iteration commits first —
+and consumes no retry budget.
 """
 
 from __future__ import annotations
@@ -54,9 +64,16 @@ class JobSpec:
         noise_std / seed / execute_plans / stages_same_node: Per-job trainer
             settings (see :class:`~repro.training.trainer.TrainerConfig`).
         max_retries: Attempts beyond the first before the job is marked
-            failed (device failures and planning failures both count).
+            failed (device failures and planning failures both count;
+            graceful preemptions — priority evictions and elastic regrowth
+            — do not).
         elastic: Whether the job may shrink its data-parallel degree when
-            the *alive* cluster can no longer host the requested gang.
+            the *alive* cluster can no longer host the requested gang (and
+            symmetrically regrow toward the request when capacity returns).
+        priority: Scheduling priority (higher runs first).  Under the
+            preemptive-priority policy a queued job with strictly higher
+            priority evicts running lower-priority gangs at their iteration
+            boundaries; FIFO and SRW ignore it.
         submit_time_ms: Fleet-clock time at which the job arrives.
         est_iteration_ms: Prior estimate of one iteration's execution time,
             used by shortest-remaining-work ordering before any iteration of
@@ -79,6 +96,7 @@ class JobSpec:
     stages_same_node: bool = True
     max_retries: int = 2
     elastic: bool = True
+    priority: int = 0
     submit_time_ms: float = 0.0
     est_iteration_ms: float = 1000.0
     planner_factory: Callable[["JobSpec", int], IterationPlanner] | None = None
@@ -191,8 +209,10 @@ class JobAttempt:
         start_iteration: First iteration this attempt was to execute.
         ended_ms: Fleet-clock time the attempt ended (``None`` while running).
         iterations_completed: Iterations this attempt committed.
-        outcome: ``"running"``, ``"finished"``, ``"device_failure"`` or
-            ``"plan_failure"``.
+        outcome: ``"running"``, ``"finished"``, ``"device_failure"``,
+            ``"plan_failure"``, ``"evicted"`` (graceful priority preemption
+            at an iteration boundary) or ``"regrown"`` (the attempt ended
+            at a boundary so the job could re-expand onto a larger gang).
     """
 
     index: int
@@ -216,6 +236,8 @@ class JobRecord:
     attempts: list[JobAttempt] = field(default_factory=list)
     retries: int = 0
     preemptions: int = 0
+    evictions: int = 0
+    regrows: int = 0
     first_admitted_ms: float | None = None
     finished_ms: float | None = None
     failure_reason: str | None = None

@@ -1,11 +1,21 @@
-"""Fleet-level metrics: makespan, queueing delay, utilization, retries.
+"""Fleet-level metrics: makespan, queueing delay, utilization, elasticity.
 
-The scheduler aggregates per-job summaries and a cluster-occupancy trace
-(one :class:`~repro.simulator.trace.TraceEvent` per device per committed
-iteration) into a :class:`FleetReport` — the multi-job analogue of
-:class:`~repro.training.throughput.TrainingReport`, exportable to
-``chrome://tracing`` for visual inspection of gang placement, preemptions
-and elastic re-planning.
+The scheduler aggregates per-job summaries, a cluster-occupancy trace (one
+:class:`~repro.simulator.trace.TraceEvent` per device per committed
+iteration) and a capacity timeline (one :class:`CapacityEvent` per device
+failure, repair and arrival) into a :class:`FleetReport` — the multi-job
+analogue of :class:`~repro.training.throughput.TrainingReport`, exportable
+to ``chrome://tracing`` for visual inspection of gang placement,
+preemptions, evictions and elastic shrink/regrow cycles.
+
+**Utilization contract**: :attr:`FleetReport.device_utilization` divides
+committed device-time by *live* cluster capacity — ``num_devices ×
+makespan`` minus the device-milliseconds spent failed or not-yet-arrived
+(``dead_device_ms``).  Time a device was dead is not available capacity, so
+a fleet that keeps every live device busy reports ~100% utilization even if
+half the cluster was down for half the run; before repairs existed the
+denominator charged dead time as if it were usable, understating
+utilization in every run with a failure.
 """
 
 from __future__ import annotations
@@ -20,6 +30,23 @@ from repro.simulator.trace import ExecutionTrace
 from repro.utils.stats import mean
 
 
+@dataclass(frozen=True)
+class CapacityEvent:
+    """One change of the cluster's alive device set.
+
+    Attributes:
+        time_ms: Fleet-clock time of the change.
+        event: ``"failure"``, ``"repair"`` or ``"arrival"``.
+        device: Global device index affected.
+        alive_count: Alive devices *after* the event applied.
+    """
+
+    time_ms: float
+    event: str
+    device: int
+    alive_count: int
+
+
 @dataclass
 class JobSummary:
     """Scheduling-level outcome of one job.
@@ -28,6 +55,7 @@ class JobSummary:
         name: Job name.
         state: Terminal state (``finished`` or ``failed``).
         parallel: Requested shape, e.g. ``"dp2-pp2-tp1"``.
+        priority: Scheduling priority of the spec (0 unless set).
         final_data_parallel: Replica count of the last attempt (smaller than
             requested when the job shrank elastically), ``None`` if never
             admitted.
@@ -36,7 +64,11 @@ class JobSummary:
         iterations_completed / target_iterations: Progress vs. the spec.
         attempts: Number of placements (1 = ran uninterrupted).
         retries: Re-admissions after failures (device or planning).
-        preemptions: Device-failure interruptions.
+        preemptions: Device-failure interruptions (in-flight work lost).
+        evictions: Graceful boundary preemptions by higher-priority jobs
+            (no work lost, no retry budget spent).
+        regrows: Boundary re-expansions toward the requested gang after
+            repaired/arrived capacity.
         throughput_tokens_per_s: Actual-token throughput over committed
             iterations.
         failure_reason: Why the job failed (``None`` for finished jobs).
@@ -45,6 +77,7 @@ class JobSummary:
     name: str
     state: str
     parallel: str
+    priority: int
     final_data_parallel: int | None
     submit_time_ms: float
     first_admitted_ms: float | None
@@ -55,6 +88,8 @@ class JobSummary:
     attempts: int
     retries: int
     preemptions: int
+    evictions: int
+    regrows: int
     throughput_tokens_per_s: float
     failure_reason: str | None
 
@@ -67,6 +102,7 @@ def summarize_job(record: JobRecord) -> JobSummary:
         name=record.spec.name,
         state=record.state,
         parallel=record.spec.parallel.describe(),
+        priority=record.spec.priority,
         final_data_parallel=final_dp,
         submit_time_ms=record.spec.submit_time_ms,
         first_admitted_ms=record.first_admitted_ms,
@@ -77,6 +113,8 @@ def summarize_job(record: JobRecord) -> JobSummary:
         attempts=len(record.attempts),
         retries=record.retries,
         preemptions=record.preemptions,
+        evictions=record.evictions,
+        regrows=record.regrows,
         throughput_tokens_per_s=report.throughput_tokens_per_s,
         failure_reason=record.failure_reason,
     )
@@ -91,9 +129,16 @@ class FleetReport:
         jobs: Per-job summaries, in submission order.
         makespan_ms: Fleet-clock time of the last event.
         busy_device_ms: Device-milliseconds spent on committed iterations
-            (work lost to preempted in-flight iterations does not count).
-        num_devices: Cluster size.
-        failed_devices: Devices that failed during the run.
+            (work lost to failure-preempted in-flight iterations does not
+            count).
+        num_devices: Cluster size (including failed/absent devices).
+        failed_devices: Devices still failed at the end of the run
+            (repaired devices are not listed — see ``capacity_timeline``).
+        absent_devices: Devices whose arrival never fired during the run.
+        dead_device_ms: Device-milliseconds spent failed or not-yet-arrived
+            over the run; subtracted from the utilization denominator.
+        capacity_timeline: Failure/repair/arrival events in fleet-clock
+            order, each with the alive count after it applied.
         trace: Cluster-occupancy trace (device × time → job iteration).
         planner_workers_spawned: Planner workers spawned over the whole run
             — ``planner_processes`` per *attempt* with private pools, but
@@ -107,6 +152,9 @@ class FleetReport:
     busy_device_ms: float
     num_devices: int
     failed_devices: list[int] = field(default_factory=list)
+    absent_devices: list[int] = field(default_factory=list)
+    dead_device_ms: float = 0.0
+    capacity_timeline: list[CapacityEvent] = field(default_factory=list)
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     planner_workers_spawned: int = 0
 
@@ -133,6 +181,26 @@ class FleetReport:
         return sum(job.preemptions for job in self.jobs)
 
     @property
+    def total_evictions(self) -> int:
+        """Graceful priority evictions across all jobs."""
+        return sum(job.evictions for job in self.jobs)
+
+    @property
+    def total_regrows(self) -> int:
+        """Elastic boundary re-expansions across all jobs."""
+        return sum(job.regrows for job in self.jobs)
+
+    @property
+    def devices_repaired(self) -> int:
+        """Repair events that actually returned a device to the pool."""
+        return sum(1 for event in self.capacity_timeline if event.event == "repair")
+
+    @property
+    def devices_arrived(self) -> int:
+        """Late-arrival events that fired during the run."""
+        return sum(1 for event in self.capacity_timeline if event.event == "arrival")
+
+    @property
     def mean_queueing_delay_ms(self) -> float:
         """Mean submission-to-admission delay over admitted jobs."""
         delays = [j.queueing_delay_ms for j in self.jobs if j.queueing_delay_ms is not None]
@@ -145,17 +213,23 @@ class FleetReport:
         return max(delays) if delays else 0.0
 
     @property
-    def device_utilization(self) -> float:
-        """Committed device-time over total cluster capacity of the run.
+    def available_device_ms(self) -> float:
+        """Live cluster capacity: total device-time minus dead device-time."""
+        return self.num_devices * self.makespan_ms - self.dead_device_ms
 
-        Capacity counts every device (failed ones too) for the whole
-        makespan, so permanent failures *show up* as lost utilization
-        rather than silently shrinking the denominator.
+    @property
+    def device_utilization(self) -> float:
+        """Committed device-time over *live* cluster capacity of the run.
+
+        Time a device spent failed (between its failure and repair, or to
+        the end of the run) or absent (before its late arrival) is not
+        available capacity and is excluded from the denominator; with the
+        old ``num_devices × makespan`` denominator, every repaired outage
+        would have silently counted its dead time as schedulable capacity.
         """
-        capacity = self.num_devices * self.makespan_ms
-        if capacity <= 0:
+        if self.available_device_ms <= 0:
             return 0.0
-        return self.busy_device_ms / capacity
+        return self.busy_device_ms / self.available_device_ms
 
     def summary(self) -> dict[str, Any]:
         """Compact dictionary summary used by the benchmark harness."""
@@ -170,6 +244,11 @@ class FleetReport:
             "device_utilization": self.device_utilization,
             "total_retries": self.total_retries,
             "total_preemptions": self.total_preemptions,
+            "total_evictions": self.total_evictions,
+            "total_regrows": self.total_regrows,
+            "devices_repaired": self.devices_repaired,
+            "devices_arrived": self.devices_arrived,
+            "dead_device_ms": self.dead_device_ms,
             "failed_devices": list(self.failed_devices),
             "planner_workers_spawned": self.planner_workers_spawned,
         }

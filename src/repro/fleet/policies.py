@@ -1,9 +1,20 @@
-"""Admission-ordering policies of the fleet scheduler.
+"""Admission-ordering and preemption policies of the fleet scheduler.
 
-A policy only decides the *order* in which queued jobs are considered for
-admission; placement itself is gang scheduling with backfilling (a job that
-does not fit right now is skipped, not a barrier), so any policy keeps the
-cluster busy whenever some queued job fits.
+A policy decides two things:
+
+* the **order** in which queued jobs are considered for admission
+  (:meth:`SchedulingPolicy.order`) — placement itself is gang scheduling
+  with backfilling (a job that does not fit right now is skipped, not a
+  barrier), so any ordering keeps the cluster busy whenever some queued
+  job fits;
+* whether a queued job may **gracefully preempt** a running one
+  (:meth:`SchedulingPolicy.preempts`) — the scheduler asks this at every
+  running job's iteration boundary, and an eviction lets the in-flight
+  iteration *complete* before the gang is released (unlike a device
+  failure, which discards it; see :mod:`repro.fleet.scheduler` for the
+  two preemption flavours).  FIFO and shortest-remaining-work never
+  preempt; :class:`PreemptivePriorityPolicy` evicts strictly lower
+  priorities.
 """
 
 from __future__ import annotations
@@ -22,6 +33,16 @@ class SchedulingPolicy(Protocol):
         """Return ``pending`` in admission-preference order."""
         ...  # pragma: no cover - protocol definition
 
+    def preempts(self, waiting: JobRecord, victim: JobRecord) -> bool:
+        """Whether queued ``waiting`` may evict running ``victim`` at an
+        iteration boundary.  Policies without preemption return False.
+
+        Optional for custom policies: the scheduler treats a policy
+        without this method as never preempting (the pre-time-slicing
+        protocol stays valid).
+        """
+        ...  # pragma: no cover - protocol definition
+
 
 class FifoPolicy:
     """First-in-first-out: by submission time, then submission sequence."""
@@ -30,6 +51,9 @@ class FifoPolicy:
 
     def order(self, pending: Sequence[JobRecord], now_ms: float) -> list[JobRecord]:
         return sorted(pending, key=lambda r: (r.spec.submit_time_ms, r.sequence))
+
+    def preempts(self, waiting: JobRecord, victim: JobRecord) -> bool:
+        return False
 
 
 class ShortestRemainingWorkPolicy:
@@ -50,15 +74,46 @@ class ShortestRemainingWorkPolicy:
             key=lambda r: (r.remaining_work_ms(), r.spec.submit_time_ms, r.sequence),
         )
 
+    def preempts(self, waiting: JobRecord, victim: JobRecord) -> bool:
+        return False
+
+
+class PreemptivePriorityPolicy:
+    """Strict priorities with graceful boundary preemption (time-slicing).
+
+    Admission orders the queue by descending ``JobSpec.priority`` (FIFO
+    within a priority level).  A queued job with *strictly* higher priority
+    than a running one evicts it — but only at an iteration boundary, so
+    the victim's in-flight iteration commits and its checkpoint advances
+    before the gang is released; the victim re-enters the queue and resumes
+    later from that boundary without spending retry budget.  Equal
+    priorities never preempt each other, which (with the scheduler's
+    feasibility check) rules out eviction livelock: a job can only be
+    displaced by strictly more important work.
+    """
+
+    name = "priority"
+
+    def order(self, pending: Sequence[JobRecord], now_ms: float) -> list[JobRecord]:
+        return sorted(
+            pending,
+            key=lambda r: (-r.spec.priority, r.spec.submit_time_ms, r.sequence),
+        )
+
+    def preempts(self, waiting: JobRecord, victim: JobRecord) -> bool:
+        return waiting.spec.priority > victim.spec.priority
+
 
 _POLICIES = {
     FifoPolicy.name: FifoPolicy,
     ShortestRemainingWorkPolicy.name: ShortestRemainingWorkPolicy,
+    PreemptivePriorityPolicy.name: PreemptivePriorityPolicy,
 }
 
 
 def make_policy(policy: "str | SchedulingPolicy") -> SchedulingPolicy:
-    """Resolve a policy name (``"fifo"``/``"srw"``) or pass one through."""
+    """Resolve a policy name (``"fifo"``/``"srw"``/``"priority"``) or pass
+    one through."""
     if isinstance(policy, str):
         try:
             return _POLICIES[policy]()

@@ -1,36 +1,62 @@
-"""Multi-job elastic training runtime over one shared simulated cluster.
+"""Multi-job elastic training runtime over one shared dynamic cluster.
 
 The :class:`FleetScheduler` runs many training jobs concurrently on the
 devices of a single :class:`~repro.cluster.topology.ClusterTopology`:
 
-* **Admission** — queued jobs are ordered by a configurable policy (FIFO or
-  shortest-remaining-work) and gang-scheduled all-or-nothing onto
-  ``dp × pp × tp`` device groups, with backfilling: a job that does not fit
-  is skipped, not a barrier.
+* **Admission** — queued jobs are ordered by a configurable policy (FIFO,
+  shortest-remaining-work or preemptive priority) and gang-scheduled
+  all-or-nothing onto ``dp × pp × tp`` device groups, with backfilling: a
+  job that does not fit is skipped, not a barrier.
 * **Execution** — each admitted job's iterations run through the existing
   planner/executor stack (optionally via the process-backed
   :class:`~repro.runtime.planner_pool.PlannerPool` and its instruction
   store); the fleet clock advances event by event, one committed iteration
   at a time, so concurrent jobs interleave exactly as their simulated
   iteration times dictate.
-* **Elastic failure path** — an injected device failure interrupts the
-  owning job mid-iteration: the in-flight iteration is discarded, the gang
-  is released (minus the dead device), and the job re-enters the queue to
-  be re-planned from its checkpointed iteration boundary — on a smaller
-  replica group when the alive cluster can no longer host the requested
-  gang.  Planning failures (including
+* **Dynamic capacity** — devices leave *and* join the cluster mid-run:
+  injected failures remove them, :class:`DeviceRepairEvent`\\ s return
+  failed devices to the free pool (automatically after
+  ``FleetConfig.repair_delay_ms``, or at explicitly injected times), and
+  :class:`DeviceArrivalEvent`\\ s add devices that were absent at the start
+  of the run.  Queued jobs that cannot fit the currently-alive cluster are
+  *not* declared unschedulable while capacity-returning events are still
+  pending — they are admitted at the repair/arrival timestamp.
+* **Failure preemption (elastic shrink)** — a device failure interrupts
+  the owning job mid-iteration: the in-flight iteration is discarded, the
+  gang is released (minus the dead device), and the job re-enters the
+  queue to be re-planned from its checkpointed iteration boundary — on a
+  smaller replica group when the alive cluster can no longer host the
+  requested gang.  Planning failures (including
   :class:`~repro.instructions.store.PlanFailedError` markers from pool
   workers) take the same path.  Both count against the job's bounded retry
   budget; exhaustion marks the job *failed*, never hung.
+* **Graceful preemption (boundary time-slicing)** — unlike a failure,
+  policy-driven preemption happens only at an iteration boundary and lets
+  the in-flight iteration *commit* first.  Two triggers share the path:
+  a queued job the policy says ``preempts`` a running one (priority
+  eviction — the victim requeues with its checkpoint intact and spends no
+  retry budget), and **elastic regrowth** — a job running below its
+  requested data-parallel degree re-expands onto a larger gang at the
+  boundary as soon as repaired/arrived capacity allows, resuming from the
+  checkpoint exactly like any other re-admission.
 
-Determinism: with fixed specs, failure schedule and policy, the run is a
-pure function of its inputs — iteration times come from the seeded
-simulated executors and ties between simultaneous events are broken by
-(completion before failure, then submission order).
+**Event ordering.**  At equal fleet-clock times events are processed as
+*completion ≤ capacity (repair/arrival) ≤ job arrival ≤ failure*: an
+iteration finishing in the same instant a device dies commits first; a
+repair in the same instant a job arrives is applied before admission (so
+the job can use the repaired device); an arriving job is admitted before a
+simultaneous failure preempts it.  Within one completion, boundary checks
+run in the order *finish → evict → regrow*.
+
+Determinism: with fixed specs, failure/repair/arrival schedules and
+policy, the run is a pure function of its inputs — iteration times come
+from the seeded simulated executors and all ties are broken by the rule
+above, then by submission order.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.cluster.topology import ClusterTopology
@@ -38,7 +64,7 @@ from repro.fleet.gang import DeviceGang, GangAllocator
 from repro.instructions.store import InstructionStore
 from repro.runtime.planner_pool import PlannerPool
 from repro.fleet.job import JobAttempt, JobRecord, JobSpec, JobState
-from repro.fleet.metrics import FleetReport, summarize_job
+from repro.fleet.metrics import CapacityEvent, FleetReport, summarize_job
 from repro.fleet.policies import SchedulingPolicy, make_policy
 from repro.fleet.session import JobExecution, JobPlanningError
 from repro.simulator.trace import ExecutionTrace, TraceEvent
@@ -53,13 +79,38 @@ class DeviceFailure:
     device: int
 
 
+@dataclass(frozen=True)
+class DeviceRepairEvent:
+    """A scheduled repair: ``device`` returns to the free pool at ``time_ms``.
+
+    Repairing a device that is not failed at that time (it never died, or
+    was already repaired) is a no-op.
+    """
+
+    time_ms: float
+    device: int
+
+
+@dataclass(frozen=True)
+class DeviceArrivalEvent:
+    """A late arrival: ``device`` is absent from the start of the run and
+    joins the free pool at ``time_ms``."""
+
+    time_ms: float
+    device: int
+
+
 @dataclass
 class FleetConfig:
     """Tunable knobs of the fleet scheduler.
 
     Attributes:
-        policy: Admission ordering — ``"fifo"``, ``"srw"`` or a
-            :class:`~repro.fleet.policies.SchedulingPolicy` instance.
+        policy: Admission ordering — ``"fifo"``, ``"srw"``, ``"priority"``
+            or a :class:`~repro.fleet.policies.SchedulingPolicy` instance.
+        repair_delay_ms: When set, every device failure automatically
+            schedules a :class:`DeviceRepairEvent` that many milliseconds
+            later; when ``None`` (default) failures are permanent unless a
+            repair is injected explicitly.
         planner_processes: When > 0, job attempts plan through a planner
             pool with that many worker processes.
         shared_planner_pool: When True (and ``planner_processes > 0``), one
@@ -79,6 +130,7 @@ class FleetConfig:
     """
 
     policy: "str | SchedulingPolicy" = "fifo"
+    repair_delay_ms: float | None = None
     planner_processes: int = 0
     shared_planner_pool: bool = False
     planner_lookahead: int = 4
@@ -98,12 +150,12 @@ class _RunningJob:
     iteration_started_ms: float = 0.0
     completion_ms: float = 0.0
     #: The in-flight iteration's (record, stats); committed at completion,
-    #: discarded on preemption.
+    #: discarded on failure preemption (graceful preemption waits for it).
     pending: "tuple[IterationRecord, object] | None" = None
 
 
 class FleetScheduler:
-    """Admits, runs, preempts and retries jobs on a shared cluster.
+    """Admits, runs, preempts, regrows and retries jobs on a shared cluster.
 
     Args:
         topology: The shared cluster.
@@ -114,12 +166,37 @@ class FleetScheduler:
         self.topology = topology
         self.config = config or FleetConfig()
         self.policy = make_policy(self.config.policy)
+        #: Policy preemption hook; custom policies written against the
+        #: pre-time-slicing protocol (order() only) simply never preempt.
+        self._preempts = getattr(
+            self.policy, "preempts", lambda waiting, victim: False
+        )
         self.allocator = GangAllocator(topology)
         self.jobs: dict[str, JobRecord] = {}
         self._pending: list[JobRecord] = []
         self._running: dict[str, _RunningJob] = {}
         self._failures: list[DeviceFailure] = []
+        self._repairs: list[DeviceRepairEvent] = []
+        self._arrivals: list[DeviceArrivalEvent] = []
+        #: Min-heap of (time_ms, seq, kind, device, epoch) capacity-
+        #: returning events; ``seq`` keeps ordering stable at equal times.
+        #: Injected repairs/arrivals seed it at run() (epoch ``None``);
+        #: auto-repairs are pushed as their failures are applied, stamped
+        #: with that failure's epoch so a repair can only revive the
+        #: failure it was scheduled for (a device that was repaired early
+        #: and failed again must wait out the *new* failure's delay).
+        self._capacity_heap: list[tuple[float, int, str, int, "int | None"]] = []
+        self._capacity_seq = 0
+        #: Per-device count of applied failures; an auto-repair applies
+        #: only if the device's epoch still matches its own.
+        self._failure_epoch: dict[int, int] = {}
         self._trace_events: list[TraceEvent] = []
+        self._capacity_timeline: list[CapacityEvent] = []
+        #: Per-device fleet-clock time it went dark (failed or not yet
+        #: arrived); cleared on repair/arrival.  Feeds dead-time accounting
+        #: so utilization's denominator only counts live capacity.
+        self._down_since: dict[int, float] = {}
+        self._dead_device_ms = 0.0
         self._busy_device_ms = 0.0
         self._ran = False
         #: The fleet-wide planning cluster (shared mode only): one store,
@@ -173,17 +250,62 @@ class FleetScheduler:
         self._pending.append(record)
         return record
 
-    def inject_device_failure(self, time_ms: float, device: int) -> None:
-        """Schedule ``device`` to fail at fleet-clock ``time_ms``."""
+    def _check_event_args(self, time_ms: float, device: int) -> None:
         if self._ran:
-            raise RuntimeError("cannot inject failures after run()")
+            raise RuntimeError("cannot inject cluster events after run()")
         if time_ms < 0:
             raise ValueError(f"time_ms must be >= 0, got {time_ms}")
         if not 0 <= device < self.topology.num_gpus:
             raise ValueError(
                 f"device {device} out of range [0, {self.topology.num_gpus})"
             )
+
+    def inject_device_failure(self, time_ms: float, device: int) -> None:
+        """Schedule ``device`` to fail at fleet-clock ``time_ms``."""
+        self._check_event_args(time_ms, device)
         self._failures.append(DeviceFailure(time_ms=time_ms, device=device))
+
+    def inject_device_repair(self, time_ms: float, device: int) -> None:
+        """Schedule ``device`` to be repaired (failed → free) at ``time_ms``.
+
+        A repair for a device that is not failed when the event fires is a
+        no-op; with ``FleetConfig.repair_delay_ms`` set, explicit injections
+        are rarely needed.
+        """
+        self._check_event_args(time_ms, device)
+        self._repairs.append(DeviceRepairEvent(time_ms=time_ms, device=device))
+
+    def inject_device_arrival(self, time_ms: float, device: int) -> None:
+        """Schedule ``device`` to join the cluster late, at ``time_ms``.
+
+        The device is *absent* — outside the free pool and not counted
+        alive — from the start of the run until its arrival fires.
+        """
+        self._check_event_args(time_ms, device)
+        if any(event.device == device for event in self._arrivals):
+            raise ValueError(f"device {device} already has a scheduled arrival")
+        self._arrivals.append(DeviceArrivalEvent(time_ms=time_ms, device=device))
+
+    def _push_capacity_event(
+        self, time_ms: float, kind: str, device: int, epoch: "int | None" = None
+    ) -> None:
+        heapq.heappush(
+            self._capacity_heap, (time_ms, self._capacity_seq, kind, device, epoch)
+        )
+        self._capacity_seq += 1
+
+    def _capacity_event_live(self, kind: str, device: int, epoch: "int | None") -> bool:
+        """Whether a queued capacity event would still do anything.
+
+        An auto-repair whose failure epoch was superseded (the device was
+        repaired early and failed again) is dead; so is a repair for an
+        alive device or an arrival for a device already present.
+        """
+        if kind == "arrival":
+            return device in self.allocator.absent_devices
+        if device not in self.allocator.failed_devices:
+            return False
+        return epoch is None or self._failure_epoch.get(device) == epoch
 
     # ------------------------------------------------------------------ event loop
 
@@ -192,6 +314,12 @@ class FleetScheduler:
         if self._ran:
             raise RuntimeError("run() may only be called once")
         self._ran = True
+        for arrival in self._arrivals:
+            self.allocator.mark_absent(arrival.device)
+            self._down_since[arrival.device] = 0.0
+            self._push_capacity_event(arrival.time_ms, "arrival", arrival.device)
+        for repair in self._repairs:
+            self._push_capacity_event(repair.time_ms, "repair", repair.device)
         try:
             clock = self._run_event_loop()
         finally:
@@ -220,10 +348,8 @@ class FleetScheduler:
             self._admit(clock)
             if not self._pending and not self._running:
                 break
-            # Next-event times.  Tie-breaking: a completion at the exact
-            # same clock as a failure or arrival commits first (the
-            # iteration finished before the device died); an arrival ties
-            # ahead of a failure (the job is admitted, then preempted).
+            # Next-event times, tie-broken completion ≤ capacity ≤ arrival
+            # ≤ failure (see the module docstring's event-ordering contract).
             infinity = float("inf")
             arrivals = [
                 r.spec.submit_time_ms for r in self._pending if r.spec.submit_time_ms > clock
@@ -234,6 +360,9 @@ class FleetScheduler:
                 if next_failure < len(failures)
                 else infinity
             )
+            t_capacity = (
+                max(self._capacity_heap[0][0], clock) if self._capacity_heap else infinity
+            )
             if self._running:
                 running = min(
                     self._running.values(),
@@ -243,31 +372,49 @@ class FleetScheduler:
             else:
                 running = None
                 t_completion = infinity
-            if t_completion == t_arrival == t_failure == infinity:
-                # Nothing executing and no event can ever free capacity
-                # (failures only shrink it), so the remaining queue is
-                # unschedulable.  _admit normally catches this per job;
-                # this is the backstop.
+            if t_completion == t_capacity == t_arrival == t_failure == infinity:
+                # Nothing executing and no event can ever free or add
+                # capacity, so the remaining queue is unschedulable.
+                # _admit normally catches this per job; this is the
+                # backstop.
                 for record in list(self._pending):
                     self._mark_failed(
                         record, clock, "unschedulable: no capacity and no pending events"
                     )
                 continue
-            if t_completion <= t_arrival and t_completion <= t_failure:
+            if t_completion <= min(t_capacity, t_arrival, t_failure):
                 clock = t_completion
                 self._complete_iteration(running, clock)
+            elif t_capacity <= min(t_arrival, t_failure):
+                clock = t_capacity
+                _, _, kind, device, epoch = heapq.heappop(self._capacity_heap)
+                self._apply_capacity_event(kind, device, clock, epoch)
             elif t_arrival <= t_failure:
                 clock = t_arrival  # loop re-admits at the arrival time
             else:
                 clock = t_failure
                 self._apply_failure(failures[next_failure].device, clock)
                 next_failure += 1
-        # Failures due by the end of the run but after the last job event
+        # Events due by the end of the run but after the last job event
         # (e.g. a second device dying in the same instant that made the
-        # queue unschedulable) still count against the cluster.
-        while next_failure < len(failures) and failures[next_failure].time_ms <= clock:
-            self._apply_failure(failures[next_failure].device, clock)
-            next_failure += 1
+        # queue unschedulable, or a repair landing exactly then) still
+        # count against the cluster's capacity accounting; tie order
+        # matches the main loop (capacity before failure).
+        while (self._capacity_heap and self._capacity_heap[0][0] <= clock) or (
+            next_failure < len(failures) and failures[next_failure].time_ms <= clock
+        ):
+            t_capacity = self._capacity_heap[0][0] if self._capacity_heap else float("inf")
+            t_failure = (
+                failures[next_failure].time_ms
+                if next_failure < len(failures)
+                else float("inf")
+            )
+            if t_capacity <= t_failure:
+                _, _, kind, device, epoch = heapq.heappop(self._capacity_heap)
+                self._apply_capacity_event(kind, device, clock, epoch)
+            else:
+                self._apply_failure(failures[next_failure].device, clock)
+                next_failure += 1
         return clock
 
     # ------------------------------------------------------------------ admission
@@ -275,8 +422,10 @@ class FleetScheduler:
     def _allowed_data_parallel(self, spec: JobSpec) -> int | None:
         """Largest replica count the *alive* cluster could ever host.
 
-        Elastic jobs shrink only on permanent capacity loss — contention
-        for currently-busy devices makes a job wait, not shrink.
+        Elastic jobs shrink only on capacity loss — contention for
+        currently-busy devices makes a job wait, not shrink.  Capacity that
+        is merely scheduled to return later does not count: a shrunk job
+        starts on what is alive now and regrows at a later boundary.
         """
         alive = self.allocator.alive_count
         requested = spec.parallel.data_parallel
@@ -289,16 +438,39 @@ class FleetScheduler:
                 return data_parallel
         return None
 
+    def _capacity_pending(self) -> bool:
+        """Whether any queued repair/arrival could still grow the alive set."""
+        return any(
+            self._capacity_event_live(kind, device, epoch)
+            for _, _, kind, device, epoch in self._capacity_heap
+        )
+
     def _admit(self, clock: float) -> None:
-        """Admit queued jobs (policy order, backfilling) while gangs fit."""
+        """Admit queued jobs (policy order, backfilling) while gangs fit.
+
+        Backfilling never steals from a *draining* higher-precedence
+        waiter: once a queued job is found that does not fit but whose
+        seat is being freed by boundary evictions
+        (:meth:`_eviction_feasible`), jobs it preempts are barred from
+        admission — otherwise an evicted victim would be backfilled right
+        back onto the devices just freed for the waiter, ping-ponging
+        evictions without ever seating it.
+        """
         progressed = True
         while progressed:
             progressed = False
             admissible = [r for r in self._pending if r.spec.submit_time_ms <= clock]
+            draining: list[JobRecord] = []
             for record in self.policy.order(admissible, clock):
+                if any(self._preempts(waiter, record) for waiter in draining):
+                    continue  # freed devices are reserved for the waiter
                 spec = record.spec
                 data_parallel = self._allowed_data_parallel(spec)
                 if data_parallel is None:
+                    if self._capacity_pending():
+                        # A pending repair/arrival may make the job fit; it
+                        # is admitted at that event's timestamp, not failed.
+                        continue
                     self._mark_failed(
                         record,
                         clock,
@@ -314,15 +486,21 @@ class FleetScheduler:
                     spec.parallel.tensor_parallel,
                 )
                 if gang is None:
+                    if self._eviction_feasible(record):
+                        draining.append(record)
                     continue  # busy right now — backfill with the next job
+                self._pending.remove(record)
                 self._start_attempt(record, gang, clock)
                 progressed = True
                 break  # queue changed; recompute policy order
 
     def _start_attempt(self, record: JobRecord, gang: DeviceGang, clock: float) -> None:
-        """Place ``record`` on ``gang`` and execute its first iteration."""
+        """Place ``record`` on ``gang`` and execute its first iteration.
+
+        The caller has already taken ``record`` off the pending queue (or,
+        for regrowth, never requeued it) and owns ``gang``.
+        """
         spec = record.spec
-        self._pending.remove(record)
         record.state = JobState.RUNNING
         if record.first_admitted_ms is None:
             record.first_admitted_ms = clock
@@ -373,7 +551,14 @@ class FleetScheduler:
         running.completion_ms = clock + record_.measured_ms
 
     def _complete_iteration(self, running: _RunningJob, clock: float) -> None:
-        """Commit the in-flight iteration at its completion time."""
+        """Commit the in-flight iteration, then act on the boundary.
+
+        Boundary order is *finish → evict → regrow*: a job whose epoch is
+        done finishes regardless of queue pressure; otherwise a waiting
+        higher-priority job may gracefully take the gang; otherwise a job
+        running below its requested replica count regrows if repaired or
+        arrived capacity now fits a larger gang.
+        """
         assert running.pending is not None
         record_, stats = running.pending
         running.pending = None
@@ -396,6 +581,11 @@ class FleetScheduler:
                     microbatch=record_.iteration,
                 )
             )
+        if running.record.remaining_iterations > 0:
+            if self._maybe_evict(running, clock):
+                return
+            if self._maybe_regrow(running, clock):
+                return
         self._advance(running, clock)
 
     def _finish_job(self, running: _RunningJob, clock: float) -> None:
@@ -409,10 +599,11 @@ class FleetScheduler:
         """Tear down a running attempt and release its gang.
 
         Every attempt that entered ``_running`` passes through here exactly
-        once, whatever its outcome (finished, device failure, plan failure)
-        — ``close()`` is therefore called exactly once per attempt, so no
-        private pool's workers outlive the attempt and no shared-pool
-        stream stays registered after its job leaves the cluster.
+        once, whatever its outcome (finished, device failure, plan failure,
+        eviction, regrowth) — ``close()`` is therefore called exactly once
+        per attempt, so no private pool's workers outlive the attempt and
+        no shared-pool stream stays registered after its job leaves the
+        cluster.
         """
         running.execution.close()
         self._planner_workers_spawned += running.execution.planner_workers_spawned
@@ -422,13 +613,130 @@ class FleetScheduler:
         self.allocator.release(running.gang)
         del self._running[running.record.spec.name]
 
-    # ------------------------------------------------------------------ failures
+    # ------------------------------------------------------------------ graceful preemption
+
+    def _eviction_feasible(self, waiter: JobRecord) -> bool:
+        """Whether boundary evictions could actually seat queued ``waiter``.
+
+        True only when the waiter does *not* fit the free pool as-is and
+        the free pool plus every lower-precedence running gang covers its
+        need — the shared guard that prevents pointless evictions (at a
+        boundary) and pointless device reservation (during admission).
+        """
+        data_parallel = self._allowed_data_parallel(waiter.spec)
+        if data_parallel is None:
+            return False
+        need = waiter.spec.gang_size(data_parallel)
+        if self.allocator.free_count >= need:
+            return False  # fits without eviction; the next _admit seats it
+        evictable = sum(
+            other.gang.size
+            for other in self._running.values()
+            if self._preempts(waiter, other.record)
+        )
+        return self.allocator.free_count + evictable >= need
+
+    def _maybe_evict(self, running: _RunningJob, clock: float) -> bool:
+        """Gracefully evict ``running`` at this boundary if the policy says a
+        waiting job takes precedence and eviction can actually help
+        (:meth:`_eviction_feasible`).  The victim requeues with its
+        checkpoint intact and spends no retry budget (this is
+        time-slicing, not a failure)."""
+        victim = running.record
+        waiting = [
+            record
+            for record in self._pending
+            if record.spec.submit_time_ms <= clock
+            and self._preempts(record, victim)
+        ]
+        if not waiting:
+            return False
+        for waiter in self.policy.order(waiting, clock):
+            if not self._eviction_feasible(waiter):
+                continue
+            victim.evictions += 1
+            self._end_attempt(running, clock, outcome="evicted")
+            victim.state = JobState.PENDING
+            self._pending.append(victim)
+            return True
+        return False
+
+    def _maybe_regrow(self, running: _RunningJob, clock: float) -> bool:
+        """Re-expand an elastically shrunk job at this checkpoint boundary.
+
+        Grows to the largest replica count (up to the request) the free
+        pool plus the job's own gang can host, reusing the normal
+        checkpoint/resume path: the shrunk attempt ends ``"regrown"``, its
+        gang is released, and a fresh attempt starts at the boundary on the
+        larger gang — devices the job already holds are never lost to a
+        competing admission because release and re-allocation happen within
+        one scheduler event.
+
+        A queued job the policy says preempts this one has first claim on
+        the free pool: if such a waiter fits it as-is, regrowth yields and
+        the next ``_admit`` seats the waiter instead — otherwise a
+        lower-priority regrowth would swallow the very devices the waiter
+        was about to start on (priority inversion).
+        """
+        record = running.record
+        spec = record.spec
+        if not spec.elastic:
+            return False
+        requested = spec.parallel.data_parallel
+        current = running.gang.data_parallel
+        if current >= requested:
+            return False
+        for waiter in self._pending:
+            if waiter.spec.submit_time_ms > clock or not self._preempts(waiter, record):
+                continue
+            data_parallel = self._allowed_data_parallel(waiter.spec)
+            if (
+                data_parallel is not None
+                and waiter.spec.gang_size(data_parallel) <= self.allocator.free_count
+            ):
+                return False  # the free devices are the waiter's seat
+        budget = self.allocator.free_count + running.gang.size
+        target = None
+        for data_parallel in range(requested, current, -1):
+            if spec.gang_size(data_parallel) <= budget:
+                target = data_parallel
+                break
+        if target is None:
+            return False
+        record.regrows += 1
+        self._end_attempt(running, clock, outcome="regrown")
+        gang = self.allocator.allocate(
+            spec.name,
+            target,
+            spec.parallel.pipeline_parallel,
+            spec.parallel.tensor_parallel,
+        )
+        assert gang is not None, "regrowth allocation must fit the freed budget"
+        self._start_attempt(record, gang, clock)
+        return True
+
+    # ------------------------------------------------------------------ failures / repairs
 
     def _apply_failure(self, device: int, clock: float) -> None:
         """A device dies: preempt the owning job (if any) mid-iteration."""
+        was_dead = (
+            device in self.allocator.failed_devices
+            or device in self.allocator.absent_devices
+        )
         gang = self.allocator.fail_device(device)
+        if not was_dead:
+            self._down_since[device] = clock
+            self._failure_epoch[device] = self._failure_epoch.get(device, 0) + 1
+            self._log_capacity(clock, "failure", device)
+            if self.config.repair_delay_ms is not None:
+                self._push_capacity_event(
+                    clock + self.config.repair_delay_ms,
+                    "repair",
+                    device,
+                    epoch=self._failure_epoch[device],
+                )
         if gang is None:
-            return  # idle or already-failed device: capacity just shrank
+            return  # idle, absent or already-failed device: capacity shrank
         running = self._running.get(gang.job)
         if running is None or running.gang is not gang:  # pragma: no cover - defensive
             return
@@ -437,6 +745,36 @@ class FleetScheduler:
         self._end_attempt(running, clock, outcome="device_failure")
         self._retry_or_fail(
             record, clock, f"device {device} failed at {clock:.1f} ms mid-iteration"
+        )
+
+    def _apply_capacity_event(
+        self, kind: str, device: int, clock: float, epoch: "int | None" = None
+    ) -> None:
+        """A repair or arrival fires: return ``device`` to the free pool.
+
+        Stale events are no-ops: a repair for an alive device, and an
+        auto-repair whose failure epoch was superseded (the device was
+        repaired early and has failed again since — only the *new*
+        failure's own repair may revive it).
+        """
+        if kind == "arrival":
+            self.allocator.arrive_device(device)
+        else:
+            if epoch is not None and self._failure_epoch.get(device) != epoch:
+                return  # auto-repair of an already-superseded failure
+            if not self.allocator.repair_device(device):
+                return  # stale repair (device alive): no-op
+        self._dead_device_ms += clock - self._down_since.pop(device)
+        self._log_capacity(clock, kind, device)
+
+    def _log_capacity(self, clock: float, event: str, device: int) -> None:
+        self._capacity_timeline.append(
+            CapacityEvent(
+                time_ms=clock,
+                event=event,
+                device=device,
+                alive_count=self.allocator.alive_count,
+            )
         )
 
     def _retry_or_fail(self, record: JobRecord, clock: float, reason: str) -> None:
@@ -468,6 +806,9 @@ class FleetScheduler:
     def _build_report(self, clock: float) -> FleetReport:
         self.allocator.check_consistent()
         assert not self._running, "jobs still running after the event loop"
+        dead_device_ms = self._dead_device_ms + sum(
+            clock - since for since in self._down_since.values()
+        )
         jobs = sorted(self.jobs.values(), key=lambda r: r.sequence)
         return FleetReport(
             policy=self.policy.name,
@@ -476,6 +817,9 @@ class FleetScheduler:
             busy_device_ms=self._busy_device_ms,
             num_devices=self.topology.num_gpus,
             failed_devices=sorted(self.allocator.failed_devices),
+            absent_devices=sorted(self.allocator.absent_devices),
+            dead_device_ms=dead_device_ms,
+            capacity_timeline=list(self._capacity_timeline),
             trace=ExecutionTrace(events=list(self._trace_events)),
             planner_workers_spawned=self._planner_workers_spawned,
         )

@@ -15,7 +15,13 @@ scheduler: the attempt registers a uniquely named job stream
 :class:`~repro.instructions.store.InstructionStore` under
 ``(job, iteration, replica)`` keys, and :meth:`JobExecution.close` retires
 exactly that stream (draining only its queued tasks) so a preemption never
-perturbs co-tenant jobs.  Either way, every planning failure — an
+perturbs co-tenant jobs.
+
+``close()`` is the single teardown contract for *every* way an attempt can
+end — finishing its epoch, a mid-iteration device failure, a planning
+failure, a graceful priority eviction or an elastic regrowth at an
+iteration boundary — and it is idempotent; the scheduler guarantees it runs
+exactly once per attempt.  Either way, every planning failure — an
 out-of-memory plan, a DP partition error, or a
 :class:`~repro.instructions.store.PlanFailedError` marker pushed by a pool
 worker — surfaces as a :class:`JobPlanningError` within one step, which the

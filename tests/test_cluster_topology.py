@@ -95,3 +95,22 @@ class TestCoordinateMapping:
         topo = ClusterTopology(num_nodes=4, gpus_per_node=8)
         # tp=8 fills a node, so adjacent pipeline stages live on different nodes.
         assert not topo.stage_adjacent_same_node(pipeline_parallel=4, tensor_parallel=8)
+
+
+class TestNodeDevices:
+    def test_node_devices_partition_the_cluster(self):
+        topo = ClusterTopology(num_nodes=3, gpus_per_node=4)
+        assert topo.node_devices(0) == (0, 1, 2, 3)
+        assert topo.node_devices(2) == (8, 9, 10, 11)
+        seen = [d for node in range(topo.num_nodes) for d in topo.node_devices(node)]
+        assert seen == list(range(topo.num_gpus))
+        for node in range(topo.num_nodes):
+            for device in topo.node_devices(node):
+                assert topo.node_of(device) == node
+
+    def test_node_devices_out_of_range(self):
+        topo = ClusterTopology(num_nodes=2, gpus_per_node=4)
+        with pytest.raises(ValueError):
+            topo.node_devices(2)
+        with pytest.raises(ValueError):
+            topo.node_devices(-1)

@@ -1,0 +1,342 @@
+"""Dynamic-capacity tests: device repair, late arrival, elastic regrowth.
+
+Covers the elasticity tentpole end to end — the acceptance scenario is a
+device failing (job shrinks its data-parallel degree), the device being
+repaired, and the job regrowing to its requested gang at a checkpoint
+boundary with records bit-identical to a boundary-restarted standalone run
+— plus the dead-time utilization accounting and the regression that a
+repair admits a queued job at the repair timestamp.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.planner import PlannerConfig
+from repro.fleet import FleetConfig, FleetReport, FleetScheduler, JobSpec, JobState
+from repro.parallel.config import ParallelConfig
+
+from test_fleet_scheduler import assert_records_identical, standalone_records
+
+
+@pytest.fixture(scope="module")
+def planner_config():
+    return PlannerConfig(order_search=False, tmax_sample_count=8)
+
+
+def make_spec(pp2_cost_model, fleet_samples, planner_config, **overrides):
+    defaults = dict(
+        name="job",
+        cost_model=pp2_cost_model,
+        samples=fleet_samples,
+        global_batch_tokens=4096,
+        parallel=ParallelConfig(1, 2, 1),
+        num_iterations=3,
+        planner_config=planner_config,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestShrinkRepairRegrow:
+    """The issue's acceptance scenario: fail → shrink → repair → regrow."""
+
+    @pytest.fixture(scope="class")
+    def regrown_fleet(self, pp2_cost_model, fleet_samples, planner_config, small_device):
+        """A dp2 job on a 4-GPU cluster: device 1 dies mid-iteration (the
+        job shrinks to dp1), is repaired 30 ms later, and the job regrows
+        to the requested dp2 gang at the next checkpoint boundary."""
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(topology, FleetConfig(repair_delay_ms=30.0))
+        spec = make_spec(
+            pp2_cost_model,
+            fleet_samples,
+            planner_config,
+            name="elastic",
+            parallel=ParallelConfig(2, 2, 1),
+            num_iterations=6,
+        )
+        record = scheduler.submit(spec)
+        scheduler.inject_device_failure(2.0, 1)
+        report = scheduler.run()
+        return scheduler, record, report
+
+    def test_attempt_sequence_shrinks_then_regrows(self, regrown_fleet):
+        _, record, report = regrown_fleet
+        assert report.jobs[0].state == JobState.FINISHED
+        assert [a.outcome for a in record.attempts] == [
+            "device_failure",
+            "regrown",
+            "finished",
+        ]
+        assert [a.data_parallel for a in record.attempts] == [2, 1, 2]
+        assert record.regrows == 1
+        assert record.preemptions == 1
+        assert record.retries == 1  # only the device failure spent budget
+        assert report.jobs[0].regrows == 1
+
+    def test_regrowth_happens_at_a_checkpoint_boundary(self, regrown_fleet):
+        _, record, _ = regrown_fleet
+        shrunk, regrown = record.attempts[1], record.attempts[2]
+        # The regrown attempt resumes exactly where the shrunk one stopped
+        # committing — nothing is discarded by a graceful regrowth...
+        assert regrown.start_iteration == shrunk.start_iteration + shrunk.iterations_completed
+        assert regrown.admitted_ms == shrunk.ended_ms
+        # ...and only after the repair returned the dead device.
+        repair = next(e for e in regrown_fleet[2].capacity_timeline if e.event == "repair")
+        assert repair.device == 1
+        assert repair.time_ms == pytest.approx(32.0)
+        assert regrown.admitted_ms >= repair.time_ms
+
+    def test_regrown_records_match_boundary_restarted_standalone_run(self, regrown_fleet):
+        _, record, _ = regrown_fleet
+        shrunk, regrown = record.attempts[1], record.attempts[2]
+        assert_records_identical(
+            record.checkpoint.records[shrunk.start_iteration : regrown.start_iteration],
+            standalone_records(record.spec, 1, start_iteration=shrunk.start_iteration)[
+                : regrown.start_iteration - shrunk.start_iteration
+            ],
+        )
+        assert_records_identical(
+            record.checkpoint.records[regrown.start_iteration :],
+            standalone_records(record.spec, 2, start_iteration=regrown.start_iteration),
+        )
+
+    def test_no_device_leaked_and_repair_cleared_failure(self, regrown_fleet):
+        scheduler, _, report = regrown_fleet
+        scheduler.allocator.check_consistent()
+        assert scheduler.allocator.busy_count == 0
+        assert scheduler.allocator.free_count == 4
+        assert report.failed_devices == []  # repaired before the end
+        assert report.devices_repaired == 1
+
+    def test_dead_time_excluded_from_utilization_denominator(self, regrown_fleet):
+        _, _, report = regrown_fleet
+        # Device 1 was dead from its failure (t=2) to its repair (t=32).
+        assert report.dead_device_ms == pytest.approx(30.0)
+        capacity = report.num_devices * report.makespan_ms - 30.0
+        assert report.available_device_ms == pytest.approx(capacity)
+        assert report.device_utilization == pytest.approx(report.busy_device_ms / capacity)
+
+
+class TestRepairAdmission:
+    def test_repair_admits_queued_job_at_the_repair_timestamp(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        """Regression: a repair arriving while the free pool is empty and a
+        job is queued admits the job at the repair timestamp — not at the
+        next unrelated event (here the long job's completion at ~150 ms)."""
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(topology)
+        long_job = scheduler.submit(
+            make_spec(
+                pp2_cost_model, fleet_samples, planner_config,
+                name="long", global_batch_tokens=32768, num_iterations=2,
+            )
+        )
+        queued = scheduler.submit(
+            make_spec(
+                pp2_cost_model, fleet_samples, planner_config,
+                name="queued", submit_time_ms=5.0, num_iterations=2, seed=1,
+            )
+        )
+        # Devices 2 and 3 die while idle: the free pool is now empty (the
+        # long job holds 0 and 1), so the queued job must wait...
+        scheduler.inject_device_failure(1.0, 2)
+        scheduler.inject_device_failure(1.0, 3)
+        # ...until both repairs land, well before the long job finishes.
+        scheduler.inject_device_repair(50.0, 2)
+        scheduler.inject_device_repair(50.0, 3)
+        report = scheduler.run()
+        assert report.finished_jobs == 2
+        assert queued.first_admitted_ms == pytest.approx(50.0)
+        assert queued.attempts[0].devices == (2, 3)
+        # The long job's first completion — the "next unrelated event" the
+        # old permanent-failure loop would have waited for — is far later.
+        first_completion = long_job.checkpoint.records[0].measured_ms
+        assert first_completion > 60.0
+        assert report.devices_repaired == 2
+
+    def test_auto_repair_cannot_revive_a_newer_failure(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        """Regression: an auto-repair belongs to the failure that scheduled
+        it.  A device that fails, is repaired early (explicit injection),
+        and fails again must wait out the *second* failure's full delay —
+        the first failure's stale auto-repair (due earlier) must not revive
+        it."""
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(topology, FleetConfig(repair_delay_ms=100.0))
+        scheduler.submit(
+            make_spec(
+                pp2_cost_model, fleet_samples, planner_config,
+                name="long", global_batch_tokens=32768, num_iterations=2,
+            )
+        )
+        scheduler.inject_device_failure(10.0, 3)   # auto-repair due at 110
+        scheduler.inject_device_repair(20.0, 3)    # early manual repair
+        scheduler.inject_device_failure(30.0, 3)   # auto-repair due at 130
+        report = scheduler.run()
+        assert report.finished_jobs == 1
+        events = [(e.time_ms, e.event) for e in report.capacity_timeline]
+        assert events == [
+            (10.0, "failure"),
+            (20.0, "repair"),
+            (30.0, "failure"),
+            (130.0, "repair"),  # not 110: the stale auto-repair is dead
+        ]
+        assert report.dead_device_ms == pytest.approx(10.0 + 100.0)
+        scheduler.allocator.check_consistent()
+
+    def test_stale_repair_for_alive_device_is_a_noop(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        topology = ClusterTopology.for_num_gpus(2, device_spec=small_device)
+        scheduler = FleetScheduler(topology)
+        scheduler.submit(
+            make_spec(pp2_cost_model, fleet_samples, planner_config, num_iterations=1)
+        )
+        scheduler.inject_device_repair(1.0, 0)  # device 0 never fails
+        report = scheduler.run()
+        assert report.finished_jobs == 1
+        assert report.devices_repaired == 0
+        assert report.capacity_timeline == []
+        assert report.dead_device_ms == 0.0
+        scheduler.allocator.check_consistent()
+
+
+class TestLateArrivals:
+    def test_job_starts_shrunk_and_regrows_when_devices_arrive(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        """Half the cluster arrives at t=30: an elastic dp2 job starts on
+        the two devices present, then regrows to its requested gang at the
+        first checkpoint boundary after the arrival."""
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(topology)
+        record = scheduler.submit(
+            make_spec(
+                pp2_cost_model,
+                fleet_samples,
+                planner_config,
+                name="grower",
+                parallel=ParallelConfig(2, 2, 1),
+                num_iterations=6,
+            )
+        )
+        scheduler.inject_device_arrival(30.0, 2)
+        scheduler.inject_device_arrival(30.0, 3)
+        report = scheduler.run()
+        assert report.jobs[0].state == JobState.FINISHED
+        assert [a.outcome for a in record.attempts] == ["regrown", "finished"]
+        assert [a.data_parallel for a in record.attempts] == [1, 2]
+        assert record.regrows == 1
+        assert record.retries == 0  # regrowth is graceful: no budget spent
+        assert record.queueing_delay_ms == pytest.approx(0.0)
+        assert record.attempts[1].admitted_ms >= 30.0
+        assert len(record.attempts[1].devices) == 4
+        # Devices 2 and 3 were dead (absent) from t=0 to t=30 each.
+        assert report.dead_device_ms == pytest.approx(60.0)
+        assert report.devices_arrived == 2
+        assert report.absent_devices == []
+        scheduler.allocator.check_consistent()
+
+    def test_nonelastic_job_waits_for_scheduled_arrivals(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        """A rigid job that cannot fit the devices present at t=0 is *not*
+        unschedulable while arrivals are pending — it is admitted at the
+        arrival timestamp on its full requested gang."""
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(topology)
+        record = scheduler.submit(
+            make_spec(
+                pp2_cost_model,
+                fleet_samples,
+                planner_config,
+                name="rigid",
+                parallel=ParallelConfig(2, 2, 1),
+                elastic=False,
+                num_iterations=2,
+            )
+        )
+        scheduler.inject_device_arrival(20.0, 2)
+        scheduler.inject_device_arrival(20.0, 3)
+        report = scheduler.run()
+        assert report.jobs[0].state == JobState.FINISHED
+        assert record.first_admitted_ms == pytest.approx(20.0)
+        assert record.attempts[0].data_parallel == 2
+
+    def test_duplicate_arrival_rejected(self, small_device):
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(topology)
+        scheduler.inject_device_arrival(5.0, 3)
+        with pytest.raises(ValueError, match="already has a scheduled arrival"):
+            scheduler.inject_device_arrival(9.0, 3)
+
+    def test_unschedulable_once_no_capacity_events_remain(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        """An arrival that still leaves the rigid job short fires, is
+        accounted, and only then is the job declared unschedulable."""
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(topology)
+        record = scheduler.submit(
+            make_spec(
+                pp2_cost_model,
+                fleet_samples,
+                planner_config,
+                name="rigid",
+                parallel=ParallelConfig(2, 2, 1),
+                elastic=False,
+            )
+        )
+        scheduler.inject_device_failure(0.0, 0)
+        scheduler.inject_device_failure(0.0, 1)
+        scheduler.inject_device_arrival(10.0, 3)  # not enough: 3 alive max
+        # Wait: device 3 is present from t=0 unless an arrival is injected;
+        # here 3 is absent until t=10, so alive is 1 until then, 2 after —
+        # never the 4 the rigid job needs once 0 and 1 died.
+        report = scheduler.run()
+        assert report.jobs[0].state == JobState.FAILED
+        assert "unschedulable" in record.failure_reason
+        assert record.finished_ms >= 10.0  # verdict waited for the arrival
+        assert report.devices_arrived == 1
+
+
+class TestUtilizationAccounting:
+    def test_dead_time_reduces_the_denominator(self):
+        report = FleetReport(
+            policy="fifo",
+            jobs=[],
+            makespan_ms=100.0,
+            busy_device_ms=100.0,
+            num_devices=2,
+            dead_device_ms=50.0,
+        )
+        assert report.available_device_ms == pytest.approx(150.0)
+        assert report.device_utilization == pytest.approx(100.0 / 150.0)
+
+    def test_permanent_failure_counts_dead_until_run_end(
+        self, pp2_cost_model, fleet_samples, planner_config, small_device
+    ):
+        topology = ClusterTopology.for_num_gpus(4, device_spec=small_device)
+        scheduler = FleetScheduler(topology)
+        scheduler.submit(
+            make_spec(pp2_cost_model, fleet_samples, planner_config, num_iterations=2)
+        )
+        scheduler.inject_device_failure(1.0, 3)  # idle device, never repaired
+        report = scheduler.run()
+        assert report.failed_devices == [3]
+        assert report.dead_device_ms == pytest.approx(report.makespan_ms - 1.0)
+        assert report.device_utilization == pytest.approx(
+            report.busy_device_ms
+            / (4 * report.makespan_ms - report.dead_device_ms)
+        )
+
+    def test_zero_capacity_guard(self):
+        report = FleetReport(
+            policy="fifo", jobs=[], makespan_ms=0.0, busy_device_ms=0.0, num_devices=2
+        )
+        assert report.device_utilization == 0.0

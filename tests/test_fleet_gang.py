@@ -107,6 +107,85 @@ class TestGangAllocator:
         assert allocator.owner_of(3) is None
 
 
+class TestRepairAndArrival:
+    def test_repair_returns_failed_device_to_the_pool(self):
+        allocator = make_allocator(4)
+        allocator.fail_device(2)
+        assert allocator.alive_count == 3
+        assert allocator.repair_device(2) is True
+        assert allocator.failed_devices == frozenset()
+        assert allocator.free_count == 4
+        assert allocator.alive_count == 4
+        allocator.check_consistent()
+
+    def test_repair_of_alive_device_is_a_noop(self):
+        allocator = make_allocator(4)
+        assert allocator.repair_device(1) is False  # never failed
+        allocator.fail_device(1)
+        assert allocator.repair_device(1) is True
+        assert allocator.repair_device(1) is False  # double repair
+        with pytest.raises(ValueError):
+            allocator.repair_device(9)
+        allocator.check_consistent()
+
+    def test_repaired_device_is_allocatable_again(self):
+        allocator = make_allocator(2)
+        allocator.fail_device(0)
+        assert allocator.allocate("a", 1, 2, 1) is None  # only 1 alive
+        allocator.repair_device(0)
+        gang = allocator.allocate("a", 1, 2, 1)
+        assert gang is not None and gang.devices == (0, 1)
+        allocator.check_consistent()
+
+    def test_absent_devices_are_outside_the_cluster(self):
+        allocator = make_allocator(4)
+        allocator.mark_absent(2)
+        allocator.mark_absent(3)
+        assert allocator.alive_count == 2
+        assert allocator.absent_devices == frozenset({2, 3})
+        assert allocator.allocate("a", 2, 2, 1) is None  # only 2 free
+        # An absent device can neither fail nor be marked absent twice.
+        assert allocator.fail_device(2) is None
+        assert allocator.absent_devices == frozenset({2, 3})
+        with pytest.raises(ValueError, match="not free"):
+            allocator.mark_absent(2)
+        allocator.check_consistent()
+
+    def test_arrival_moves_absent_to_free(self):
+        allocator = make_allocator(4)
+        allocator.mark_absent(3)
+        allocator.arrive_device(3)
+        assert allocator.free_count == 4
+        with pytest.raises(ValueError, match="not absent"):
+            allocator.arrive_device(3)
+        allocator.check_consistent()
+
+    def test_allocated_device_cannot_be_marked_absent(self):
+        allocator = make_allocator(4)
+        allocator.allocate("a", 1, 2, 1)
+        with pytest.raises(ValueError, match="not free"):
+            allocator.mark_absent(0)
+
+    def test_partition_invariant_over_full_lifecycle(self):
+        """free/allocated/failed/absent stay a partition through a mixed
+        sequence of allocation, failure, release, repair and arrival."""
+        allocator = make_allocator(8)
+        allocator.mark_absent(6)
+        allocator.mark_absent(7)
+        gang = allocator.allocate("a", 2, 2, 1)
+        allocator.check_consistent()
+        assert allocator.fail_device(1) is gang
+        allocator.check_consistent()
+        allocator.release(gang)
+        allocator.check_consistent()
+        allocator.repair_device(1)
+        allocator.arrive_device(6)
+        allocator.check_consistent()
+        assert allocator.alive_count == 7
+        assert allocator.free_count == 7
+        assert allocator.absent_devices == frozenset({7})
+
+
 def _record(spec: JobSpec, sequence: int, measured: list[float] | None = None) -> JobRecord:
     record = JobRecord(spec=spec, sequence=sequence, checkpoint=JobCheckpoint())
     for index, measured_ms in enumerate(measured or []):
