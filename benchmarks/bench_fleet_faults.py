@@ -1,0 +1,292 @@
+"""Tier-2 benchmark of the chaos harness: fault storms and kill/restore.
+
+Two tables:
+
+* **fault workloads** — the same job mix run clean, under a seeded
+  failure storm, and under storm + correlated rack outage, with the
+  fault-tolerance metrics (preemptions, repairs, MTTR, utilization on
+  live capacity) side by side.
+* **kill/restore** — the storm scenario killed at an event boundary
+  mid-run, restored from the JSON checkpoint and driven to completion;
+  the restored run must match the uninterrupted run bit for bit.
+
+Run it with
+
+    pytest benchmarks/bench_fleet_faults.py --benchmark-disable -s
+
+(or ``pytest benchmarks/ -m tier2_bench``).  Set ``REPRO_BENCH_SMOKE=1``
+for the reduced workload the tier-1 suite runs so this file cannot
+silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.device import DeviceSpec
+from repro.cluster.topology import ClusterTopology
+from repro.core.planner import PlannerConfig
+from repro.costmodel.cost_model import CostModel
+from repro.data.flan import SyntheticFlanDataset
+from repro.data.truncation import truncate_samples
+from repro.fleet import (
+    FaultInjector,
+    FaultPlan,
+    FleetConfig,
+    FleetScheduler,
+    JobSpec,
+    JobState,
+    SchedulerKilled,
+    failure_storm,
+    rack_outage,
+)
+from repro.model.config import ModelArch, ModelConfig
+from repro.parallel.config import ParallelConfig
+
+from common import emit
+
+#: Reduced workload (used as a tier-1 smoke check).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+NUM_JOBS = 4 if SMOKE else 10
+ITERATIONS = 2
+CLUSTER_GPUS = 8
+GPUS_PER_NODE = 4
+STORM_SEED = 17
+STORM_RATE_PER_S = 150.0 if SMOKE else 60.0
+STORM_WINDOW_MS = 80.0
+STORM_REPAIR_MS = 12.0
+RACK_OUTAGE_MS = 20.0 if SMOKE else 35.0
+RACK_REPAIR_MS = 15.0
+#: Boundary the kill/restore table crashes the storm run at.
+KILL_AT_BOUNDARY = 6
+
+FLEET_MODEL = ModelConfig(
+    name="gpt-fleet-small",
+    arch=ModelArch.GPT,
+    num_layers=4,
+    hidden_size=512,
+    num_heads=8,
+    kv_channels=64,
+    ffn_hidden_size=2048,
+    vocab_size=32000,
+)
+
+FLEET_DEVICE = DeviceSpec(
+    name="fleet-gpu-8GB",
+    peak_flops=100e12,
+    memory_bandwidth=1e12,
+    memory_capacity=8 * 1024**3,
+)
+
+
+def build_jobs(cost_model: CostModel, samples) -> list[JobSpec]:
+    planner_config = PlannerConfig(order_search=False, tmax_sample_count=8)
+    return [
+        JobSpec(
+            name=f"job{index:02d}",
+            cost_model=cost_model,
+            samples=samples,
+            global_batch_tokens=4096,
+            parallel=ParallelConfig(1, 2, 1),
+            num_iterations=ITERATIONS,
+            planner_config=planner_config,
+            seed=index,
+            max_retries=4,
+        )
+        for index in range(NUM_JOBS)
+    ]
+
+
+def fault_plans() -> dict[str, FaultPlan]:
+    storm = failure_storm(
+        CLUSTER_GPUS,
+        seed=STORM_SEED,
+        start_ms=2.0,
+        duration_ms=STORM_WINDOW_MS,
+        rate_per_s=STORM_RATE_PER_S,
+        repair_after_ms=STORM_REPAIR_MS,
+    )
+    return {
+        "clean": FaultPlan(description="no faults"),
+        "storm": storm,
+        "storm+rack": storm.merge(
+            rack_outage(node=1, time_ms=RACK_OUTAGE_MS, repair_after_ms=RACK_REPAIR_MS)
+        ),
+    }
+
+
+def build_scheduler(jobs, plan: FaultPlan, config: FleetConfig | None = None):
+    topology = ClusterTopology.for_num_gpus(
+        CLUSTER_GPUS, gpus_per_node=GPUS_PER_NODE, device_spec=FLEET_DEVICE
+    )
+    scheduler = FleetScheduler(topology, config or FleetConfig())
+    for spec in jobs:
+        scheduler.submit(spec)
+    FaultInjector(plan).apply(scheduler)
+    return scheduler
+
+
+def build_workload():
+    cost_model = CostModel(
+        FLEET_MODEL,
+        num_stages=2,
+        device_spec=FLEET_DEVICE,
+        max_profile_batch_size=32,
+        max_profile_seq_len=1024,
+    )
+    samples = truncate_samples(
+        SyntheticFlanDataset(num_samples=400, seed=7).samples, 512, decoder_only=True
+    )
+    return build_jobs(cost_model, samples)
+
+
+def run_fault_workloads():
+    jobs = build_workload()
+    rows = []
+    reports = {}
+    for scenario, plan in fault_plans().items():
+        scheduler = build_scheduler(jobs, plan)
+        report = scheduler.run()
+        reports[scenario] = (scheduler, report, plan)
+        summary = report.summary()
+        rows.append(
+            [
+                scenario,
+                len(plan),
+                summary["jobs"],
+                summary["finished"],
+                summary["failed"],
+                round(summary["makespan_ms"], 1),
+                summary["total_preemptions"],
+                summary["devices_repaired"],
+                round(summary["mttr_ms"], 1),
+                round(summary["device_utilization"], 3),
+            ]
+        )
+    return rows, reports
+
+
+def run_kill_restore():
+    jobs = build_workload()
+    plan = fault_plans()["storm+rack"]
+    reference = build_scheduler(jobs, plan)
+    reference_report = reference.run()
+
+    captured = {}
+
+    def crash(scheduler: FleetScheduler) -> None:
+        if scheduler._events_processed == KILL_AT_BOUNDARY:
+            captured["snapshot"] = scheduler.checkpoint()
+            raise SchedulerKilled(f"benchmark kill at boundary {KILL_AT_BOUNDARY}")
+
+    doomed = build_scheduler(jobs, plan, FleetConfig(on_event=crash))
+    try:
+        doomed.run()
+    except SchedulerKilled:
+        pass
+    snapshot = json.loads(json.dumps(captured["snapshot"]))
+    restored = FleetScheduler.restore(
+        snapshot,
+        ClusterTopology.for_num_gpus(
+            CLUSTER_GPUS, gpus_per_node=GPUS_PER_NODE, device_spec=FLEET_DEVICE
+        ),
+        {spec.name: spec for spec in jobs},
+    )
+    restored_report = restored.run()
+
+    rows = []
+    for mode, report in (
+        ("uninterrupted", reference_report),
+        ("killed+restored", restored_report),
+    ):
+        summary = report.summary()
+        rows.append(
+            [
+                mode,
+                summary["jobs"],
+                summary["finished"],
+                round(summary["makespan_ms"], 1),
+                summary["total_preemptions"],
+                summary["devices_repaired"],
+                round(summary["mttr_ms"], 1),
+            ]
+        )
+    return rows, (reference_report, restored_report, len(snapshot))
+
+
+WORKLOAD_HEADERS = [
+    "scenario", "faults", "jobs", "finished", "failed", "makespan_ms",
+    "preemptions", "repairs", "mttr_ms", "utilization",
+]
+
+RESTORE_HEADERS = [
+    "mode", "jobs", "finished", "makespan_ms", "preemptions", "repairs",
+    "mttr_ms",
+]
+
+
+@pytest.mark.tier2_bench
+def test_fleet_faults_bench(benchmark, capsys):
+    rows, reports = benchmark.pedantic(run_fault_workloads, rounds=1, iterations=1)
+    emit(
+        "fleet_faults",
+        f"Chaos harness: {NUM_JOBS} jobs on {CLUSTER_GPUS} GPUs "
+        f"(2 racks), seeded storm (seed {STORM_SEED}) and a correlated "
+        f"rack outage",
+        WORKLOAD_HEADERS,
+        rows,
+        capsys,
+    )
+    for scenario, (scheduler, report, plan) in reports.items():
+        # Every job terminal and no leaked devices, under every workload.
+        for job in report.jobs:
+            assert job.state in (JobState.FINISHED, JobState.FAILED), (scenario, job)
+        scheduler.allocator.check_consistent()
+        assert scheduler.allocator.busy_count == 0
+        assert (
+            scheduler.allocator.free_count == scheduler.allocator.alive_count
+        ), scenario
+    clean = reports["clean"][1]
+    storm = reports["storm"][1]
+    stormy_rack = reports["storm+rack"][1]
+    assert clean.total_preemptions == 0
+    assert clean.mttr_ms == 0.0
+    # The storm actually preempted work and its repairs were accounted.
+    assert storm.total_preemptions >= 1
+    assert storm.devices_repaired >= 1
+    assert storm.mttr_ms > 0.0
+    assert len(storm.repair_durations_ms) == storm.devices_repaired
+    # The rack outage adds correlated failures on top of the storm.
+    rack_failures = [
+        e for e in stormy_rack.capacity_timeline
+        if e.event == "failure" and e.time_ms == RACK_OUTAGE_MS
+    ]
+    assert len(rack_failures) >= 1
+
+
+@pytest.mark.tier2_bench
+def test_fleet_kill_restore_bench(benchmark, capsys):
+    rows, (reference, restored, snapshot_keys) = benchmark.pedantic(
+        run_kill_restore, rounds=1, iterations=1
+    )
+    emit(
+        "fleet_kill_restore",
+        f"Kill/restore: storm+rack fleet crashed at event boundary "
+        f"{KILL_AT_BOUNDARY}, restored from a {snapshot_keys}-key JSON "
+        f"snapshot",
+        RESTORE_HEADERS,
+        rows,
+        capsys,
+    )
+    # The restored run is bit-identical to the uninterrupted run.
+    assert restored.jobs == reference.jobs
+    assert restored.makespan_ms == reference.makespan_ms
+    assert restored.busy_device_ms == reference.busy_device_ms
+    assert restored.dead_device_ms == reference.dead_device_ms
+    assert restored.capacity_timeline == reference.capacity_timeline
+    assert restored.repair_durations_ms == reference.repair_durations_ms
+    assert restored.trace.events == reference.trace.events

@@ -1,0 +1,205 @@
+"""Chaos harness: failure storms, rack outages and kill/restore.
+
+The fleet scheduler survives three kinds of violence, demonstrated here
+in sequence:
+
+* a **seeded failure storm** — Poisson-arrival device failures over a
+  time window, each auto-repaired a fixed delay later — plus a
+  **correlated rack outage** that downs every device on one node at
+  once, declared up front as a :class:`repro.fleet.FaultPlan` and lowered
+  onto the scheduler by :class:`repro.fleet.FaultInjector`;
+* a **scheduler crash**: the run is killed at an event boundary, the
+  full scheduler state is serialised to a JSON checkpoint, and a fresh
+  process restores from it — the resumed run must match the
+  uninterrupted run bit for bit (same job outcomes, same makespan, same
+  trace);
+* the same fault plan replayed from its seed, showing chaos runs are
+  reproducible end to end.
+
+Run with:  python examples/fleet_chaos.py
+
+It prints the fault plan, side-by-side clean/chaos fleet metrics
+(preemptions, repairs, MTTR), and the kill/restore equivalence check,
+and writes the checkpoint JSON next to this script.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import (
+    ClusterTopology,
+    CostModel,
+    FleetConfig,
+    FleetScheduler,
+    ParallelConfig,
+    PlannerConfig,
+    SyntheticFlanDataset,
+)
+from repro.cluster.device import DeviceSpec
+from repro.data.truncation import truncate_samples
+from repro.fleet import (
+    FaultInjector,
+    FaultPlan,
+    JobSpec,
+    SchedulerKilled,
+    failure_storm,
+    rack_outage,
+)
+from repro.model.config import ModelArch, ModelConfig
+
+MAX_SEQ_LEN = 512
+CLUSTER_GPUS = 8
+GPUS_PER_NODE = 4
+NUM_JOBS = 10
+KILL_AT_BOUNDARY = 6
+
+MODEL = ModelConfig(
+    name="gpt-chaos-demo",
+    arch=ModelArch.GPT,
+    num_layers=4,
+    hidden_size=512,
+    num_heads=8,
+    kv_channels=64,
+    ffn_hidden_size=2048,
+    vocab_size=32000,
+)
+
+DEVICE = DeviceSpec(
+    name="demo-gpu-8GB",
+    peak_flops=100e12,
+    memory_bandwidth=1e12,
+    memory_capacity=8 * 1024**3,
+)
+
+
+def build_fault_plan() -> FaultPlan:
+    storm = failure_storm(
+        CLUSTER_GPUS,
+        seed=17,
+        start_ms=5.0,
+        duration_ms=80.0,
+        rate_per_s=60.0,
+        repair_after_ms=12.0,
+    )
+    return storm.merge(rack_outage(node=1, time_ms=35.0, repair_after_ms=15.0))
+
+
+def build_scheduler(jobs, plan: FaultPlan | None, config: FleetConfig | None = None):
+    topology = ClusterTopology.for_num_gpus(
+        CLUSTER_GPUS, gpus_per_node=GPUS_PER_NODE, device_spec=DEVICE
+    )
+    scheduler = FleetScheduler(topology, config or FleetConfig())
+    for spec in jobs:
+        scheduler.submit(spec)
+    if plan is not None:
+        FaultInjector(plan).apply(scheduler)
+    return scheduler
+
+
+def summary_line(tag: str, report) -> str:
+    summary = report.summary()
+    return (
+        f"{tag:12} finished {summary['finished']:2d}/{summary['jobs']}  "
+        f"makespan {summary['makespan_ms']:6.1f} ms  "
+        f"preemptions {summary['total_preemptions']:2d}  "
+        f"repairs {summary['devices_repaired']:2d}  "
+        f"MTTR {summary['mttr_ms']:5.1f} ms  "
+        f"utilization {summary['device_utilization']:.1%}"
+    )
+
+
+def main() -> None:
+    print(f"profiling {MODEL.name} for the shared cost model...")
+    cost_model = CostModel(
+        MODEL,
+        num_stages=2,
+        device_spec=DEVICE,
+        max_profile_batch_size=32,
+        max_profile_seq_len=1024,
+    )
+    samples = truncate_samples(
+        SyntheticFlanDataset(num_samples=400, seed=7).samples,
+        MAX_SEQ_LEN,
+        decoder_only=True,
+    )
+    planner_config = PlannerConfig(order_search=False, tmax_sample_count=8)
+    jobs = [
+        JobSpec(
+            name=f"job{index:02d}",
+            cost_model=cost_model,
+            samples=samples,
+            global_batch_tokens=4096,
+            parallel=ParallelConfig(1, 2, 1),
+            num_iterations=2,
+            planner_config=planner_config,
+            seed=index,
+            max_retries=4,
+        )
+        for index in range(NUM_JOBS)
+    ]
+
+    plan = build_fault_plan()
+    print(f"\nfault plan ({plan.description}, {len(plan)} events):")
+    for event in plan.events:
+        target = f"device {event.device}" if event.device is not None else f"node {event.node}"
+        print(f"  t={event.time_ms:6.1f} ms  {event.kind:15} {target}")
+
+    # --- clean vs chaos -------------------------------------------------
+    print(f"\nrunning {NUM_JOBS} jobs on {CLUSTER_GPUS} GPUs, clean then under the plan...")
+    clean_report = build_scheduler(jobs, None).run()
+    chaos_report = build_scheduler(jobs, plan).run()
+    print(summary_line("clean", clean_report))
+    print(summary_line("storm+rack", chaos_report))
+
+    # --- kill at an event boundary, checkpoint, restore -----------------
+    captured: dict[str, dict] = {}
+
+    def crash(scheduler: FleetScheduler) -> None:
+        if scheduler._events_processed == KILL_AT_BOUNDARY:
+            captured["snapshot"] = scheduler.checkpoint()
+            raise SchedulerKilled(f"demo kill at boundary {KILL_AT_BOUNDARY}")
+
+    doomed = build_scheduler(jobs, plan, FleetConfig(on_event=crash))
+    try:
+        doomed.run()
+    except SchedulerKilled as exc:
+        print(f"\nscheduler killed mid-run: {exc}")
+
+    checkpoint_path = Path(__file__).parent / "fleet_checkpoint.json"
+    checkpoint_path.write_text(json.dumps(captured["snapshot"], indent=2))
+    print(f"checkpoint written to {checkpoint_path} ({len(captured['snapshot'])} top-level keys)")
+
+    # A restore needs only the checkpoint, the topology and the job specs
+    # (specs carry the unserialisable parts: cost model, samples, planner).
+    restored = FleetScheduler.restore(
+        json.loads(checkpoint_path.read_text()),
+        ClusterTopology.for_num_gpus(
+            CLUSTER_GPUS, gpus_per_node=GPUS_PER_NODE, device_spec=DEVICE
+        ),
+        {spec.name: spec for spec in jobs},
+    )
+    restored_report = restored.run()
+    print(summary_line("restored", restored_report))
+
+    identical = (
+        restored_report.jobs == chaos_report.jobs
+        and restored_report.makespan_ms == chaos_report.makespan_ms
+        and restored_report.capacity_timeline == chaos_report.capacity_timeline
+        and restored_report.trace.events == chaos_report.trace.events
+    )
+    print(f"kill/restore bit-identical to the uninterrupted run: {identical}")
+    if not identical:
+        raise SystemExit("restore diverged from the uninterrupted run")
+
+    # --- replaying the plan from its seed is exactly reproducible -------
+    replay_report = build_scheduler(jobs, build_fault_plan()).run()
+    print(
+        "seeded replay reproduces the chaos run: "
+        f"{replay_report.jobs == chaos_report.jobs}"
+    )
+
+
+if __name__ == "__main__":
+    main()

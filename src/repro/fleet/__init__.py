@@ -11,10 +11,30 @@ iteration boundaries (time-slicing).  All re-admissions resume from the
 job's last committed iteration boundary, bit-identical to a standalone
 checkpoint-boundary restart.
 
+The fleet is crash-resilient at both layers: the scheduler itself
+checkpoints its full state at event boundaries and restores
+deterministically (``repro.fleet.checkpoint``), and a fault-injection
+harness (``repro.fleet.faults``) replays scripted or seeded-random fault
+plans — failure storms, correlated rack outages, planner-worker kills and
+transient store errors — through the same capacity-event machinery.
+
 See ``docs/ARCHITECTURE.md`` for the layer map, the event-ordering
-contract and the elasticity state machine.
+contract, the elasticity state machine and the fault-tolerance design.
 """
 
+from repro.fleet.checkpoint import (
+    SchedulerKilled,
+    restore_scheduler,
+    snapshot_scheduler,
+)
+from repro.fleet.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    failure_storm,
+    rack_outage,
+    random_fault_plan,
+)
 from repro.fleet.gang import DeviceGang, GangAllocator
 from repro.fleet.job import JobAttempt, JobCheckpoint, JobRecord, JobSpec, JobState
 from repro.fleet.metrics import CapacityEvent, FleetReport, JobSummary, summarize_job
@@ -40,6 +60,9 @@ __all__ = [
     "DeviceFailure",
     "DeviceGang",
     "DeviceRepairEvent",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "FifoPolicy",
     "FleetConfig",
     "FleetReport",
@@ -54,8 +77,14 @@ __all__ = [
     "JobState",
     "JobSummary",
     "PreemptivePriorityPolicy",
+    "SchedulerKilled",
     "SchedulingPolicy",
     "ShortestRemainingWorkPolicy",
+    "failure_storm",
     "make_policy",
+    "rack_outage",
+    "random_fault_plan",
+    "restore_scheduler",
+    "snapshot_scheduler",
     "summarize_job",
 ]

@@ -234,6 +234,44 @@ class GangAllocator:
         self._absent.remove(device)
         self._free.add(device)
 
+    # ------------------------------------------------------------------ snapshot / restore
+
+    def snapshot_state(self) -> dict[str, list[int]]:
+        """JSON-safe snapshot of the free/failed/absent sets.
+
+        Allocated devices are *not* listed here: ownership is restored from
+        the running jobs' gangs (see :meth:`restore_state`), which keeps a
+        single source of truth for who holds what.
+        """
+        return {
+            "free": sorted(self._free),
+            "failed": sorted(self._failed),
+            "absent": sorted(self._absent),
+        }
+
+    def restore_state(
+        self,
+        free: "list[int] | set[int]",
+        failed: "list[int] | set[int]",
+        absent: "list[int] | set[int]",
+        allocated: "list[tuple[DeviceGang, list[int]]]" = (),
+    ) -> None:
+        """Overwrite the partition from a snapshot (scheduler restore path).
+
+        ``allocated`` maps each live gang to the devices it *currently*
+        owns — which may be fewer than ``gang.devices`` when a member
+        failed mid-run (the failed device moved to the failed set and must
+        not be resurrected by restore).  The 4-way partition invariant is
+        asserted before the state is accepted.
+        """
+        self._free = set(free)
+        self._failed = set(failed)
+        self._absent = set(absent)
+        self._allocated = {
+            device: gang for gang, owned in allocated for device in owned
+        }
+        self.check_consistent()
+
     # ------------------------------------------------------------------ invariants
 
     def check_consistent(self) -> None:

@@ -78,6 +78,15 @@ class JobSpec:
         est_iteration_ms: Prior estimate of one iteration's execution time,
             used by shortest-remaining-work ordering before any iteration of
             the job has run.
+        planning_deadline_ms: Budget of fleet-clock time the job may spend
+            in a *planning-failure streak* (first failure of the streak to
+            the current retry) before it is marked failed.  With a deadline
+            set, planning failures do **not** burn ``max_retries`` — the
+            job retries under the scheduler's exponential backoff
+            (``FleetConfig.planning_backoff_base_ms``, required > 0) until
+            planning succeeds or the deadline passes.  ``None`` (default)
+            keeps the legacy rule: every planning failure counts against
+            the retry budget.  A committed iteration resets the streak.
         planner_factory: Optional override building the per-attempt planner
             from ``(spec, data_parallel)`` — for baselines or test doubles;
             defaults to a :class:`~repro.core.planner.DynaPipePlanner`.
@@ -99,6 +108,7 @@ class JobSpec:
     priority: int = 0
     submit_time_ms: float = 0.0
     est_iteration_ms: float = 1000.0
+    planning_deadline_ms: float | None = None
     planner_factory: Callable[["JobSpec", int], IterationPlanner] | None = None
 
     def __post_init__(self) -> None:
@@ -108,6 +118,10 @@ class JobSpec:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.submit_time_ms < 0:
             raise ValueError(f"submit_time_ms must be >= 0, got {self.submit_time_ms}")
+        if self.planning_deadline_ms is not None and self.planning_deadline_ms <= 0:
+            raise ValueError(
+                f"planning_deadline_ms must be > 0, got {self.planning_deadline_ms}"
+            )
 
     @property
     def min_gang_size(self) -> int:
@@ -227,7 +241,20 @@ class JobAttempt:
 
 @dataclass
 class JobRecord:
-    """Mutable scheduler-side state of one submitted job."""
+    """Mutable scheduler-side state of one submitted job.
+
+    Beyond the life-cycle counters, the record carries the scheduler's
+    planning-failure bookkeeping: ``not_before_ms`` gates re-admission after
+    an exponential-backoff delay, ``planning_failure_streak`` /
+    ``planning_failed_since_ms`` track the current run of consecutive
+    planning failures (reset when an iteration commits) against the spec's
+    ``planning_deadline_ms``, ``planning_retries`` counts backoff-delayed
+    re-admissions that did *not* burn retry budget, and
+    ``degraded_iterations`` counts iterations that fell back to inline
+    planning because every pool worker was dead.  ``last_queued_ms`` is the
+    fleet-clock time the job last (re-)entered the queue — the waiting-time
+    anchor of priority aging.
+    """
 
     spec: JobSpec
     sequence: int = 0
@@ -241,6 +268,12 @@ class JobRecord:
     first_admitted_ms: float | None = None
     finished_ms: float | None = None
     failure_reason: str | None = None
+    not_before_ms: float = 0.0
+    planning_retries: int = 0
+    planning_failure_streak: int = 0
+    planning_failed_since_ms: float | None = None
+    last_queued_ms: float = 0.0
+    degraded_iterations: int = 0
 
     @property
     def queueing_delay_ms(self) -> float | None:

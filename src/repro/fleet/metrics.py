@@ -72,6 +72,10 @@ class JobSummary:
         throughput_tokens_per_s: Actual-token throughput over committed
             iterations.
         failure_reason: Why the job failed (``None`` for finished jobs).
+        planning_retries: Backoff-delayed planning re-admissions that did
+            not burn retry budget (deadline mode).
+        degraded_iterations: Iterations planned through the inline fallback
+            because every pool worker was dead.
     """
 
     name: str
@@ -92,6 +96,8 @@ class JobSummary:
     regrows: int
     throughput_tokens_per_s: float
     failure_reason: str | None
+    planning_retries: int = 0
+    degraded_iterations: int = 0
 
 
 def summarize_job(record: JobRecord) -> JobSummary:
@@ -117,6 +123,8 @@ def summarize_job(record: JobRecord) -> JobSummary:
         regrows=record.regrows,
         throughput_tokens_per_s=report.throughput_tokens_per_s,
         failure_reason=record.failure_reason,
+        planning_retries=record.planning_retries,
+        degraded_iterations=record.degraded_iterations,
     )
 
 
@@ -144,6 +152,11 @@ class FleetReport:
             — ``planner_processes`` per *attempt* with private pools, but
             only ``planner_processes`` *total* with the shared planning
             cluster (the spawn-amortisation the paper's architecture buys).
+        repair_durations_ms: Failure-to-repair durations of every repair
+            that fired during the run (one entry per completed outage);
+            feeds :attr:`mttr_ms`.
+        fault_log: Applied planner-side faults (worker kills, store plan
+            losses), each a ``{time_ms, kind, requested, applied}`` dict.
     """
 
     policy: str
@@ -157,6 +170,8 @@ class FleetReport:
     capacity_timeline: list[CapacityEvent] = field(default_factory=list)
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     planner_workers_spawned: int = 0
+    repair_durations_ms: list[float] = field(default_factory=list)
+    fault_log: list[dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------ aggregates
 
@@ -199,6 +214,29 @@ class FleetReport:
     def devices_arrived(self) -> int:
         """Late-arrival events that fired during the run."""
         return sum(1 for event in self.capacity_timeline if event.event == "arrival")
+
+    @property
+    def mttr_ms(self) -> float:
+        """Mean time to repair: mean failure-to-repair duration of the
+        outages that were actually repaired during the run (0.0 when no
+        repair fired — devices that stayed dead contribute to
+        ``dead_device_ms``, not here)."""
+        return mean(self.repair_durations_ms) if self.repair_durations_ms else 0.0
+
+    @property
+    def total_planning_retries(self) -> int:
+        """Backoff-delayed planning re-admissions across all jobs."""
+        return sum(job.planning_retries for job in self.jobs)
+
+    @property
+    def total_degraded_iterations(self) -> int:
+        """Inline-fallback iterations (dead pool) across all jobs."""
+        return sum(job.degraded_iterations for job in self.jobs)
+
+    @property
+    def planner_faults_injected(self) -> int:
+        """Planner-side fault events that fired during the run."""
+        return len(self.fault_log)
 
     @property
     def mean_queueing_delay_ms(self) -> float:
@@ -251,6 +289,10 @@ class FleetReport:
             "dead_device_ms": self.dead_device_ms,
             "failed_devices": list(self.failed_devices),
             "planner_workers_spawned": self.planner_workers_spawned,
+            "mttr_ms": self.mttr_ms,
+            "planning_retries": self.total_planning_retries,
+            "degraded_iterations": self.total_degraded_iterations,
+            "planner_faults": self.planner_faults_injected,
         }
 
     def save_chrome_trace(self, path: "str | Path") -> Path:

@@ -14,7 +14,9 @@ A policy decides two things:
   failure, which discards it; see :mod:`repro.fleet.scheduler` for the
   two preemption flavours).  FIFO and shortest-remaining-work never
   preempt; :class:`PreemptivePriorityPolicy` evicts strictly lower
-  priorities.
+  priorities, optionally with **priority aging** (queued jobs gain one
+  effective-priority level per ``aging_ms`` of waiting, bounding
+  starvation without touching the eviction machinery).
 """
 
 from __future__ import annotations
@@ -33,13 +35,16 @@ class SchedulingPolicy(Protocol):
         """Return ``pending`` in admission-preference order."""
         ...  # pragma: no cover - protocol definition
 
-    def preempts(self, waiting: JobRecord, victim: JobRecord) -> bool:
+    def preempts(
+        self, waiting: JobRecord, victim: JobRecord, now_ms: float = 0.0
+    ) -> bool:
         """Whether queued ``waiting`` may evict running ``victim`` at an
         iteration boundary.  Policies without preemption return False.
 
         Optional for custom policies: the scheduler treats a policy
-        without this method as never preempting (the pre-time-slicing
-        protocol stays valid).
+        without this method as never preempting, and a two-argument
+        ``preempts(waiting, victim)`` (the pre-aging protocol) is still
+        accepted — the scheduler adapts the call arity.
         """
         ...  # pragma: no cover - protocol definition
 
@@ -52,7 +57,9 @@ class FifoPolicy:
     def order(self, pending: Sequence[JobRecord], now_ms: float) -> list[JobRecord]:
         return sorted(pending, key=lambda r: (r.spec.submit_time_ms, r.sequence))
 
-    def preempts(self, waiting: JobRecord, victim: JobRecord) -> bool:
+    def preempts(
+        self, waiting: JobRecord, victim: JobRecord, now_ms: float = 0.0
+    ) -> bool:
         return False
 
 
@@ -74,34 +81,67 @@ class ShortestRemainingWorkPolicy:
             key=lambda r: (r.remaining_work_ms(), r.spec.submit_time_ms, r.sequence),
         )
 
-    def preempts(self, waiting: JobRecord, victim: JobRecord) -> bool:
+    def preempts(
+        self, waiting: JobRecord, victim: JobRecord, now_ms: float = 0.0
+    ) -> bool:
         return False
 
 
 class PreemptivePriorityPolicy:
     """Strict priorities with graceful boundary preemption (time-slicing).
 
-    Admission orders the queue by descending ``JobSpec.priority`` (FIFO
-    within a priority level).  A queued job with *strictly* higher priority
-    than a running one evicts it — but only at an iteration boundary, so
-    the victim's in-flight iteration commits and its checkpoint advances
-    before the gang is released; the victim re-enters the queue and resumes
-    later from that boundary without spending retry budget.  Equal
-    priorities never preempt each other, which (with the scheduler's
-    feasibility check) rules out eviction livelock: a job can only be
-    displaced by strictly more important work.
+    Admission orders the queue by descending *effective* priority (FIFO
+    within a level).  A queued job whose effective priority is *strictly*
+    higher than a running one's static priority evicts it — but only at an
+    iteration boundary, so the victim's in-flight iteration commits and its
+    checkpoint advances before the gang is released; the victim re-enters
+    the queue and resumes later from that boundary without spending retry
+    budget.
+
+    **Priority aging** (``aging_ms``): with the knob set, a queued job's
+    effective priority grows by one level per ``aging_ms`` of waiting since
+    it last entered the queue (``JobRecord.last_queued_ms``), so sustained
+    high-priority load cannot starve background jobs forever — after
+    ``aging_ms × Δpriority`` of waiting, a background job outranks (and may
+    evict) a higher-static-priority gang.  Running jobs are compared by
+    their static priority (they are not waiting).  Starvation is bounded
+    without livelock: eviction happens only at iteration boundaries, so
+    every eviction cycle commits at least one iteration of real progress.
+    ``aging_ms=None`` (default) disables aging, reproducing the strict
+    policy bit-for-bit.
+
+    Args:
+        aging_ms: Waiting time per effective-priority level, or ``None``.
     """
 
     name = "priority"
 
+    def __init__(self, aging_ms: float | None = None) -> None:
+        if aging_ms is not None and aging_ms <= 0:
+            raise ValueError(f"aging_ms must be > 0, got {aging_ms}")
+        self.aging_ms = aging_ms
+
+    def effective_priority(self, record: JobRecord, now_ms: float) -> float:
+        """Static priority plus the aging credit of a *queued* record."""
+        if self.aging_ms is None:
+            return float(record.spec.priority)
+        waited = max(0.0, now_ms - record.last_queued_ms)
+        return record.spec.priority + waited / self.aging_ms
+
     def order(self, pending: Sequence[JobRecord], now_ms: float) -> list[JobRecord]:
         return sorted(
             pending,
-            key=lambda r: (-r.spec.priority, r.spec.submit_time_ms, r.sequence),
+            key=lambda r: (
+                -self.effective_priority(r, now_ms),
+                r.spec.submit_time_ms,
+                r.sequence,
+            ),
         )
 
-    def preempts(self, waiting: JobRecord, victim: JobRecord) -> bool:
-        return waiting.spec.priority > victim.spec.priority
+    def preempts(
+        self, waiting: JobRecord, victim: JobRecord, now_ms: float = 0.0
+    ) -> bool:
+        return self.effective_priority(waiting, now_ms) > victim.spec.priority
 
 
 _POLICIES = {

@@ -57,7 +57,10 @@ above, then by submission order.
 from __future__ import annotations
 
 import heapq
+import inspect
+import random
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.cluster.topology import ClusterTopology
 from repro.fleet.gang import DeviceGang, GangAllocator
@@ -65,7 +68,11 @@ from repro.instructions.store import InstructionStore
 from repro.runtime.planner_pool import PlannerPool
 from repro.fleet.job import JobAttempt, JobRecord, JobSpec, JobState
 from repro.fleet.metrics import CapacityEvent, FleetReport, summarize_job
-from repro.fleet.policies import SchedulingPolicy, make_policy
+from repro.fleet.policies import (
+    PreemptivePriorityPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
 from repro.fleet.session import JobExecution, JobPlanningError
 from repro.simulator.trace import ExecutionTrace, TraceEvent
 from repro.training.throughput import IterationRecord
@@ -127,6 +134,38 @@ class FleetConfig:
         planner_backend: Pool backend (``"process"`` or ``"thread"``).
         planner_timeout_s: Per-iteration plan wait bound of the pooled mode.
         max_events: Safety valve on processed scheduler events.
+        planning_backoff_base_ms: When > 0, a planning failure delays the
+            job's re-admission by ``base × factor^(streak-1)`` fleet-clock
+            milliseconds (capped at ``planning_backoff_max_ms``, optionally
+            jittered) instead of retrying in the same instant.  0 (default)
+            keeps immediate retries.
+        planning_backoff_factor: Exponential growth per consecutive
+            planning failure.
+        planning_backoff_max_ms: Ceiling of one backoff delay.
+        planning_backoff_jitter: Uniform jitter fraction: each delay is
+            multiplied by ``1 + jitter × U[0, 1)`` drawn from the
+            scheduler's own seeded RNG (part of the checkpoint, so restored
+            runs replay the same jitter).
+        seed: Seed of the scheduler's RNG (backoff jitter).
+        regrow_min_boundaries: Regrowth hysteresis — an elastically shrunk
+            attempt must commit at least this many iteration (checkpoint)
+            boundaries before the job may regrow, so a flapping cluster
+            (fail/repair cycles) does not thrash shrink/regrow.  Values
+            ``<= 1`` are equivalent to off (regrowth is only ever checked
+            at a boundary, i.e. after >= 1 committed iteration).
+        priority_aging_ms: Convenience knob wiring
+            :class:`~repro.fleet.policies.PreemptivePriorityPolicy` aging:
+            requires ``policy="priority"`` (pass a configured policy
+            instance for anything fancier).
+        checkpoint_interval_events: When set (with ``checkpoint_sink``),
+            the scheduler snapshots itself every N event boundaries and
+            hands the JSON-safe dict to the sink.
+        checkpoint_sink: Callable receiving each periodic snapshot.
+        on_event: Hook called with the scheduler at *every* event boundary
+            (after the previous event fully applied, before the next
+            admission pass).  May call :meth:`FleetScheduler.checkpoint`;
+            an exception it raises propagates out of ``run()`` (this is how
+            the tests and the chaos harness simulate a scheduler crash).
     """
 
     policy: "str | SchedulingPolicy" = "fifo"
@@ -137,6 +176,16 @@ class FleetConfig:
     planner_backend: str = "process"
     planner_timeout_s: float = 600.0
     max_events: int = 1_000_000
+    planning_backoff_base_ms: float = 0.0
+    planning_backoff_factor: float = 2.0
+    planning_backoff_max_ms: float = 60_000.0
+    planning_backoff_jitter: float = 0.0
+    seed: int = 0
+    regrow_min_boundaries: int = 0
+    priority_aging_ms: float | None = None
+    checkpoint_interval_events: int | None = None
+    checkpoint_sink: "Callable[[dict[str, Any]], None] | None" = None
+    on_event: "Callable[[FleetScheduler], None] | None" = None
 
 
 @dataclass
@@ -152,6 +201,10 @@ class _RunningJob:
     #: The in-flight iteration's (record, stats); committed at completion,
     #: discarded on failure preemption (graceful preemption waits for it).
     pending: "tuple[IterationRecord, object] | None" = None
+    #: Whether the in-flight iteration was planned through the degraded
+    #: inline fallback (every pool worker dead); folded into the record's
+    #: ``degraded_iterations`` when the iteration commits.
+    pending_degraded: bool = False
 
 
 class FleetScheduler:
@@ -165,12 +218,22 @@ class FleetScheduler:
     def __init__(self, topology: ClusterTopology, config: FleetConfig | None = None) -> None:
         self.topology = topology
         self.config = config or FleetConfig()
-        self.policy = make_policy(self.config.policy)
-        #: Policy preemption hook; custom policies written against the
-        #: pre-time-slicing protocol (order() only) simply never preempt.
-        self._preempts = getattr(
-            self.policy, "preempts", lambda waiting, victim: False
-        )
+        if self.config.priority_aging_ms is not None:
+            if self.config.policy != "priority":
+                raise ValueError(
+                    "priority_aging_ms requires policy='priority' (pass a "
+                    "configured PreemptivePriorityPolicy instance otherwise)"
+                )
+            self.policy: SchedulingPolicy = PreemptivePriorityPolicy(
+                aging_ms=self.config.priority_aging_ms
+            )
+        else:
+            self.policy = make_policy(self.config.policy)
+        if self.config.regrow_min_boundaries < 0:
+            raise ValueError(
+                f"regrow_min_boundaries must be >= 0, got {self.config.regrow_min_boundaries}"
+            )
+        self._preempts = self._adapt_preempts(self.policy)
         self.allocator = GangAllocator(topology)
         self.jobs: dict[str, JobRecord] = {}
         self._pending: list[JobRecord] = []
@@ -178,6 +241,9 @@ class FleetScheduler:
         self._failures: list[DeviceFailure] = []
         self._repairs: list[DeviceRepairEvent] = []
         self._arrivals: list[DeviceArrivalEvent] = []
+        #: Scheduled planner-side faults: (time_ms, kind, count) with kind
+        #: "planner_kill" or "store_error"; seeded into the capacity heap.
+        self._planner_faults: list[tuple[float, str, int]] = []
         #: Min-heap of (time_ms, seq, kind, device, epoch) capacity-
         #: returning events; ``seq`` keeps ordering stable at equal times.
         #: Injected repairs/arrivals seed it at run() (epoch ``None``);
@@ -205,6 +271,56 @@ class FleetScheduler:
         self.store: InstructionStore | None = None
         self._shared_pool: PlannerPool | None = None
         self._planner_workers_spawned = 0
+        # --- event-loop state (instance-level so checkpoint() can snapshot
+        # it at any event boundary and restore() can resume the loop) ---
+        self._clock = 0.0
+        self._events_processed = 0
+        self._failures_sorted: "list[DeviceFailure] | None" = None
+        self._next_failure = 0
+        #: Seeded RNG of the scheduler itself (backoff jitter).  Its state
+        #: is part of the checkpoint so restored runs replay it.
+        self._rng = random.Random(self.config.seed)
+        self._restored = False
+        #: Running attempts awaiting deterministic re-materialisation at
+        #: the start of a restored run() (record, gang, started, completion).
+        self._restore_running: list[tuple[JobRecord, DeviceGang, float, float]] = []
+        #: Completed repair durations (failure → repair, per device epoch);
+        #: feeds the report's MTTR.
+        self._repair_durations: list[float] = []
+        #: Applied planner-side faults (worker kills, store plan losses).
+        self._fault_log: list[dict[str, Any]] = []
+
+    @staticmethod
+    def _adapt_preempts(policy: SchedulingPolicy) -> "Callable[[JobRecord, JobRecord, float], bool]":
+        """The policy's preemption hook, normalised to 3-arg form.
+
+        Custom policies written against the pre-time-slicing protocol
+        (order() only) never preempt; the pre-aging 2-arg
+        ``preempts(waiting, victim)`` is wrapped so existing policies keep
+        working unchanged.
+        """
+        preempts = getattr(policy, "preempts", None)
+        if preempts is None:
+            return lambda waiting, victim, now_ms: False
+        try:
+            parameters = [
+                parameter
+                for parameter in inspect.signature(preempts).parameters.values()
+                if parameter.kind
+                in (
+                    inspect.Parameter.POSITIONAL_ONLY,
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                )
+            ]
+            takes_now = len(parameters) >= 3 or any(
+                parameter.kind == inspect.Parameter.VAR_POSITIONAL
+                for parameter in inspect.signature(preempts).parameters.values()
+            )
+        except (TypeError, ValueError):  # pragma: no cover - builtins/partials
+            takes_now = True
+        if takes_now:
+            return preempts
+        return lambda waiting, victim, now_ms: preempts(waiting, victim)
 
     # ------------------------------------------------------------------ planning cluster
 
@@ -238,6 +354,11 @@ class FleetScheduler:
         """Queue a job; returns its live record."""
         if self._ran:
             raise RuntimeError("cannot submit jobs after run()")
+        if self._restored:
+            raise RuntimeError(
+                "cannot submit new jobs to a restored scheduler (restore "
+                "resumes exactly the snapshotted fleet)"
+            )
         if spec.name in self.jobs:
             raise ValueError(f"duplicate job name {spec.name!r}")
         if spec.parallel.pipeline_parallel != spec.cost_model.num_stages:
@@ -245,13 +366,24 @@ class FleetScheduler:
                 f"job {spec.name}: parallel shape {spec.parallel.describe()} does not "
                 f"match the cost model's {spec.cost_model.num_stages} pipeline stages"
             )
-        record = JobRecord(spec=spec, sequence=len(self.jobs))
+        if (
+            spec.planning_deadline_ms is not None
+            and self.config.planning_backoff_base_ms <= 0
+        ):
+            raise ValueError(
+                f"job {spec.name}: planning_deadline_ms requires "
+                "FleetConfig.planning_backoff_base_ms > 0 (without a backoff "
+                "delay a doomed planning streak would never consume fleet time)"
+            )
+        record = JobRecord(
+            spec=spec, sequence=len(self.jobs), last_queued_ms=spec.submit_time_ms
+        )
         self.jobs[spec.name] = record
         self._pending.append(record)
         return record
 
     def _check_event_args(self, time_ms: float, device: int) -> None:
-        if self._ran:
+        if self._ran or self._restored:
             raise RuntimeError("cannot inject cluster events after run()")
         if time_ms < 0:
             raise ValueError(f"time_ms must be >= 0, got {time_ms}")
@@ -286,6 +418,33 @@ class FleetScheduler:
             raise ValueError(f"device {device} already has a scheduled arrival")
         self._arrivals.append(DeviceArrivalEvent(time_ms=time_ms, device=device))
 
+    def inject_planner_fault(self, time_ms: float, kind: str, count: int = 1) -> None:
+        """Schedule a planner-side fault at fleet-clock ``time_ms``.
+
+        Kinds:
+
+        * ``"planner_kill"`` — kill ``count`` live planner workers (shared
+          pool first, else every running attempt's private pool in job
+          order).  Thread-backend kills are cooperative; a pool whose
+          workers are all dead degrades its jobs to inline planning.
+        * ``"store_error"`` — a transient instruction-store fault: ``count``
+          running pooled jobs (in job order) lose their next pending plan
+          payload, exercising the :class:`PlanFailedError` → retry/backoff
+          path; the next attempt replans the iteration successfully.
+        """
+        if self._ran or self._restored:
+            raise RuntimeError("cannot inject cluster events after run()")
+        if time_ms < 0:
+            raise ValueError(f"time_ms must be >= 0, got {time_ms}")
+        if kind not in ("planner_kill", "store_error"):
+            raise ValueError(
+                f"unknown planner fault kind {kind!r}; "
+                "choose 'planner_kill' or 'store_error'"
+            )
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._planner_faults.append((time_ms, kind, count))
+
     def _push_capacity_event(
         self, time_ms: float, kind: str, device: int, epoch: "int | None" = None
     ) -> None:
@@ -295,12 +454,15 @@ class FleetScheduler:
         self._capacity_seq += 1
 
     def _capacity_event_live(self, kind: str, device: int, epoch: "int | None") -> bool:
-        """Whether a queued capacity event would still do anything.
+        """Whether a queued capacity event could still *add* capacity.
 
-        An auto-repair whose failure epoch was superseded (the device was
-        repaired early and failed again) is dead; so is a repair for an
-        alive device or an arrival for a device already present.
+        Planner faults never add capacity.  An auto-repair whose failure
+        epoch was superseded (the device was repaired early and failed
+        again) is dead; so is a repair for an alive device or an arrival
+        for a device already present.
         """
+        if kind in ("planner_kill", "store_error"):
+            return False
         if kind == "arrival":
             return device in self.allocator.absent_devices
         if device not in self.allocator.failed_devices:
@@ -314,13 +476,27 @@ class FleetScheduler:
         if self._ran:
             raise RuntimeError("run() may only be called once")
         self._ran = True
-        for arrival in self._arrivals:
-            self.allocator.mark_absent(arrival.device)
-            self._down_since[arrival.device] = 0.0
-            self._push_capacity_event(arrival.time_ms, "arrival", arrival.device)
-        for repair in self._repairs:
-            self._push_capacity_event(repair.time_ms, "repair", repair.device)
+        if not self._restored:
+            for arrival in self._arrivals:
+                self.allocator.mark_absent(arrival.device)
+                self._down_since[arrival.device] = 0.0
+                self._push_capacity_event(arrival.time_ms, "arrival", arrival.device)
+            for repair in self._repairs:
+                self._push_capacity_event(repair.time_ms, "repair", repair.device)
+            for time_ms, kind, count in self._planner_faults:
+                # Planner faults ride the capacity heap: ``device`` carries
+                # the count and the epoch slot is unused.
+                self._push_capacity_event(time_ms, kind, count)
+            self._failures_sorted = sorted(
+                self._failures, key=lambda f: (f.time_ms, f.device)
+            )
         try:
+            # Restored running attempts are re-materialised here — inside
+            # the try — so their planning resources are owned by the same
+            # finally that covers the loop.
+            for record, gang, started_ms, completion_ms in self._restore_running:
+                self._resume_attempt(record, gang, started_ms, completion_ms)
+            self._restore_running = []
             clock = self._run_event_loop()
         finally:
             # Pool lifecycle is exactly-once even when the event loop dies
@@ -332,19 +508,45 @@ class FleetScheduler:
             self._stop_shared_pool()
         return self._build_report(clock)
 
+    @staticmethod
+    def _ready_ms(record: JobRecord) -> float:
+        """Earliest fleet-clock time the queued record may be admitted:
+        its submit time, pushed back by any planning-backoff hold."""
+        return max(record.spec.submit_time_ms, record.not_before_ms)
+
+    def _event_boundary(self) -> None:
+        """Hook point at the top of every event-loop iteration.
+
+        The previous event has fully applied and the next admission pass
+        has not started — the exact state :meth:`checkpoint` snapshots.
+        The periodic checkpoint sink fires first, then the ``on_event``
+        hook (whose exceptions propagate: that is the crash-simulation
+        path the chaos tests use).
+        """
+        config = self.config
+        if (
+            config.checkpoint_interval_events is not None
+            and config.checkpoint_sink is not None
+            and self._events_processed > 0
+            and self._events_processed % config.checkpoint_interval_events == 0
+        ):
+            config.checkpoint_sink(self.checkpoint())
+        if config.on_event is not None:
+            config.on_event(self)
+
     def _run_event_loop(self) -> float:
         """Process events until every job is terminal; returns the end clock."""
-        failures = sorted(self._failures, key=lambda f: (f.time_ms, f.device))
-        next_failure = 0
-        clock = 0.0
-        events = 0
+        assert self._failures_sorted is not None
+        failures = self._failures_sorted
         while self._pending or self._running:
-            events += 1
-            if events > self.config.max_events:
+            self._event_boundary()
+            self._events_processed += 1
+            if self._events_processed > self.config.max_events:
                 raise RuntimeError(
                     f"fleet scheduler exceeded {self.config.max_events} events; "
                     "likely a scheduling livelock"
                 )
+            clock = self._clock
             self._admit(clock)
             if not self._pending and not self._running:
                 break
@@ -352,12 +554,12 @@ class FleetScheduler:
             # ≤ failure (see the module docstring's event-ordering contract).
             infinity = float("inf")
             arrivals = [
-                r.spec.submit_time_ms for r in self._pending if r.spec.submit_time_ms > clock
+                self._ready_ms(r) for r in self._pending if self._ready_ms(r) > clock
             ]
             t_arrival = min(arrivals) if arrivals else infinity
             t_failure = (
-                max(failures[next_failure].time_ms, clock)
-                if next_failure < len(failures)
+                max(failures[self._next_failure].time_ms, clock)
+                if self._next_failure < len(failures)
                 else infinity
             )
             t_capacity = (
@@ -383,38 +585,40 @@ class FleetScheduler:
                     )
                 continue
             if t_completion <= min(t_capacity, t_arrival, t_failure):
-                clock = t_completion
+                self._clock = clock = t_completion
                 self._complete_iteration(running, clock)
             elif t_capacity <= min(t_arrival, t_failure):
-                clock = t_capacity
+                self._clock = clock = t_capacity
                 _, _, kind, device, epoch = heapq.heappop(self._capacity_heap)
                 self._apply_capacity_event(kind, device, clock, epoch)
             elif t_arrival <= t_failure:
-                clock = t_arrival  # loop re-admits at the arrival time
+                self._clock = t_arrival  # loop re-admits at the arrival time
             else:
-                clock = t_failure
-                self._apply_failure(failures[next_failure].device, clock)
-                next_failure += 1
+                self._clock = clock = t_failure
+                self._apply_failure(failures[self._next_failure].device, clock)
+                self._next_failure += 1
         # Events due by the end of the run but after the last job event
         # (e.g. a second device dying in the same instant that made the
         # queue unschedulable, or a repair landing exactly then) still
         # count against the cluster's capacity accounting; tie order
         # matches the main loop (capacity before failure).
+        clock = self._clock
         while (self._capacity_heap and self._capacity_heap[0][0] <= clock) or (
-            next_failure < len(failures) and failures[next_failure].time_ms <= clock
+            self._next_failure < len(failures)
+            and failures[self._next_failure].time_ms <= clock
         ):
             t_capacity = self._capacity_heap[0][0] if self._capacity_heap else float("inf")
             t_failure = (
-                failures[next_failure].time_ms
-                if next_failure < len(failures)
+                failures[self._next_failure].time_ms
+                if self._next_failure < len(failures)
                 else float("inf")
             )
             if t_capacity <= t_failure:
                 _, _, kind, device, epoch = heapq.heappop(self._capacity_heap)
                 self._apply_capacity_event(kind, device, clock, epoch)
             else:
-                self._apply_failure(failures[next_failure].device, clock)
-                next_failure += 1
+                self._apply_failure(failures[self._next_failure].device, clock)
+                self._next_failure += 1
         return clock
 
     # ------------------------------------------------------------------ admission
@@ -459,10 +663,10 @@ class FleetScheduler:
         progressed = True
         while progressed:
             progressed = False
-            admissible = [r for r in self._pending if r.spec.submit_time_ms <= clock]
+            admissible = [r for r in self._pending if self._ready_ms(r) <= clock]
             draining: list[JobRecord] = []
             for record in self.policy.order(admissible, clock):
-                if any(self._preempts(waiter, record) for waiter in draining):
+                if any(self._preempts(waiter, record, clock) for waiter in draining):
                     continue  # freed devices are reserved for the waiter
                 spec = record.spec
                 data_parallel = self._allowed_data_parallel(spec)
@@ -486,7 +690,7 @@ class FleetScheduler:
                     spec.parallel.tensor_parallel,
                 )
                 if gang is None:
-                    if self._eviction_feasible(record):
+                    if self._eviction_feasible(record, clock):
                         draining.append(record)
                     continue  # busy right now — backfill with the next job
                 self._pending.remove(record)
@@ -526,7 +730,7 @@ class FleetScheduler:
             attempt.outcome = "plan_failure"
             attempt.ended_ms = clock
             self.allocator.release(gang)
-            self._retry_or_fail(record, clock, str(error))
+            self._retry_or_fail(record, clock, str(error), planning=True)
             return
         running = _RunningJob(record=record, gang=gang, execution=execution, attempt=attempt)
         self._running[spec.name] = running
@@ -540,13 +744,14 @@ class FleetScheduler:
             result = running.execution.step()
         except JobPlanningError as error:
             self._end_attempt(running, clock, outcome="plan_failure")
-            self._retry_or_fail(running.record, clock, str(error))
+            self._retry_or_fail(running.record, clock, str(error), planning=True)
             return
         if result is None:
             self._finish_job(running, clock)
             return
         record_, _stats = result
         running.pending = result
+        running.pending_degraded = running.execution.last_step_degraded
         running.iteration_started_ms = clock
         running.completion_ms = clock + record_.measured_ms
 
@@ -568,6 +773,13 @@ class FleetScheduler:
             stats.decoder_efficiency,
         )
         running.attempt.iterations_completed += 1
+        # A committed iteration proves planning works again: the backoff
+        # streak and deadline window reset.
+        running.record.planning_failure_streak = 0
+        running.record.planning_failed_since_ms = None
+        if running.pending_degraded:
+            running.record.degraded_iterations += 1
+            running.pending_degraded = False
         duration = clock - running.iteration_started_ms
         self._busy_device_ms += running.gang.size * duration
         for device in running.gang.devices:
@@ -615,7 +827,7 @@ class FleetScheduler:
 
     # ------------------------------------------------------------------ graceful preemption
 
-    def _eviction_feasible(self, waiter: JobRecord) -> bool:
+    def _eviction_feasible(self, waiter: JobRecord, clock: float) -> bool:
         """Whether boundary evictions could actually seat queued ``waiter``.
 
         True only when the waiter does *not* fit the free pool as-is and
@@ -632,7 +844,7 @@ class FleetScheduler:
         evictable = sum(
             other.gang.size
             for other in self._running.values()
-            if self._preempts(waiter, other.record)
+            if self._preempts(waiter, other.record, clock)
         )
         return self.allocator.free_count + evictable >= need
 
@@ -646,17 +858,18 @@ class FleetScheduler:
         waiting = [
             record
             for record in self._pending
-            if record.spec.submit_time_ms <= clock
-            and self._preempts(record, victim)
+            if self._ready_ms(record) <= clock
+            and self._preempts(record, victim, clock)
         ]
         if not waiting:
             return False
         for waiter in self.policy.order(waiting, clock):
-            if not self._eviction_feasible(waiter):
+            if not self._eviction_feasible(waiter, clock):
                 continue
             victim.evictions += 1
             self._end_attempt(running, clock, outcome="evicted")
             victim.state = JobState.PENDING
+            victim.last_queued_ms = clock
             self._pending.append(victim)
             return True
         return False
@@ -686,8 +899,15 @@ class FleetScheduler:
         current = running.gang.data_parallel
         if current >= requested:
             return False
+        if running.attempt.iterations_completed < self.config.regrow_min_boundaries:
+            # Hysteresis: a freshly (re)started shrunk attempt must prove
+            # this many committed boundaries before it may regrow, so a
+            # flapping cluster does not thrash shrink/regrow.
+            return False
         for waiter in self._pending:
-            if waiter.spec.submit_time_ms > clock or not self._preempts(waiter, record):
+            if self._ready_ms(waiter) > clock or not self._preempts(
+                waiter, record, clock
+            ):
                 continue
             data_parallel = self._allowed_data_parallel(waiter.spec)
             if (
@@ -757,6 +977,10 @@ class FleetScheduler:
         repaired early and has failed again since — only the *new*
         failure's own repair may revive it).
         """
+        if kind in ("planner_kill", "store_error"):
+            # Planner faults ride the capacity heap; ``device`` is the count.
+            self._apply_planner_fault(kind, device, clock)
+            return
         if kind == "arrival":
             self.allocator.arrive_device(device)
         else:
@@ -764,8 +988,51 @@ class FleetScheduler:
                 return  # auto-repair of an already-superseded failure
             if not self.allocator.repair_device(device):
                 return  # stale repair (device alive): no-op
-        self._dead_device_ms += clock - self._down_since.pop(device)
+        down_ms = clock - self._down_since.pop(device)
+        self._dead_device_ms += down_ms
+        if kind == "repair":
+            self._repair_durations.append(down_ms)
         self._log_capacity(clock, kind, device)
+
+    def _apply_planner_fault(self, kind: str, count: int, clock: float) -> None:
+        """A scheduled planner-side fault fires.
+
+        ``planner_kill`` kills up to ``count`` live workers (shared pool
+        first; else every running attempt's private pool in job order) —
+        jobs whose pool loses all workers degrade to inline planning at
+        their next step.  ``store_error`` drops the next pending plan
+        payload of up to ``count`` running pooled jobs (job order), which
+        surfaces as a transient :class:`PlanFailedError` on the consumer
+        side and takes the normal retry/backoff path.
+        """
+        applied = 0
+        if kind == "planner_kill":
+            if self._shared_pool is not None:
+                applied = self._shared_pool.kill_workers(count)
+            else:
+                for running in sorted(
+                    self._running.values(), key=lambda rj: rj.record.sequence
+                ):
+                    if applied >= count:
+                        break
+                    applied += running.execution.kill_planner_workers(count - applied)
+        else:  # store_error
+            if self._shared_pool is not None:
+                for running in sorted(
+                    self._running.values(), key=lambda rj: rj.record.sequence
+                ):
+                    if applied >= count:
+                        break
+                    iteration = running.execution.next_pending_iteration
+                    if iteration is None:
+                        continue
+                    if self._shared_pool.inject_plan_loss(
+                        running.execution.stream_key, iteration
+                    ):
+                        applied += 1
+        self._fault_log.append(
+            {"time_ms": clock, "kind": kind, "requested": count, "applied": applied}
+        )
 
     def _log_capacity(self, clock: float, event: str, device: int) -> None:
         self._capacity_timeline.append(
@@ -777,8 +1044,63 @@ class FleetScheduler:
             )
         )
 
-    def _retry_or_fail(self, record: JobRecord, clock: float, reason: str) -> None:
-        """Requeue the job from its checkpoint, or fail it after bounded retries."""
+    def _planning_backoff_delay(self, record: JobRecord) -> float:
+        """Exponential backoff delay for the record's current failure streak.
+
+        ``base × factor^(streak-1)`` capped at the max, then jittered by
+        ``1 + jitter × U[0, 1)`` from the scheduler's seeded RNG (whose
+        state is checkpointed, so restored runs replay the same draws).
+        """
+        config = self.config
+        streak = max(1, record.planning_failure_streak)
+        delay = config.planning_backoff_base_ms * (
+            config.planning_backoff_factor ** (streak - 1)
+        )
+        delay = min(delay, config.planning_backoff_max_ms)
+        if config.planning_backoff_jitter > 0:
+            delay *= 1.0 + config.planning_backoff_jitter * self._rng.random()
+        return delay
+
+    def _retry_or_fail(
+        self, record: JobRecord, clock: float, reason: str, planning: bool = False
+    ) -> None:
+        """Requeue the job from its checkpoint, or fail it after bounded retries.
+
+        Planning failures (``planning=True``) additionally drive the
+        backoff/deadline machinery: with ``planning_backoff_base_ms > 0``
+        the re-admission is pushed back exponentially in the failure
+        streak, and a job with a ``planning_deadline_ms`` burns *wall
+        time* against that deadline instead of retry budget — it fails
+        only when planning has not succeeded for that long (the streak
+        resets on every committed iteration).
+        """
+        if planning:
+            record.planning_failure_streak += 1
+            if record.planning_failed_since_ms is None:
+                record.planning_failed_since_ms = clock
+            deadline = record.spec.planning_deadline_ms
+            if (
+                deadline is not None
+                and clock - record.planning_failed_since_ms >= deadline
+            ):
+                self._mark_failed(
+                    record,
+                    clock,
+                    f"planning deadline exceeded ({deadline:g} ms, "
+                    f"{record.planning_failure_streak} consecutive failures): {reason}",
+                    dequeue=False,
+                )
+                return
+            if self.config.planning_backoff_base_ms > 0:
+                record.not_before_ms = clock + self._planning_backoff_delay(record)
+                record.planning_retries += 1
+                if deadline is not None:
+                    # Deadline mode: wall time, not retry budget, bounds
+                    # the streak.
+                    record.state = JobState.PENDING
+                    record.last_queued_ms = clock
+                    self._pending.append(record)
+                    return
         record.retries += 1
         if record.retries > record.spec.max_retries:
             self._mark_failed(
@@ -789,6 +1111,7 @@ class FleetScheduler:
             )
             return
         record.state = JobState.PENDING
+        record.last_queued_ms = clock
         self._pending.append(record)
 
     def _mark_failed(
@@ -800,6 +1123,96 @@ class FleetScheduler:
         record.state = JobState.FAILED
         record.failure_reason = reason
         record.finished_ms = clock
+
+    # ------------------------------------------------------------------ checkpoint / restore
+
+    def checkpoint(self) -> "dict[str, Any]":
+        """JSON-safe snapshot of the full scheduler state at this boundary.
+
+        Only valid at an event boundary — from the ``on_event`` hook or a
+        ``checkpoint_sink`` — where no iteration result is half-applied.
+        See :mod:`repro.fleet.checkpoint` for the format and the restore
+        invariants.
+        """
+        from repro.fleet.checkpoint import snapshot_scheduler
+
+        if not self._ran:
+            raise RuntimeError(
+                "checkpoint() is only valid at an event boundary inside "
+                "run() (use the on_event hook or checkpoint_sink)"
+            )
+        return snapshot_scheduler(self)
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: "dict[str, Any]",
+        topology: ClusterTopology,
+        specs: "dict[str, JobSpec]",
+        config: "FleetConfig | None" = None,
+    ) -> "FleetScheduler":
+        """Rebuild a scheduler from a :meth:`checkpoint` snapshot.
+
+        ``specs`` supplies the (non-serialisable) job specs by name —
+        planner factories, cost models and trainer configs live there.
+        Calling :meth:`run` on the restored scheduler resumes the event
+        loop deterministically: the finished run's per-job records and
+        report are bit-identical to the uninterrupted run's (modulo
+        wall-clock planning times and, in pooled mode, the respawned
+        worker count).
+        """
+        from repro.fleet.checkpoint import restore_scheduler
+
+        return restore_scheduler(snapshot, topology, specs, config=config, cls=cls)
+
+    def _resume_attempt(
+        self,
+        record: JobRecord,
+        gang: DeviceGang,
+        started_ms: float,
+        completion_ms: float,
+    ) -> None:
+        """Re-materialise a snapshotted running attempt at restore time.
+
+        The attempt's :class:`JobAttempt` entry already exists (appended by
+        the original ``_start_attempt``), so only the execution object is
+        rebuilt.  Determinism rests on the committed-iteration count: the
+        rebuilt session fast-forwards its noise RNG past exactly the
+        committed draws, so re-stepping regenerates the snapshot's
+        in-flight iteration bit-identically — including its completion
+        time, which is restored from the snapshot as a cross-check.
+        """
+        spec = record.spec
+        try:
+            execution = JobExecution(
+                record,
+                gang,
+                planner_processes=self.config.planner_processes,
+                planner_lookahead=self.config.planner_lookahead,
+                planner_backend=self.config.planner_backend,
+                planner_timeout_s=self.config.planner_timeout_s,
+                shared_pool=self._shared_pool_handle(),
+            )
+        except JobPlanningError as error:
+            attempt = record.attempts[-1]
+            attempt.outcome = "plan_failure"
+            attempt.ended_ms = self._clock
+            self.allocator.release(gang)
+            self._retry_or_fail(record, self._clock, str(error), planning=True)
+            return
+        running = _RunningJob(
+            record=record,
+            gang=gang,
+            execution=execution,
+            attempt=record.attempts[-1],
+        )
+        self._running[spec.name] = running
+        self._advance(running, self._clock)
+        if spec.name in self._running and running.pending is not None:
+            # The regenerated in-flight iteration keeps the snapshot's
+            # start/completion stamps (it began before the checkpoint).
+            running.iteration_started_ms = started_ms
+            running.completion_ms = completion_ms
 
     # ------------------------------------------------------------------ reporting
 
@@ -822,4 +1235,6 @@ class FleetScheduler:
             capacity_timeline=list(self._capacity_timeline),
             trace=ExecutionTrace(events=list(self._trace_events)),
             planner_workers_spawned=self._planner_workers_spawned,
+            repair_durations_ms=list(self._repair_durations),
+            fault_log=list(self._fault_log),
         )

@@ -113,6 +113,15 @@ class JobExecution:
         self._pool_started = False
         self._workers_spawned = 0
         self._shared_pool: PlannerPool | None = None
+        #: Sticky degradation latch: once every worker of the attempt's
+        #: pool is dead, the attempt plans inline for the rest of its life
+        #: (pooled and inline plans are bit-identical, so only timing
+        #: accounting — not results — can tell the difference).
+        self._degraded = False
+        #: Whether the most recent successful step() planned through the
+        #: degraded inline fallback; the scheduler folds this into the
+        #: record's ``degraded_iterations`` when the iteration commits.
+        self.last_step_degraded = False
         #: Stream key on the shared pool — unique per attempt, so a retried
         #: attempt's stream can never receive (or be poisoned by) a dead
         #: attempt's late results or stale failure markers.
@@ -149,6 +158,28 @@ class JobExecution:
         """Workers this attempt's *private* pool spawned (0 in shared mode)."""
         return self._workers_spawned
 
+    @property
+    def stream_key(self) -> str | None:
+        """This attempt's stream name on the shared pool (``None`` otherwise)."""
+        return self._stream_key
+
+    @property
+    def next_pending_iteration(self) -> int | None:
+        """Absolute index of the next iteration to plan/execute, if any."""
+        if self._position >= len(self.minibatches):
+            return None
+        return self.minibatches[self._position].index
+
+    def kill_planner_workers(self, count: int) -> int:
+        """Kill up to ``count`` of this attempt's *private* pool workers.
+
+        Returns the number actually killed (0 for inline or shared-pool
+        attempts — the scheduler kills shared workers on the pool itself).
+        """
+        if self._pool is not None and self._pool_started:
+            return self._pool.kill_workers(count)
+        return 0
+
     def step(self) -> "tuple[IterationRecord, PaddingStats] | None":
         """Plan and execute the next iteration.
 
@@ -163,23 +194,45 @@ class JobExecution:
         if self._position >= len(self.minibatches):
             return None
         minibatch = self.minibatches[self._position]
+        degraded = False
         try:
             if self._shared_pool is not None:
-                payload = self._shared_pool.wait_payload(
-                    minibatch.index, timeout=self._timeout_s, job=self._stream_key
-                )
-                record, stats = self.session.record_from_payload(minibatch.index, payload)
-                self._shared_pool.notify_consumed(minibatch.index, job=self._stream_key)
+                if self._degraded or self._shared_pool.live_workers() == 0:
+                    # Graceful degradation: the planning cluster lost every
+                    # worker, so the attempt plans inline instead of failing
+                    # (inline plans are bit-identical to pooled ones).
+                    self._degraded = degraded = True
+                    record = self.session.run_iteration(minibatch)
+                    stats = self.session.last_padding_stats
+                else:
+                    payload = self._shared_pool.wait_payload(
+                        minibatch.index, timeout=self._timeout_s, job=self._stream_key
+                    )
+                    record, stats = self.session.record_from_payload(
+                        minibatch.index, payload
+                    )
+                    self._shared_pool.notify_consumed(
+                        minibatch.index, job=self._stream_key
+                    )
             elif self._pool is not None:
                 if not self._pool_started:
                     self._pool.start()
                     self._pool_started = True
                     self._workers_spawned = self._pool.num_workers
-                # Plans are keyed by absolute iteration (the pool's
-                # start_iteration anchors a resumed attempt's tail).
-                payload = self._pool.wait_payload(minibatch.index, timeout=self._timeout_s)
-                record, stats = self.session.record_from_payload(minibatch.index, payload)
-                self._pool.notify_consumed(minibatch.index)
+                if self._degraded or self._pool.live_workers() == 0:
+                    self._degraded = degraded = True
+                    record = self.session.run_iteration(minibatch)
+                    stats = self.session.last_padding_stats
+                else:
+                    # Plans are keyed by absolute iteration (the pool's
+                    # start_iteration anchors a resumed attempt's tail).
+                    payload = self._pool.wait_payload(
+                        minibatch.index, timeout=self._timeout_s
+                    )
+                    record, stats = self.session.record_from_payload(
+                        minibatch.index, payload
+                    )
+                    self._pool.notify_consumed(minibatch.index)
             else:
                 record = self.session.run_iteration(minibatch)
                 stats = self.session.last_padding_stats
@@ -193,6 +246,7 @@ class JobExecution:
                 f"within {self._timeout_s:.1f}s: {error}"
             ) from error
         self._position += 1
+        self.last_step_degraded = degraded
         return record, stats
 
     def close(self) -> None:

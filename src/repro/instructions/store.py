@@ -36,6 +36,17 @@ class PlanNotReadyError(KeyError):
     """Raised when an executor fetches a plan that has not been pushed yet."""
 
 
+class StoreTransientError(PlanNotReadyError):
+    """A transient store-side fault: the fetch failed but the plan may exist.
+
+    Deliberately a :class:`PlanNotReadyError` subclass — the real system's
+    Redis hiccups (connection resets, timeouts) are retryable, so executors
+    that already retry "not ready" handle a transient store error with the
+    same loop.  Armed by :meth:`InstructionStore.inject_transient_errors`
+    (the chaos harness's store-fault primitive).
+    """
+
+
 class PlanFailedError(RuntimeError):
     """Raised when planning for the fetched iteration failed.
 
@@ -78,6 +89,26 @@ class InstructionStore:
         self._lock = threading.Lock()
         self._plans: dict[tuple[str, int, int], Any] = {}
         self._failures: dict[tuple[str, int], str] = {}
+        self._transient_errors = 0
+        self._transient_message = ""
+
+    def inject_transient_errors(
+        self, count: int = 1, message: str = "injected transient store error"
+    ) -> None:
+        """Arm the next ``count`` :meth:`fetch` calls to fail transiently.
+
+        Each armed fetch raises :class:`StoreTransientError` (a retryable
+        :class:`PlanNotReadyError`) instead of returning, decrementing the
+        counter — modelling a Redis connection hiccup that clears after a
+        bounded number of attempts.  State-changing operations (push,
+        evict) are unaffected, matching the read-path-only failure mode
+        the real system retries around.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        with self._lock:
+            self._transient_errors += count
+            self._transient_message = message
 
     def push(
         self, iteration: int, executor_rank: int, plan: Any, job: str = DEFAULT_JOB
@@ -110,10 +141,18 @@ class InstructionStore:
         """Fetch a plan.
 
         Raises:
+            StoreTransientError: If a transient store fault is armed (see
+                :meth:`inject_transient_errors`); retryable.
             PlanFailedError: If planning of ``(job, iteration)`` failed.
             PlanNotReadyError: If the plan has not been pushed yet.
         """
         with self._lock:
+            if self._transient_errors > 0:
+                self._transient_errors -= 1
+                raise StoreTransientError(
+                    f"{self._transient_message} (fetch of iteration {iteration}, "
+                    f"executor {executor_rank})"
+                )
             if (job, iteration) in self._failures:
                 raise PlanFailedError(
                     f"planning failed for iteration {iteration}"

@@ -383,6 +383,9 @@ class PlannerPool:
         #: the planned/failed/abandoned accounting stays consistent.
         self._sealed = False
         self._started = False
+        #: Cooperative kill set of the thread backend: a worker whose name
+        #: lands here exits at the top of its next loop (chaos harness).
+        self._killed: set[str] = set()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._processes: list[mp.process.BaseProcess] = []
@@ -596,6 +599,8 @@ class PlannerPool:
 
     def _thread_worker(self, worker_id: str) -> None:
         while not self._stop.is_set():
+            if worker_id in self._killed:
+                break
             try:
                 task = self._queue.get(timeout=0.05)
             except queue.Empty:
@@ -887,6 +892,81 @@ class PlannerPool:
         stream = self._streams.get(DEFAULT_JOB)
         return list(stream.abandoned) if stream is not None else []
 
+    # ------------------------------------------------------------------ fault injection
+
+    def kill_workers(self, count: int | None = None) -> int:
+        """Kill up to ``count`` live workers (all of them when ``None``).
+
+        The chaos harness's worker-loss primitive.  Process workers are
+        terminated — a worker holding a task dies with it, and the
+        collector's existing crash machinery fails the orphaned iteration
+        so consumers observe a :class:`PlanFailedError` instead of a hang.
+        Thread workers are killed cooperatively (they exit before taking
+        another task; the current task, if any, completes).  The call
+        blocks until the victims are actually gone, so
+        :meth:`live_workers` is accurate when it returns.
+
+        Returns the number of workers killed.
+        """
+        if not self._started:
+            return 0
+        victims: list[Any] = [
+            thread
+            for thread in self._threads
+            if thread.is_alive() and thread.name not in self._killed
+        ]
+        victims.extend(process for process in self._processes if process.is_alive())
+        if count is not None:
+            victims = victims[: max(0, count)]
+        for victim in victims:
+            if isinstance(victim, threading.Thread):
+                self._killed.add(victim.name)
+            else:
+                victim.terminate()
+        for victim in victims:
+            victim.join(timeout=10.0)
+        return len(victims)
+
+    def inject_plan_loss(
+        self,
+        job: str,
+        iteration: int,
+        message: str = "injected transient store error: plan payload lost",
+    ) -> bool:
+        """Drop ``(job, iteration)``'s plan and mark it failed (transient fault).
+
+        Models a transient instruction-store error: whatever the workers
+        produced for the iteration is discarded (retained payload, store
+        entries) and a failure marker is pushed in its place, so the
+        consumer's next :meth:`wait_payload` raises
+        :class:`PlanFailedError` exactly as a worker-side failure would.
+        The fault is *transient* by construction — it poisons only this
+        attempt's stream; a retried attempt replans the iteration under a
+        fresh stream name and succeeds.
+
+        Returns ``True`` if the fault was injected; ``False`` when there
+        was nothing to poison (unknown/retired stream, iteration outside
+        the stream's range or already consumed, or already failed).
+        """
+        with self._lock:
+            stream = self._streams.get(job)
+            if stream is None or stream.retired or self._sealed:
+                return False
+            if iteration < stream.start or iteration >= stream.end:
+                return False
+            if iteration <= stream.consumed:
+                return False
+            if iteration in stream.failed:
+                return False
+            stream.payloads.pop(iteration, None)
+            stream.completed.discard(iteration)
+            error = RuntimeError(message)
+            stream.errors.append((iteration, error))
+            stream.failed.add(iteration)
+            self.store.evict_iteration(iteration, job=job)
+            self.store.push_failure(iteration, message, job=job)
+        return True
+
     # ------------------------------------------------------------------ status
 
     @property
@@ -984,6 +1064,12 @@ class PlannerPool:
                 )
                 if failure is None:
                     failure = self._pool_failure
+            if failure is None and self._started and self.live_workers() == 0:
+                # Every worker is gone (e.g. killed by the chaos harness)
+                # and the iteration is neither planned nor failed: nothing
+                # will ever serve it, so fail fast instead of spinning out
+                # the full timeout.
+                failure = RuntimeError("all planner workers are dead")
             if payload is not None:
                 return payload
             if failure is not None:

@@ -31,6 +31,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 TIER2_BENCH_FILES = (
     "bench_planner_hotpath.py",
     "bench_fleet_scheduler.py",
+    "bench_fleet_faults.py",
 )
 
 

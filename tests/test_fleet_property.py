@@ -1,0 +1,127 @@
+"""Property-based chaos tests: random seeded fault plans never break invariants.
+
+For arbitrary :func:`repro.fleet.random_fault_plan` seeds, a fleet run
+must (1) bring every job to a terminal state, (2) leak no devices, and
+(3) keep the allocator's 4-way device partition (free / busy / failed /
+absent) exact at every event boundary — checked from the ``on_event``
+hook, not just at the end of the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.planner import PlannerConfig
+from repro.fleet import (
+    FaultInjector,
+    FaultPlan,
+    FleetConfig,
+    FleetScheduler,
+    JobSpec,
+    JobState,
+    random_fault_plan,
+)
+from repro.parallel.config import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def planner_config():
+    return PlannerConfig(order_search=False, tmax_sample_count=8)
+
+
+def fleet_specs(pp2_cost_model, fleet_samples, planner_config):
+    return [
+        JobSpec(
+            name=f"job{i}",
+            cost_model=pp2_cost_model,
+            samples=fleet_samples,
+            global_batch_tokens=4096,
+            parallel=ParallelConfig(1, 2, 1),
+            num_iterations=2,
+            planner_config=planner_config,
+            seed=i,
+            max_retries=4,
+        )
+        for i in range(3)
+    ]
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_random_fault_plans_preserve_fleet_invariants(
+    seed, pp2_cost_model, fleet_samples, planner_config, small_device
+):
+    topology = ClusterTopology.for_num_gpus(4, gpus_per_node=2, device_spec=small_device)
+    plan = random_fault_plan(
+        topology,
+        seed=seed,
+        duration_ms=60.0,
+        storm_rate_per_s=50.0,
+        rack_outage_probability=0.5,
+        planner_fault_probability=0.25,
+    )
+
+    boundaries = {"seen": 0}
+
+    def invariant(scheduler: FleetScheduler) -> None:
+        boundaries["seen"] += 1
+        allocator = scheduler.allocator
+        allocator.check_consistent()
+        # The 4-way partition is exact at every single event boundary.
+        partition = (
+            allocator.free_count
+            + allocator.busy_count
+            + len(allocator.failed_devices)
+            + len(allocator.absent_devices)
+        )
+        assert partition == allocator.num_devices
+
+    scheduler = FleetScheduler(topology, FleetConfig(on_event=invariant))
+    records = [
+        scheduler.submit(spec)
+        for spec in fleet_specs(pp2_cost_model, fleet_samples, planner_config)
+    ]
+    FaultInjector(plan).apply(scheduler)
+    report = scheduler.run()
+
+    assert boundaries["seen"] > 0
+    # (1) Every job reached a terminal state — nothing queued or running.
+    for record in records:
+        assert record.state in (JobState.FINISHED, JobState.FAILED), record.spec.name
+    assert report.finished_jobs + report.failed_jobs == len(records)
+    assert not scheduler._pending
+    assert not scheduler._running
+    # (2) Zero leaked devices once the fleet drains.
+    allocator = scheduler.allocator
+    allocator.check_consistent()
+    assert allocator.busy_count == 0
+    assert allocator.free_count == allocator.alive_count
+    # A finished job always trained exactly its target iterations.
+    for record in records:
+        if record.state == JobState.FINISHED:
+            assert record.checkpoint.completed_iterations == record.spec.num_iterations
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_fault_plans_round_trip_through_json(seed, small_device):
+    topology = ClusterTopology.for_num_gpus(8, gpus_per_node=4, device_spec=small_device)
+    plan = random_fault_plan(topology, seed=seed, planner_fault_probability=0.5)
+    rebuilt = FaultPlan.from_dicts(plan.to_dicts(), seed=plan.seed)
+    assert rebuilt.events == plan.events
+    for event in plan.events:
+        assert event.time_ms >= 0.0
+        if event.device is not None:
+            assert 0 <= event.device < topology.num_gpus
+        if event.node is not None:
+            assert 0 <= event.node < topology.num_nodes
