@@ -1,0 +1,100 @@
+"""Incremental order search: compile the schedule geometry once, re-solve deltas.
+
+The planner's injection-order search (paper §5) scores permutations of a
+replica's micro-batches by simulating the memory-aware adaptive schedule.
+The legacy path rebuilds the full compute-op schedule and re-simulates the
+timeline for every permutation; the incremental path compiles the schedule
+*geometry* (op order + dependency structure) once per distinct memory-gated
+shape and re-solves only the permuted duration/communication arrays.  Both
+paths are bit-identical — this example times them side by side on a seeded
+GPT configuration and prints the engine counters that prove the reuse.
+
+Run with:  PYTHONPATH=src python examples/incremental_order_search.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.comm.shapes import TransferShapes
+from repro.core.planner import DynaPipePlanner, PlannerConfig
+from repro.costmodel.cost_model import CostModel
+from repro.model.config import ModelArch, ModelConfig
+from repro.model.memory import RecomputeMode
+from repro.model.transformer import MicroBatchShape
+
+CONFIG = ModelConfig(
+    name="gpt-example-small",
+    arch=ModelArch.GPT,
+    num_layers=8,
+    hidden_size=1024,
+    num_heads=16,
+    kv_channels=64,
+    ffn_hidden_size=4096,
+    vocab_size=32000,
+)
+
+NUM_MICROBATCHES = 16
+REPEATS = 5
+
+
+def main() -> None:
+    cost_model = CostModel(
+        CONFIG, num_stages=4, max_profile_batch_size=128, max_profile_seq_len=2048
+    )
+    planner = DynaPipePlanner(
+        cost_model,
+        config=PlannerConfig(
+            order_search=True, num_time_clusters=4, max_order_permutations=24
+        ),
+    )
+
+    rng = np.random.default_rng(42)
+    shapes = [
+        MicroBatchShape(
+            batch_size=int(rng.integers(1, 9)),
+            enc_seq_len=int(rng.choice([128, 256, 512, 1024])),
+        )
+        for _ in range(NUM_MICROBATCHES)
+    ]
+    transfer_shapes = TransferShapes.from_cost_model(cost_model, shapes)
+    mode = RecomputeMode.NONE
+
+    def search(incremental: bool):
+        planner.config.incremental_order_search = incremental
+        planner._search_injection_order(shapes, mode, transfer_shapes)  # warm caches
+        best = float("inf")
+        result = None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            result = planner._search_injection_order(shapes, mode, transfer_shapes)
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    legacy, legacy_s = search(incremental=False)
+    incremental, incremental_s = search(incremental=True)
+
+    print(f"micro-batches: {NUM_MICROBATCHES}   stages: {cost_model.num_stages}")
+    print(f"permutations evaluated: {incremental.evaluated}")
+    print()
+    print(f"legacy (rebuild per permutation):  {legacy_s * 1e3:8.2f} ms")
+    print(f"incremental (compile-once):        {incremental_s * 1e3:8.2f} ms")
+    print(f"speed-up:                          {legacy_s / incremental_s:8.1f}x")
+    print()
+    print(
+        f"geometry compiles: {incremental.geometry_compiles}   "
+        f"timeline solves: {incremental.timeline_solves}"
+    )
+    print(f"selected order:    {incremental.order}")
+    print(f"makespan:          {incremental.makespan_ms:.3f} ms")
+
+    assert incremental.order == legacy.order
+    assert incremental.makespan_ms == legacy.makespan_ms
+    print()
+    print("OK: incremental search is bit-identical to the legacy rebuild path.")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,12 +28,18 @@ class OrderingSearchResult:
         makespan_ms: Simulated makespan of the selected order.
         evaluated: Number of candidate orders scored.
         cluster_sizes: Sizes of the execution-time clusters used.
+        geometry_compiles: Distinct schedule geometries compiled during the
+            search (incremental scoring only; ``None`` on the legacy path).
+        timeline_solves: Timeline solves performed during the search
+            (incremental scoring only; ``None`` on the legacy path).
     """
 
     order: list[int]
     makespan_ms: float
     evaluated: int
     cluster_sizes: list[int]
+    geometry_compiles: int | None = None
+    timeline_solves: int | None = None
 
 
 def cluster_by_time(times: Sequence[float], num_clusters: int) -> list[list[int]]:

@@ -25,6 +25,8 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.batching.base import MicroBatch
 from repro.batching.metrics import PaddingStats, padding_stats
 from repro.cluster.network import NetworkModel
@@ -44,6 +46,7 @@ from repro.model.memory import RecomputeMode, weight_gradient_bytes
 from repro.model.transformer import MicroBatchShape
 from repro.schedule.cyclic import ScheduleDeadlockError
 from repro.simulator.engine import SimulationResult, simulate_schedule
+from repro.simulator.incremental import IncrementalOrderSimulator
 
 
 @dataclass
@@ -62,6 +65,11 @@ class PlannerConfig:
             iteration; when False, ``recompute`` is used unconditionally.
         recompute: Recomputation mode used when ``dynamic_recompute`` is off.
         order_search: Whether to search micro-batch injection orders.
+        incremental_order_search: Score permutations with the incremental
+            simulator (compile the schedule geometry once, re-solve only the
+            duration/order deltas) instead of rebuilding the full schedule
+            and timeline per permutation.  Scores are bit-identical either
+            way; this knob exists for A/B timing and as an escape hatch.
         num_time_clusters: Number of execution-time clusters for the order
             search (3–4 per the paper).
         max_order_permutations: Cap on evaluated cluster permutations.
@@ -83,6 +91,7 @@ class PlannerConfig:
     dynamic_recompute: bool = True
     recompute: RecomputeMode = RecomputeMode.NONE
     order_search: bool = True
+    incremental_order_search: bool = True
     num_time_clusters: int = 3
     max_order_permutations: int = 24
     tmax_sample_count: int = 24
@@ -492,45 +501,122 @@ class DynaPipePlanner:
             loads[target] += times[index]
         return groups
 
+    def _order_search_simulator(
+        self,
+        shapes: Sequence[MicroBatchShape],
+        mode: RecomputeMode,
+        transfer_shapes: TransferShapes,
+    ) -> IncrementalOrderSimulator:
+        """Build the incremental scorer's duration/comm/activation arrays.
+
+        All values come from the same cost-model and network queries the
+        legacy build-and-simulate path performs, so scores are bit-identical.
+        """
+        shapes = list(shapes)
+        num_stages = self.cost_model.num_stages
+        num_microbatches = len(shapes)
+        forward_ms = np.empty((num_microbatches, num_stages))
+        backward_ms = np.empty((num_microbatches, num_stages))
+        activation = np.empty((num_microbatches, num_stages))
+        for stage in range(num_stages):
+            costs = self.cost_model.stage_costs_many(stage, shapes, mode)
+            for index, cost in enumerate(costs):
+                forward_ms[index, stage] = cost.forward_ms
+                backward_ms[index, stage] = cost.backward_ms
+                activation[index, stage] = cost.activation_bytes
+        same_node = self.config.stages_same_node
+        act_comm = np.zeros((num_microbatches, num_stages))
+        grad_comm = np.zeros((num_microbatches, num_stages))
+        for microbatch in range(num_microbatches):
+            for src in range(num_stages - 1):
+                act_comm[microbatch, src] = self.network.p2p_time_ms(
+                    transfer_shapes.act_bytes(microbatch, src), same_node=same_node
+                )
+            for src in range(1, num_stages):
+                grad_comm[microbatch, src] = self.network.p2p_time_ms(
+                    transfer_shapes.grad_bytes(microbatch, src), same_node=same_node
+                )
+        limits = (
+            self.scheduler.memory_limits()
+            if self.config.schedule_kind is ScheduleKind.MEMORY_AWARE_ADAPTIVE
+            else None
+        )
+        static = [
+            self.cost_model.stage_static_bytes(j) for j in range(num_stages)
+        ]
+        return IncrementalOrderSimulator(
+            num_stages,
+            activation,
+            forward_ms,
+            backward_ms,
+            act_comm,
+            grad_comm,
+            memory_limits=limits,
+            static_bytes=static,
+            device_memory_bytes=self.device_memory_bytes,
+        )
+
     def _search_injection_order(
         self,
         shapes: Sequence[MicroBatchShape],
         mode: RecomputeMode,
         transfer_shapes: TransferShapes,
     ) -> OrderingSearchResult:
-        """Cluster-permutation search over injection orders (§5)."""
+        """Cluster-permutation search over injection orders (§5).
+
+        By default permutations are scored with the incremental simulator:
+        the cyclic slot structure is derived per permutation with the lean
+        slot scheduler, the dependency DAG is compiled once per distinct
+        structure, and each candidate is a pure array re-solve.  The legacy
+        path (rebuild the full schedule + timeline per permutation) is kept
+        behind ``PlannerConfig.incremental_order_search=False`` and for the
+        1F1B schedule, which ignores the injection order.
+        """
         times = [
             float(t) for t in self.cost_model.microbatch_times_ms(list(shapes), mode)
         ]
-        comm_time = self._comm_time_fn(transfer_shapes)
-        static = [
-            self.cost_model.stage_static_bytes(j) for j in range(self.cost_model.num_stages)
-        ]
+        simulator: IncrementalOrderSimulator | None = None
+        if (
+            self.config.incremental_order_search
+            and self.config.schedule_kind is not ScheduleKind.ONE_F_ONE_B
+        ):
+            simulator = self._order_search_simulator(shapes, mode, transfer_shapes)
+            score = simulator.score
+        else:
+            comm_time = self._comm_time_fn(transfer_shapes)
+            static = [
+                self.cost_model.stage_static_bytes(j)
+                for j in range(self.cost_model.num_stages)
+            ]
 
-        def score(order: Sequence[int]) -> float:
-            try:
-                build = self.scheduler.build(
-                    shapes,
-                    kind=self.config.schedule_kind,
-                    recompute=mode,
-                    injection_order=order,
+            def score(order: Sequence[int]) -> float:
+                try:
+                    build = self.scheduler.build(
+                        shapes,
+                        kind=self.config.schedule_kind,
+                        recompute=mode,
+                        injection_order=order,
+                    )
+                except ScheduleDeadlockError:
+                    return float("inf")
+                simulation = simulate_schedule(
+                    build.schedule,
+                    build.durations,
+                    comm_time_fn=comm_time,
+                    activation_bytes=build.activation_bytes,
+                    static_bytes=static,
                 )
-            except ScheduleDeadlockError:
-                return float("inf")
-            simulation = simulate_schedule(
-                build.schedule,
-                build.durations,
-                comm_time_fn=comm_time,
-                activation_bytes=build.activation_bytes,
-                static_bytes=static,
-            )
-            if not self._replica_feasible(simulation):
-                return float("inf")
-            return simulation.makespan_ms
+                if not self._replica_feasible(simulation):
+                    return float("inf")
+                return simulation.makespan_ms
 
-        return cluster_and_order(
+        result = cluster_and_order(
             times,
             score,
             num_clusters=self.config.num_time_clusters,
             max_permutations=self.config.max_order_permutations,
         )
+        if simulator is not None:
+            result.geometry_compiles = simulator.compiles
+            result.timeline_solves = simulator.solves
+        return result

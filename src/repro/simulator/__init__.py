@@ -17,17 +17,33 @@ Two levels of fidelity are provided:
   iterations with execution-time noise.
 """
 
-from repro.simulator.engine import SimulationResult, simulate_schedule
+from repro.simulator.compiled import CompiledTimeline, SimulationError
+from repro.simulator.engine import (
+    SimulationResult,
+    compile_schedule,
+    engine_stats,
+    reset_engine_stats,
+    simulate_schedule,
+    simulate_schedule_scalar,
+)
 from repro.simulator.executor import (
     CommunicationDeadlockError,
     ExecutionResult,
     InstructionExecutor,
 )
+from repro.simulator.incremental import IncrementalOrderSimulator
 from repro.simulator.memory_tracker import MemoryTracker
 from repro.simulator.trace import ExecutionTrace, TraceEvent
 
 __all__ = [
     "simulate_schedule",
+    "simulate_schedule_scalar",
+    "compile_schedule",
+    "engine_stats",
+    "reset_engine_stats",
+    "CompiledTimeline",
+    "IncrementalOrderSimulator",
+    "SimulationError",
     "SimulationResult",
     "InstructionExecutor",
     "ExecutionResult",

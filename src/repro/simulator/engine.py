@@ -12,31 +12,65 @@ under the pipeline's data dependencies:
   backward on stage ``j + 1`` plus the gradient transfer time;
 * the backward pass on the last stage follows its own forward pass.
 
+Two engines implement this recurrence:
+
+* the **vectorized** engine (default) compiles the schedule into a
+  :class:`~repro.simulator.compiled.CompiledTimeline` — flat numpy arrays
+  plus a precomputed dependency index — and solves it wave-by-wave in
+  topological levels.  Compiled geometries are cached by schedule structure,
+  so re-simulating the same geometry (order search, fleet iterations with
+  unchanged plans) skips compilation entirely;
+* the **scalar** engine is the original per-op Python event loop, kept as
+  the bit-identity oracle.  Select it per call (``engine="scalar"``) or
+  process-wide (``REPRO_SIM_ENGINE=scalar``).
+
 The result contains the full timeline (used for safety-stock analysis and
 communication planning), the makespan, per-device idle time and the peak
-activation memory per device.
+activation memory per device.  ``op_times`` and ``trace`` are materialized
+lazily from the solver arrays on first access.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from collections import OrderedDict
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from repro.schedule.events import ComputeOp, OpType, PipelineSchedule
+from repro.simulator.compiled import (
+    _STATS,
+    CompiledTimeline,
+    SimulationError,
+    UnsupportedScheduleError,
+    engine_stats,
+    reset_engine_stats,
+)
 from repro.simulator.memory_tracker import MemoryTracker
 from repro.simulator.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "CommTimeFn",
+    "DurationFn",
+    "SimulationError",
+    "SimulationResult",
+    "compile_schedule",
+    "engine_stats",
+    "reset_engine_stats",
+    "simulate_schedule",
+    "simulate_schedule_scalar",
+]
 
 #: Duration provider: maps a compute op to milliseconds.
 DurationFn = Callable[[ComputeOp], float]
 #: Communication time provider: (microbatch, from_stage, to_stage, is_gradient) -> ms.
 CommTimeFn = Callable[[int, int, int, bool], float]
 
+#: Environment variable selecting the default engine ("vector" or "scalar").
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
 
-class SimulationError(RuntimeError):
-    """Raised when a schedule cannot be simulated (unsatisfiable dependencies)."""
 
-
-@dataclass
 class SimulationResult:
     """Output of :func:`simulate_schedule`.
 
@@ -48,14 +82,53 @@ class SimulationResult:
         peak_activation_bytes: Peak activation memory per device (excludes
             static memory unless the caller passes it via the tracker).
         trace: Flat execution trace for rendering / export.
+
+    ``op_times`` and ``trace`` may be built lazily from the vectorized
+    solver's arrays; all other attributes are always materialized.
     """
 
-    op_times: dict[ComputeOp, tuple[float, float]]
-    makespan_ms: float
-    device_busy_ms: list[float]
-    device_idle_ms: list[float]
-    peak_activation_bytes: list[float]
-    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    def __init__(
+        self,
+        op_times: dict[ComputeOp, tuple[float, float]] | None = None,
+        makespan_ms: float = 0.0,
+        device_busy_ms: list[float] | None = None,
+        device_idle_ms: list[float] | None = None,
+        peak_activation_bytes: list[float] | None = None,
+        trace: ExecutionTrace | None = None,
+        materialize: Callable[[], tuple[dict[ComputeOp, tuple[float, float]], ExecutionTrace]]
+        | None = None,
+    ) -> None:
+        self._op_times = op_times
+        self._trace = trace
+        self._materialize = materialize
+        if materialize is None:
+            if self._op_times is None:
+                self._op_times = {}
+            if self._trace is None:
+                self._trace = ExecutionTrace()
+        self.makespan_ms = makespan_ms
+        self.device_busy_ms = device_busy_ms if device_busy_ms is not None else []
+        self.device_idle_ms = device_idle_ms if device_idle_ms is not None else []
+        self.peak_activation_bytes = (
+            peak_activation_bytes if peak_activation_bytes is not None else []
+        )
+
+    def _fill(self) -> None:
+        assert self._materialize is not None
+        self._op_times, self._trace = self._materialize()
+        self._materialize = None
+
+    @property
+    def op_times(self) -> dict[ComputeOp, tuple[float, float]]:
+        if self._op_times is None:
+            self._fill()
+        return self._op_times
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        if self._trace is None:
+            self._fill()
+        return self._trace
 
     @property
     def bubble_fraction(self) -> float:
@@ -69,12 +142,70 @@ def _zero_comm_time(microbatch: int, src: int, dst: int, is_gradient: bool) -> f
     return 0.0
 
 
+# ---------------------------------------------------------------- geometry cache
+
+_GEOMETRY_CACHE: OrderedDict[tuple, CompiledTimeline] = OrderedDict()
+_GEOMETRY_CACHE_MAX = 128
+
+
+def _structure_signature(schedule: PipelineSchedule) -> tuple:
+    """Hashable key for the schedule's geometry (per-stage op sequences)."""
+    parts = []
+    for stage_schedule in schedule.stages:
+        encoded = np.fromiter(
+            (
+                (op.microbatch << 1) | (op.op_type is OpType.FORWARD)
+                for op in stage_schedule.ops
+            ),
+            dtype=np.int64,
+            count=len(stage_schedule.ops),
+        )
+        parts.append(encoded.tobytes())
+    return tuple(parts)
+
+
+def compile_schedule(schedule: PipelineSchedule) -> CompiledTimeline:
+    """Compile ``schedule`` into a :class:`CompiledTimeline`, with caching.
+
+    Two cache layers avoid recompilation: the compiled timeline is attached
+    to the schedule object itself (same-object re-simulation, e.g. repeated
+    fleet iterations over one plan), and a process-wide LRU keyed by the
+    schedule *structure* catches structurally identical schedules built
+    fresh each iteration.
+    """
+    cached = getattr(schedule, "_compiled_timeline", None)
+    if cached is not None:
+        _STATS["geometry_cache_hits"] += 1
+        return cached
+    signature = _structure_signature(schedule)
+    timeline = _GEOMETRY_CACHE.get(signature)
+    if timeline is not None:
+        _GEOMETRY_CACHE.move_to_end(signature)
+        _STATS["geometry_cache_hits"] += 1
+    else:
+        timeline = CompiledTimeline.from_schedule(schedule)
+        _GEOMETRY_CACHE[signature] = timeline
+        while len(_GEOMETRY_CACHE) > _GEOMETRY_CACHE_MAX:
+            _GEOMETRY_CACHE.popitem(last=False)
+    schedule._compiled_timeline = timeline  # cheap same-object memoization
+    return timeline
+
+
+def clear_geometry_cache() -> None:
+    """Drop all cached compiled geometries (used by tests)."""
+    _GEOMETRY_CACHE.clear()
+
+
+# ---------------------------------------------------------------- dispatcher
+
+
 def simulate_schedule(
     schedule: PipelineSchedule,
     duration_fn: DurationFn | Mapping[ComputeOp, float],
     comm_time_fn: CommTimeFn | None = None,
     activation_bytes: Sequence[Sequence[float]] | None = None,
     static_bytes: Sequence[float] | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Simulate ``schedule`` and return its timeline.
 
@@ -86,10 +217,113 @@ def simulate_schedule(
         activation_bytes: Optional ``[microbatch][stage]`` activation sizes
             for memory accounting.
         static_bytes: Optional per-device static memory added to the tracker.
+        engine: ``"vector"`` (default) or ``"scalar"``; overrides the
+            ``REPRO_SIM_ENGINE`` environment variable.
 
     Returns:
         A :class:`SimulationResult`.
     """
+    selected = engine or os.environ.get(ENGINE_ENV_VAR) or "vector"
+    if selected == "scalar":
+        return simulate_schedule_scalar(
+            schedule, duration_fn, comm_time_fn, activation_bytes, static_bytes
+        )
+    if selected != "vector":
+        raise ValueError(f"unknown simulation engine {selected!r}")
+    try:
+        timeline = compile_schedule(schedule)
+    except UnsupportedScheduleError:
+        # Degenerate schedules (duplicate ops) keep the scalar semantics.
+        return simulate_schedule_scalar(
+            schedule, duration_fn, comm_time_fn, activation_bytes, static_bytes
+        )
+    durations = timeline.durations_from(duration_fn, schedule)
+    comm = timeline.comm_from(comm_time_fn) if comm_time_fn is not None else None
+    solution = timeline.solve(durations, comm)
+    makespan = solution.makespan_ms
+    busy, idle = timeline.device_busy_idle(solution.starts, solution.ends, makespan)
+    if activation_bytes is not None:
+        peaks = timeline.peak_activation(activation_bytes, static_bytes)
+    else:
+        peaks = [
+            (static_bytes[j] if static_bytes else 0.0) for j in range(schedule.num_stages)
+        ]
+    starts, ends = solution.starts, solution.ends
+
+    def materialize() -> tuple[dict[ComputeOp, tuple[float, float]], ExecutionTrace]:
+        op_times: dict[ComputeOp, tuple[float, float]] = {}
+        trace = ExecutionTrace()
+        for i, op in enumerate(schedule.all_ops()):
+            start, end = float(starts[i]), float(ends[i])
+            op_times[op] = (start, end)
+            trace.add(
+                TraceEvent(
+                    device=op.stage,
+                    name=f"{op.op_type.value}{op.microbatch}",
+                    start_ms=start,
+                    end_ms=end,
+                    category="compute",
+                    microbatch=op.microbatch,
+                )
+            )
+        return op_times, trace
+
+    _STATS["vector_simulations"] += 1
+    return SimulationResult(
+        makespan_ms=makespan,
+        device_busy_ms=busy,
+        device_idle_ms=idle,
+        peak_activation_bytes=peaks,
+        materialize=materialize,
+    )
+
+
+# ---------------------------------------------------------------- scalar oracle
+
+
+def _cross_stage_dependency(op: ComputeOp, num_stages: int) -> ComputeOp | None:
+    """The op whose completion ``op`` waits for across stages (None for the
+    pipeline entry: a forward pass on stage 0)."""
+    if op.op_type is OpType.FORWARD:
+        if op.stage == 0:
+            return None
+        return ComputeOp(op.microbatch, op.stage - 1, OpType.FORWARD)
+    if op.stage == num_stages - 1:
+        return ComputeOp(op.microbatch, op.stage, OpType.FORWARD)
+    return ComputeOp(op.microbatch, op.stage + 1, OpType.BACKWARD)
+
+
+def _no_progress_error(
+    schedule: PipelineSchedule, pointers: list[int], num_stages: int
+) -> SimulationError:
+    """Build a diagnostic naming the first blocked op and its unmet dependency."""
+    blocked = [
+        schedule.stage(j).ops[pointers[j]]
+        for j in range(num_stages)
+        if pointers[j] < len(schedule.stage(j).ops)
+    ]
+    first = min(blocked, key=lambda op: op.stage)
+    dependency = _cross_stage_dependency(first, num_stages)
+    if dependency is None:  # pragma: no cover - entry ops are always runnable
+        return SimulationError("simulation cannot make progress")
+    if dependency in set(schedule.all_ops()):
+        why = "cannot execute (circular or misordered schedule dependencies)"
+    else:
+        why = "never appears in the schedule"
+    return SimulationError(
+        f"simulation cannot make progress: {first} is blocked waiting for "
+        f"{dependency}, which {why}"
+    )
+
+
+def simulate_schedule_scalar(
+    schedule: PipelineSchedule,
+    duration_fn: DurationFn | Mapping[ComputeOp, float],
+    comm_time_fn: CommTimeFn | None = None,
+    activation_bytes: Sequence[Sequence[float]] | None = None,
+    static_bytes: Sequence[float] | None = None,
+) -> SimulationResult:
+    """Reference per-op event-loop engine (the vectorized engine's oracle)."""
     if isinstance(duration_fn, Mapping):
         durations: Mapping[ComputeOp, float] = duration_fn
         duration = lambda op: durations[op]  # noqa: E731 - small adapter
@@ -101,6 +335,7 @@ def simulate_schedule(
     op_times: dict[ComputeOp, tuple[float, float]] = {}
     pointers = [0] * num_stages
     device_clock = [0.0] * num_stages
+    busy = [0.0] * num_stages
     trackers = [
         MemoryTracker(static_bytes=(static_bytes[j] if static_bytes else 0.0))
         for j in range(num_stages)
@@ -142,6 +377,7 @@ def simulate_schedule(
                 end = start + max(duration(op), 0.0)
                 op_times[op] = (start, end)
                 device_clock[stage] = end
+                busy[stage] += end - start
                 pointers[stage] += 1
                 scheduled += 1
                 progressed = True
@@ -161,18 +397,12 @@ def simulate_schedule(
                     )
                 )
         if not progressed:
-            raise SimulationError(
-                "simulation cannot make progress; the schedule violates pipeline "
-                "dependencies (run validate_schedule for details)"
-            )
+            raise _no_progress_error(schedule, pointers, num_stages)
 
     makespan = max((end for _, end in op_times.values()), default=0.0)
-    busy = [
-        sum(op_times[op][1] - op_times[op][0] for op in schedule.stage(j).ops)
-        for j in range(num_stages)
-    ]
     idle = [max(makespan - busy[j], 0.0) for j in range(num_stages)]
     peaks = [trackers[j].peak_bytes for j in range(num_stages)]
+    _STATS["scalar_simulations"] += 1
     return SimulationResult(
         op_times=op_times,
         makespan_ms=makespan,
