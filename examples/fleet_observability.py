@@ -1,0 +1,168 @@
+"""Unified telemetry: metrics, lifecycle events, spans and the merged trace.
+
+One seeded chaos fleet run (failure storm + rack outage over 8 GPUs) with
+telemetry enabled end to end, demonstrating every layer of the
+observability subsystem:
+
+* the **metrics registry** — fleet/planner/simulator counters, the
+  iteration-duration histogram and the alive-devices gauge, printed as a
+  snapshot summary after the run;
+* the **event bus** — structured lifecycle events on the simulated fleet
+  clock (submissions, admissions, preemptions, repairs, regrowths,
+  committed iterations), exported as JSON-lines;
+* **span tracing** — ``job.step > plan > order_search`` / ``execute``
+  nesting from the planning and execution hot paths, exported as
+  JSON-lines;
+* the **merged chrome trace** — fleet occupancy, capacity and lifecycle
+  tracks, per-job simulated op timelines shifted onto the fleet clock, and
+  wall-clock planner spans, all in one file.  Open it at
+  https://ui.perfetto.dev (or chrome://tracing).
+
+Run with:  python examples/fleet_observability.py
+
+It prints the metrics snapshot and event/span tallies, and writes
+``fleet_merged_trace.json``, ``fleet_events.jsonl`` and
+``fleet_spans.jsonl`` next to this script.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import (
+    ClusterTopology,
+    CostModel,
+    FleetConfig,
+    FleetScheduler,
+    ParallelConfig,
+    PlannerConfig,
+    SyntheticFlanDataset,
+)
+from repro import obs
+from repro.cluster.device import DeviceSpec
+from repro.data.truncation import truncate_samples
+from repro.fleet import FaultInjector, JobSpec, failure_storm, rack_outage
+from repro.model.config import ModelArch, ModelConfig
+
+MAX_SEQ_LEN = 512
+CLUSTER_GPUS = 8
+GPUS_PER_NODE = 4
+NUM_JOBS = 6
+
+MODEL = ModelConfig(
+    name="gpt-obs-demo",
+    arch=ModelArch.GPT,
+    num_layers=4,
+    hidden_size=512,
+    num_heads=8,
+    kv_channels=64,
+    ffn_hidden_size=2048,
+    vocab_size=32000,
+)
+
+DEVICE = DeviceSpec(
+    name="demo-gpu-8GB",
+    peak_flops=100e12,
+    memory_bandwidth=1e12,
+    memory_capacity=8 * 1024**3,
+)
+
+
+def build_scheduler() -> FleetScheduler:
+    cost_model = CostModel(
+        MODEL,
+        num_stages=2,
+        device_spec=DEVICE,
+        max_profile_batch_size=32,
+        max_profile_seq_len=1024,
+    )
+    samples = truncate_samples(
+        SyntheticFlanDataset(num_samples=400, seed=7).samples,
+        MAX_SEQ_LEN,
+        decoder_only=True,
+    )
+    planner_config = PlannerConfig(order_search=True, tmax_sample_count=8)
+    topology = ClusterTopology.for_num_gpus(
+        CLUSTER_GPUS, gpus_per_node=GPUS_PER_NODE, device_spec=DEVICE
+    )
+    scheduler = FleetScheduler(topology, FleetConfig())
+    for index in range(NUM_JOBS):
+        scheduler.submit(
+            JobSpec(
+                name=f"job{index:02d}",
+                cost_model=cost_model,
+                samples=samples,
+                global_batch_tokens=4096,
+                parallel=ParallelConfig(1, 2, 1),
+                num_iterations=2,
+                planner_config=planner_config,
+                seed=index,
+                max_retries=4,
+            )
+        )
+    plan = failure_storm(
+        CLUSTER_GPUS, seed=17, start_ms=5.0, duration_ms=60.0,
+        rate_per_s=60.0, repair_after_ms=12.0,
+    ).merge(rack_outage(node=1, time_ms=30.0, repair_after_ms=15.0))
+    FaultInjector(plan).apply(scheduler)
+    return scheduler
+
+
+def print_metrics_snapshot() -> None:
+    snapshot = obs.REGISTRY.snapshot()
+    print("\nmetrics snapshot")
+    print("----------------")
+    for key in sorted(snapshot["counters"]):
+        value = snapshot["counters"][key]
+        if value:
+            print(f"  {key:42} {value}")
+    for key in sorted(snapshot["gauges"]):
+        print(f"  {key:42} {snapshot['gauges'][key]:g}")
+    for key in sorted(snapshot["histograms"]):
+        hist = snapshot["histograms"][key]
+        if hist["count"]:
+            print(
+                f"  {key:42} n={hist['count']} mean={hist['mean']:.2f} "
+                f"min={hist['min']:.2f} max={hist['max']:.2f}"
+            )
+
+
+def main() -> None:
+    out_dir = Path(__file__).parent
+    obs.reset()
+    obs.enable()
+
+    print(f"profiling {MODEL.name} and seeding the chaos fleet...")
+    scheduler = build_scheduler()
+    print(f"running {NUM_JOBS} jobs on {CLUSTER_GPUS} GPUs with telemetry on...")
+    report = scheduler.run()
+    summary = report.summary()
+    print(
+        f"done: finished {summary['finished']}/{summary['jobs']} jobs, "
+        f"makespan {summary['makespan_ms']:.1f} ms, "
+        f"preemptions {summary['total_preemptions']}, "
+        f"repairs {summary['devices_repaired']}, "
+        f"utilization {summary['device_utilization']:.1%}"
+    )
+
+    print_metrics_snapshot()
+
+    events = obs.events()
+    spans = obs.RECORDER.spans()
+    kinds = sorted({event.kind for event in events})
+    print(f"\n{len(events)} lifecycle events ({', '.join(kinds)})")
+    print(f"{len(spans)} spans ({', '.join(sorted({span.name for span in spans}))})")
+
+    merged_path = report.save_merged_trace(out_dir / "fleet_merged_trace.json")
+    events_path = obs.BUS.export_jsonl(out_dir / "fleet_events.jsonl")
+    spans_path = obs.spans_to_jsonl(out_dir / "fleet_spans.jsonl", spans)
+    print(f"\nmerged chrome trace -> {merged_path}  (open in https://ui.perfetto.dev)")
+    print(f"lifecycle events    -> {events_path}")
+    print(f"planning spans      -> {spans_path}")
+
+    obs.reset()
+    obs.disable()
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,7 @@ from repro.fleet import (
     JobState,
     PreemptivePriorityPolicy,
 )
+from repro import obs
 from repro.parallel import ParallelConfig, enumerate_parallel_configs, grid_search
 from repro.runtime import ExecutorService, PlannerPool, TrainingOrchestrator
 from repro.training import TrainerConfig, TrainingReport, TrainingSession
@@ -128,4 +129,6 @@ __all__ = [
     "JobSpec",
     "JobState",
     "PreemptivePriorityPolicy",
+    # observability
+    "obs",
 ]

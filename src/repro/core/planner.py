@@ -43,10 +43,24 @@ from repro.core.replica_balance import karmarkar_karp_partition
 from repro.costmodel.cost_model import CostModel
 from repro.data.tasks import Sample
 from repro.model.memory import RecomputeMode, weight_gradient_bytes
+from repro.obs.registry import REGISTRY
+from repro.obs.spans import span as _span
 from repro.model.transformer import MicroBatchShape
 from repro.schedule.cyclic import ScheduleDeadlockError
 from repro.simulator.engine import SimulationResult, simulate_schedule
 from repro.simulator.incremental import IncrementalOrderSimulator
+
+#: Registry-backed planner counters (``planner.*`` in metric snapshots).
+_PLANNER_STATS = REGISTRY.counter_dict(
+    "planner",
+    (
+        "plans",
+        "order_searches",
+        "order_permutations_evaluated",
+        "order_geometry_compiles",
+        "order_timeline_solves",
+    ),
+)
 
 
 @dataclass
@@ -358,9 +372,14 @@ class DynaPipePlanner:
         Raises:
             OutOfMemoryError: If no recomputation mode fits the iteration.
         """
+        with _span("plan", iteration=iteration, num_samples=len(samples)):
+            return self._plan_impl(samples, iteration)
+
+    def _plan_impl(self, samples: Sequence[Sample], iteration: int) -> IterationPlan:
         if not samples:
             raise ValueError("cannot plan an iteration with no samples")
         start_time = time.perf_counter()
+        _PLANNER_STATS["plans"] += 1
 
         modes = MODE_PREFERENCE if self.config.dynamic_recompute else (self.config.recompute,)
         failures: dict[RecomputeMode, str] = {}
@@ -610,13 +629,20 @@ class DynaPipePlanner:
                     return float("inf")
                 return simulation.makespan_ms
 
-        result = cluster_and_order(
-            times,
-            score,
-            num_clusters=self.config.num_time_clusters,
-            max_permutations=self.config.max_order_permutations,
-        )
+        with _span("order_search", num_microbatches=len(times)):
+            result = cluster_and_order(
+                times,
+                score,
+                num_clusters=self.config.num_time_clusters,
+                max_permutations=self.config.max_order_permutations,
+            )
         if simulator is not None:
             result.geometry_compiles = simulator.compiles
             result.timeline_solves = simulator.solves
+        _PLANNER_STATS["order_searches"] += 1
+        _PLANNER_STATS["order_permutations_evaluated"] += result.evaluated
+        if result.geometry_compiles is not None:
+            _PLANNER_STATS["order_geometry_compiles"] += result.geometry_compiles
+        if result.timeline_solves is not None:
+            _PLANNER_STATS["order_timeline_solves"] += result.timeline_solves
         return result

@@ -298,3 +298,16 @@ class FleetReport:
     def save_chrome_trace(self, path: "str | Path") -> Path:
         """Write the cluster-occupancy timeline for ``chrome://tracing``."""
         return save_chrome_trace(self.trace, path, process_name=f"fleet ({self.policy})")
+
+    def save_merged_trace(self, path: "str | Path") -> Path:
+        """Write the merged fleet↔simulator↔planner trace for this run.
+
+        Combines the occupancy timeline with the per-job op traces, planning
+        spans and lifecycle events currently held by the process-wide
+        telemetry stores (:mod:`repro.obs`) — run with telemetry enabled for
+        the job/planner sections to be populated.  See
+        :func:`repro.obs.merge.merge_fleet_trace` for the layout.
+        """
+        from repro.obs.merge import save_merged_trace
+
+        return save_merged_trace(path, self)

@@ -74,8 +74,32 @@ from repro.fleet.policies import (
     make_policy,
 )
 from repro.fleet.session import JobExecution, JobPlanningError
+from repro.obs import state as _obs_state
+from repro.obs.events import publish as _obs_publish
+from repro.obs.registry import REGISTRY
+from repro.obs.simtrace import COLLECTOR as _SIM_COLLECTOR
 from repro.simulator.trace import ExecutionTrace, TraceEvent
 from repro.training.throughput import IterationRecord
+
+#: Registry-backed fleet counters (``fleet.*`` in metric snapshots).
+_FLEET_STATS = REGISTRY.counter_dict(
+    "fleet",
+    (
+        "jobs_submitted",
+        "attempts_started",
+        "iterations_committed",
+        "jobs_finished",
+        "jobs_failed",
+        "evictions",
+        "regrowths",
+        "device_failures",
+        "device_repairs",
+        "device_arrivals",
+        "planner_faults_applied",
+        "checkpoints_taken",
+        "restores",
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -380,6 +404,13 @@ class FleetScheduler:
         )
         self.jobs[spec.name] = record
         self._pending.append(record)
+        _FLEET_STATS["jobs_submitted"] += 1
+        _obs_publish(
+            "job_submitted",
+            time_ms=spec.submit_time_ms,
+            job=spec.name,
+            priority=spec.priority,
+        )
         return record
 
     def _check_event_args(self, time_ms: float, device: int) -> None:
@@ -531,6 +562,12 @@ class FleetScheduler:
             and self._events_processed % config.checkpoint_interval_events == 0
         ):
             config.checkpoint_sink(self.checkpoint())
+            _FLEET_STATS["checkpoints_taken"] += 1
+            _obs_publish(
+                "checkpoint_taken",
+                time_ms=self._clock,
+                events_processed=self._events_processed,
+            )
         if config.on_event is not None:
             config.on_event(self)
 
@@ -716,6 +753,16 @@ class FleetScheduler:
             start_iteration=record.checkpoint.completed_iterations,
         )
         record.attempts.append(attempt)
+        _FLEET_STATS["attempts_started"] += 1
+        _obs_publish(
+            "job_admitted",
+            time_ms=clock,
+            job=spec.name,
+            attempt=attempt.index,
+            data_parallel=gang.data_parallel,
+            gang_size=gang.size,
+            start_iteration=attempt.start_iteration,
+        )
         try:
             execution = JobExecution(
                 record,
@@ -782,6 +829,24 @@ class FleetScheduler:
             running.pending_degraded = False
         duration = clock - running.iteration_started_ms
         self._busy_device_ms += running.gang.size * duration
+        _FLEET_STATS["iterations_committed"] += 1
+        REGISTRY.histogram("fleet.iteration_ms").observe(duration)
+        _obs_publish(
+            "iteration_committed",
+            time_ms=clock,
+            job=running.record.spec.name,
+            iteration=record_.iteration,
+            duration_ms=duration,
+        )
+        if _obs_state.enabled():
+            op_traces = running.execution.session.last_op_traces
+            if op_traces:
+                _SIM_COLLECTOR.add(
+                    running.record.spec.name,
+                    record_.iteration,
+                    start_ms=running.iteration_started_ms,
+                    replica_traces=op_traces,
+                )
         for device in running.gang.devices:
             self._trace_events.append(
                 TraceEvent(
@@ -806,6 +871,8 @@ class FleetScheduler:
         record = running.record
         record.state = JobState.FINISHED
         record.finished_ms = clock
+        _FLEET_STATS["jobs_finished"] += 1
+        _obs_publish("job_finished", time_ms=clock, job=record.spec.name)
 
     def _end_attempt(self, running: _RunningJob, clock: float, outcome: str) -> None:
         """Tear down a running attempt and release its gang.
@@ -871,6 +938,13 @@ class FleetScheduler:
             victim.state = JobState.PENDING
             victim.last_queued_ms = clock
             self._pending.append(victim)
+            _FLEET_STATS["evictions"] += 1
+            _obs_publish(
+                "job_evicted",
+                time_ms=clock,
+                job=victim.spec.name,
+                waiter=waiter.spec.name,
+            )
             return True
         return False
 
@@ -924,6 +998,14 @@ class FleetScheduler:
         if target is None:
             return False
         record.regrows += 1
+        _FLEET_STATS["regrowths"] += 1
+        _obs_publish(
+            "job_regrown",
+            time_ms=clock,
+            job=spec.name,
+            from_data_parallel=current,
+            to_data_parallel=target,
+        )
         self._end_attempt(running, clock, outcome="regrown")
         gang = self.allocator.allocate(
             spec.name,
@@ -962,6 +1044,9 @@ class FleetScheduler:
             return
         record = running.record
         record.preemptions += 1
+        _obs_publish(
+            "job_preempted", time_ms=clock, job=record.spec.name, device=device
+        )
         self._end_attempt(running, clock, outcome="device_failure")
         self._retry_or_fail(
             record, clock, f"device {device} failed at {clock:.1f} ms mid-iteration"
@@ -1033,16 +1118,24 @@ class FleetScheduler:
         self._fault_log.append(
             {"time_ms": clock, "kind": kind, "requested": count, "applied": applied}
         )
+        _FLEET_STATS["planner_faults_applied"] += applied
+        _obs_publish(
+            "fault_injected", time_ms=clock, fault=kind, requested=count, applied=applied
+        )
 
     def _log_capacity(self, clock: float, event: str, device: int) -> None:
+        alive = self.allocator.alive_count
         self._capacity_timeline.append(
             CapacityEvent(
                 time_ms=clock,
                 event=event,
                 device=device,
-                alive_count=self.allocator.alive_count,
+                alive_count=alive,
             )
         )
+        _FLEET_STATS[f"device_{event}s"] += 1
+        REGISTRY.gauge("fleet.alive_devices").set(alive)
+        _obs_publish(f"device_{event}", time_ms=clock, device=device, alive=alive)
 
     def _planning_backoff_delay(self, record: JobRecord) -> float:
         """Exponential backoff delay for the record's current failure streak.
@@ -1123,6 +1216,8 @@ class FleetScheduler:
         record.state = JobState.FAILED
         record.failure_reason = reason
         record.finished_ms = clock
+        _FLEET_STATS["jobs_failed"] += 1
+        _obs_publish("job_failed", time_ms=clock, job=record.spec.name, reason=reason)
 
     # ------------------------------------------------------------------ checkpoint / restore
 
@@ -1163,7 +1258,10 @@ class FleetScheduler:
         """
         from repro.fleet.checkpoint import restore_scheduler
 
-        return restore_scheduler(snapshot, topology, specs, config=config, cls=cls)
+        scheduler = restore_scheduler(snapshot, topology, specs, config=config, cls=cls)
+        _FLEET_STATS["restores"] += 1
+        _obs_publish("checkpoint_restored", time_ms=scheduler._clock)
+        return scheduler
 
     def _resume_attempt(
         self,

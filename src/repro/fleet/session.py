@@ -36,6 +36,7 @@ from repro.batching.metrics import PaddingStats
 from repro.core.dp_solver import PartitionError
 from repro.core.recomputation import OutOfMemoryError
 from repro.instructions.store import PlanFailedError
+from repro.obs.spans import span as _span
 from repro.runtime.planner_pool import PlannerPool
 from repro.schedule.cyclic import ScheduleDeadlockError
 from repro.training.throughput import IterationRecord
@@ -194,6 +195,12 @@ class JobExecution:
         if self._position >= len(self.minibatches):
             return None
         minibatch = self.minibatches[self._position]
+        with _span("job.step", job=self.job_name, iteration=minibatch.index):
+            return self._step_minibatch(minibatch)
+
+    def _step_minibatch(
+        self, minibatch
+    ) -> "tuple[IterationRecord, PaddingStats] | None":
         degraded = False
         try:
             if self._shared_pool is not None:

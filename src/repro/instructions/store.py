@@ -28,8 +28,16 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterator
 
+from repro.obs.events import publish as _publish
+from repro.obs.registry import REGISTRY
+
 #: Namespace of consumers that never pass ``job`` (the single-job runtime).
 DEFAULT_JOB = ""
+
+#: Registry-backed store counters (``store.*`` in metric snapshots).
+_STORE_STATS = REGISTRY.counter_dict(
+    "store", ("plans_pushed", "failures_pushed", "fetches", "fetch_misses")
+)
 
 
 class PlanNotReadyError(KeyError):
@@ -124,6 +132,8 @@ class InstructionStore:
         with self._lock:
             self._plans[(job, iteration, executor_rank)] = plan
             self._failures.pop((job, iteration), None)
+            _STORE_STATS["plans_pushed"] += 1
+        _publish("plan_pushed", job=job, iteration=iteration, replica=executor_rank)
 
     def push_failure(self, iteration: int, message: str, job: str = DEFAULT_JOB) -> None:
         """Mark planning of ``(job, iteration)`` as failed (for every rank).
@@ -136,6 +146,8 @@ class InstructionStore:
         """
         with self._lock:
             self._failures[(job, iteration)] = message
+            _STORE_STATS["failures_pushed"] += 1
+        _publish("plan_failure_pushed", job=job, iteration=iteration, message=message)
 
     def fetch(self, iteration: int, executor_rank: int, job: str = DEFAULT_JOB) -> Any:
         """Fetch a plan.
@@ -161,9 +173,11 @@ class InstructionStore:
                     iteration=iteration,
                     job=job,
                 )
+            _STORE_STATS["fetches"] += 1
             try:
                 return self._plans[(job, iteration, executor_rank)]
             except KeyError as exc:
+                _STORE_STATS["fetch_misses"] += 1
                 raise PlanNotReadyError(
                     f"no plan for iteration {iteration}, executor {executor_rank}"
                     + (f", job {job!r}" if job != DEFAULT_JOB else "")

@@ -1,0 +1,147 @@
+"""Shared Chrome trace-event building blocks (pid/tid scheme, metadata).
+
+Both trace emitters — :mod:`repro.simulator.chrome_trace` (per-schedule op
+timelines) and :class:`repro.fleet.metrics.FleetReport` (cluster occupancy)
+— and the merged fleet↔simulator trace (:mod:`repro.obs.merge`) build their
+JSON through these helpers, so process/thread metadata is emitted once per
+(pid, tid) with consistent naming and the merged file never collides pids.
+
+Pid layout of a merged trace:
+
+* ``PID_FLEET`` (1) — the fleet scheduler: one compute/comm track pair per
+  device (:func:`device_tid`), plus a capacity-event track and a lifecycle
+  track above the devices.
+* ``PID_PLANNER`` (2) — planning spans, one track per origin (worker id or
+  the parent process).
+* ``PID_JOB_BASE`` (10) + job index — each job's simulated op traces, one
+  track pair per (replica, stage).
+
+Standalone traces keep their historical ``pid=0``; only the merged file
+uses the layout above.  All timestamps are milliseconds at the API surface
+and microseconds in the emitted JSON (:data:`US_PER_MS`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+#: Microseconds per millisecond (trace-event ``ts``/``dur`` are in us).
+US_PER_MS = 1000.0
+
+#: Merged-trace process ids (see module docstring).
+PID_FLEET = 1
+PID_PLANNER = 2
+PID_JOB_BASE = 10
+
+
+def device_tid(device: int, category: str = "compute") -> int:
+    """Track id of a device's compute/comm lane: ``device*2 (+1 for comm)``."""
+    return device * 2 + (0 if category == "compute" else 1)
+
+
+def process_name_event(pid: int, name: str, sort_index: int | None = None) -> list[dict[str, Any]]:
+    """``process_name`` (and optional ``process_sort_index``) metadata events."""
+    events: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+    ]
+    if sort_index is not None:
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "args": {"sort_index": sort_index},
+            }
+        )
+    return events
+
+
+def thread_name_event(pid: int, tid: int, name: str) -> dict[str, Any]:
+    """A ``thread_name`` metadata event."""
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def device_thread_metadata(pid: int, devices: Iterable[int], label: str = "device") -> list[dict[str, Any]]:
+    """Compute/comm ``thread_name`` metadata for every device, shared scheme."""
+    events = []
+    for device in sorted(set(devices)):
+        for suffix, category in (("compute", "compute"), ("comm", "comm")):
+            events.append(
+                thread_name_event(
+                    pid, device_tid(device, category), f"{label} {device} ({suffix})"
+                )
+            )
+    return events
+
+
+def duration_event(
+    pid: int,
+    tid: int,
+    name: str,
+    start_ms: float,
+    duration_ms: float,
+    category: str = "compute",
+    args: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A complete (``ph:"X"``) duration event."""
+    return {
+        "name": name,
+        "cat": category,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": start_ms * US_PER_MS,
+        "dur": duration_ms * US_PER_MS,
+        "args": args or {},
+    }
+
+
+def instant_event(
+    pid: int,
+    tid: int,
+    name: str,
+    time_ms: float,
+    category: str = "event",
+    args: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A thread-scoped instant (``ph:"i"``) event."""
+    return {
+        "name": name,
+        "cat": category,
+        "ph": "i",
+        "s": "t",
+        "pid": pid,
+        "tid": tid,
+        "ts": time_ms * US_PER_MS,
+        "args": args or {},
+    }
+
+
+def trace_events_to_chrome(
+    events: Iterable[Any], pid: int, offset_ms: float = 0.0, tid_offset: int = 0
+) -> list[dict[str, Any]]:
+    """Convert simulator-style trace events to ``ph:"X"`` dicts.
+
+    ``events`` are duck-typed (``device``, ``name``, ``start_ms``,
+    ``end_ms``, ``category``, ``microbatch``); ``offset_ms`` shifts an
+    iteration-local timeline onto a global clock and ``tid_offset`` relocates
+    the device tracks (e.g. per-replica blocks in the merged trace).
+    """
+    return [
+        duration_event(
+            pid,
+            tid_offset + device_tid(event.device, event.category),
+            event.name,
+            event.start_ms + offset_ms,
+            event.end_ms - event.start_ms,
+            category=event.category,
+            args={"microbatch": event.microbatch},
+        )
+        for event in events
+    ]

@@ -1,0 +1,230 @@
+"""Merged fleet ↔ simulator ↔ planner chrome trace.
+
+Combines three previously disjoint timelines into one hierarchical
+trace-event JSON, viewable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``:
+
+* **Fleet process** (:data:`~repro.obs.chrome.PID_FLEET`) — the scheduler's
+  cluster-occupancy timeline (one compute track per device showing which
+  job's iteration held it), a *capacity* track of device
+  failure/repair/arrival and injected-fault instants, and a *lifecycle*
+  track of every fleet-clocked event-bus event (admissions, preemptions,
+  evictions, regrowths, checkpoints, ...).
+* **Job processes** (:data:`~repro.obs.chrome.PID_JOB_BASE` + index) — each
+  job's simulated per-op traces, collected per committed iteration by
+  :data:`repro.obs.simtrace.COLLECTOR` and shifted from their
+  iteration-local clock onto the fleet clock by the iteration's start time;
+  one compute/comm track pair per (replica, stage).
+* **Planner process** (:data:`~repro.obs.chrome.PID_PLANNER`) — planning
+  and execution spans from :data:`repro.obs.spans.RECORDER` (including
+  worker-process spans forwarded by the planner pool), one track per
+  origin.  Spans are wall-clock; they are normalised so the earliest span
+  starts at 0 and **share no time base with the simulated fleet clock** —
+  the planner process shows relative planning overlap, not alignment with
+  the fleet rows.
+
+All sections run through the shared pid/tid helpers in
+:mod:`repro.obs.chrome`, so process ids never collide and metadata naming
+is uniform.  Everything fleet/job-side uses the *simulated* clock, so the
+merged trace of a seeded run is reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs import chrome as _chrome
+from repro.obs.events import BUS as _BUS
+from repro.obs.events import Event, EventBus
+from repro.obs.simtrace import COLLECTOR as _COLLECTOR
+from repro.obs.simtrace import SimTraceCollector
+from repro.obs.spans import RECORDER as _RECORDER
+from repro.obs.spans import SpanRecord
+
+#: Event-bus kinds drawn on the fleet capacity track (the rest of the
+#: fleet-clocked events land on the lifecycle track).
+_CAPACITY_KINDS = ("device_failure", "device_repair", "device_arrival", "fault_injected")
+
+
+def _fleet_section(report: Any, bus_events: Iterable[Event]) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    pid = _chrome.PID_FLEET
+    events.extend(
+        _chrome.process_name_event(pid, f"fleet ({report.policy})", sort_index=0)
+    )
+    devices = sorted({event.device for event in report.trace.events})
+    events.extend(_chrome.device_thread_metadata(pid, devices))
+    capacity_tid = 2 * report.num_devices
+    lifecycle_tid = capacity_tid + 1
+    events.append(_chrome.thread_name_event(pid, capacity_tid, "cluster capacity"))
+    events.append(_chrome.thread_name_event(pid, lifecycle_tid, "job lifecycle"))
+    for event in report.trace.events:
+        events.append(
+            _chrome.duration_event(
+                pid,
+                _chrome.device_tid(event.device, event.category),
+                event.name,
+                event.start_ms,
+                event.end_ms - event.start_ms,
+                category=event.category,
+                args={"microbatch": event.microbatch},
+            )
+        )
+    for change in report.capacity_timeline:
+        events.append(
+            _chrome.instant_event(
+                pid,
+                capacity_tid,
+                f"{change.event} d{change.device}",
+                change.time_ms,
+                category="capacity",
+                args={"device": change.device, "alive": change.alive_count},
+            )
+        )
+    for fault in report.fault_log:
+        events.append(
+            _chrome.instant_event(
+                pid,
+                capacity_tid,
+                fault["kind"],
+                fault["time_ms"],
+                category="fault",
+                args={"requested": fault["requested"], "applied": fault["applied"]},
+            )
+        )
+    for event in bus_events:
+        if event.time_ms is None:
+            continue
+        tid = capacity_tid if event.kind in _CAPACITY_KINDS else lifecycle_tid
+        events.append(
+            _chrome.instant_event(
+                pid,
+                tid,
+                event.kind,
+                event.time_ms,
+                category="lifecycle",
+                args=dict(event.fields),
+            )
+        )
+    return events
+
+
+def _job_sections(
+    collector: SimTraceCollector,
+) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    for index, job in enumerate(collector.jobs()):
+        pid = _chrome.PID_JOB_BASE + index
+        traces = collector.traces(job)
+        events.extend(_chrome.process_name_event(pid, f"job {job}", sort_index=2 + index))
+        num_stages = 1 + max(
+            (op.device for trace in traces for replica in trace.replicas for op in replica),
+            default=0,
+        )
+        block = 2 * num_stages
+        max_replicas = max((len(trace.replicas) for trace in traces), default=0)
+        for replica in range(max_replicas):
+            for stage in range(num_stages):
+                for suffix, category in (("compute", "compute"), ("comm", "comm")):
+                    events.append(
+                        _chrome.thread_name_event(
+                            pid,
+                            replica * block + _chrome.device_tid(stage, category),
+                            f"replica {replica} stage {stage} ({suffix})",
+                        )
+                    )
+        for trace in traces:
+            for replica, ops in enumerate(trace.replicas):
+                events.extend(
+                    _chrome.trace_events_to_chrome(
+                        ops,
+                        pid,
+                        offset_ms=trace.start_ms,
+                        tid_offset=replica * block,
+                    )
+                )
+    return events
+
+
+def _planner_section(spans: list[SpanRecord]) -> list[dict[str, Any]]:
+    if not spans:
+        return []
+    events: list[dict[str, Any]] = []
+    pid = _chrome.PID_PLANNER
+    events.extend(
+        _chrome.process_name_event(pid, "planner spans (wall clock)", sort_index=1)
+    )
+    origins = sorted({record.origin or "parent" for record in spans})
+    tids = {origin: tid for tid, origin in enumerate(origins)}
+    for origin, tid in tids.items():
+        events.append(_chrome.thread_name_event(pid, tid, origin))
+    t0 = min(record.start_s for record in spans)
+    for record in spans:
+        events.append(
+            _chrome.duration_event(
+                pid,
+                tids[record.origin or "parent"],
+                record.name,
+                (record.start_s - t0) * 1_000.0,
+                record.duration_s * 1_000.0,
+                category="span",
+                args={"depth": record.depth, **record.attrs},
+            )
+        )
+    return events
+
+
+def merge_fleet_trace(
+    report: Any,
+    collector: SimTraceCollector | None = None,
+    spans: "list[SpanRecord] | None" = None,
+    bus: EventBus | None = None,
+) -> dict[str, Any]:
+    """Build the merged trace payload for one fleet run.
+
+    Args:
+        report: The run's :class:`~repro.fleet.metrics.FleetReport`.
+        collector: Per-job op traces; defaults to the process-wide
+            :data:`~repro.obs.simtrace.COLLECTOR`.
+        spans: Planning/execution spans; defaults to the process-wide
+            recorder's contents.
+        bus: Lifecycle event source; defaults to the process-wide bus.
+
+    Returns:
+        A ``{"traceEvents": [...], "displayTimeUnit": "ms", "otherData"...}``
+        dict, JSON-serialisable as-is.
+    """
+    collector = collector if collector is not None else _COLLECTOR
+    spans = spans if spans is not None else _RECORDER.spans()
+    bus = bus if bus is not None else _BUS
+    trace_events = (
+        _fleet_section(report, bus.events())
+        + _job_sections(collector)
+        + _planner_section(spans)
+    )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "policy": report.policy,
+            "makespan_ms": report.makespan_ms,
+            "sim_trace_dropped_events": collector.dropped_events,
+        },
+    }
+
+
+def save_merged_trace(
+    path: "str | Path",
+    report: Any,
+    collector: SimTraceCollector | None = None,
+    spans: "list[SpanRecord] | None" = None,
+    bus: EventBus | None = None,
+) -> Path:
+    """Write :func:`merge_fleet_trace`'s payload as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = merge_fleet_trace(report, collector=collector, spans=spans, bus=bus)
+    path.write_text(json.dumps(payload))
+    return path

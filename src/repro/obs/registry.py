@@ -1,0 +1,232 @@
+"""Process-safe metrics registry: counters, gauges, histograms with labels.
+
+One :data:`REGISTRY` instance per process holds every metric the runtime
+exports.  Three access patterns coexist:
+
+* **Metric objects** — :meth:`MetricsRegistry.counter` /
+  :meth:`~MetricsRegistry.gauge` / :meth:`~MetricsRegistry.histogram`
+  get-or-create a named metric (optionally labelled) under a lock and
+  return a small mutable object whose increments are lock-free; callers on
+  warm paths cache the object.
+* **Registry-owned counter dicts** — :meth:`MetricsRegistry.counter_dict`
+  registers a plain ``dict[str, int]`` under a namespace and returns it.
+  Hot paths keep their pre-telemetry ``STATS[key] += 1`` idiom at exactly
+  its old cost (one dict ``__setitem__``), while :meth:`snapshot` folds the
+  dict into the exported counters as ``namespace.key``.  This is how
+  ``repro.simulator``'s ``engine_stats`` migrated without perturbing the
+  benchmarked hot paths.
+* **Snapshots** — :meth:`snapshot` returns a JSON-safe dict; worker
+  processes ship their snapshots to the parent over the planner pool's
+  result queue, and :func:`merge_snapshot` / :func:`aggregate_snapshots`
+  sum counters and histogram moments across processes (gauges are
+  last-writer-wins), giving one fleet-wide view of multi-process counts.
+
+Counters and histograms are monotonic between resets, so "keep the latest
+snapshot per worker and sum" is exact.  All mutation is either guarded by
+the registry lock (creation, reset) or a single-bytecode dict/attribute
+update (increments), which is atomic under the GIL.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping
+
+_SEPARATOR = "."
+
+
+def metric_key(name: str, labels: Mapping[str, Any] | None = None) -> str:
+    """Canonical snapshot key: ``name`` or ``name{a=1,b=x}`` (sorted labels)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count (between resets)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value (alive devices, queue depth, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Streaming moments of an observed distribution (count/sum/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics of one process, snapshottable to a JSON-safe dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._counter_dicts: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ metric access
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get-or-create the counter ``name`` (with optional labels)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get-or-create the gauge ``name`` (with optional labels)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """Get-or-create the histogram ``name`` (with optional labels)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram()
+        return metric
+
+    def counter_dict(self, namespace: str, keys: Iterable[str]) -> dict[str, int]:
+        """Register (or fetch) a plain counter dict owned by the registry.
+
+        The returned dict is the live storage: hot paths increment it with
+        ``stats[key] += 1`` — the exact pre-telemetry idiom and cost — and
+        :meth:`snapshot` exports each entry as ``namespace.key``.  Calling
+        again with the same namespace returns the same dict (missing keys
+        are added at zero), so module reloads and tests are idempotent.
+        """
+        with self._lock:
+            stats = self._counter_dicts.get(namespace)
+            if stats is None:
+                stats = self._counter_dicts[namespace] = {}
+            for key in keys:
+                stats.setdefault(key, 0)
+        return stats
+
+    # ------------------------------------------------------------------ snapshot / reset
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe view of every metric: ``{"counters", "gauges", "histograms"}``."""
+        with self._lock:
+            counters: dict[str, int] = {
+                key: metric.value for key, metric in self._counters.items()
+            }
+            for namespace, stats in self._counter_dicts.items():
+                for key, value in stats.items():
+                    counters[f"{namespace}{_SEPARATOR}{key}"] = value
+            return {
+                "counters": counters,
+                "gauges": {key: metric.value for key, metric in self._gauges.items()},
+                "histograms": {
+                    key: metric.to_dict() for key, metric in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every metric in place (registered objects stay valid)."""
+        with self._lock:
+            for metric in self._counters.values():
+                metric.value = 0
+            for gauge in self._gauges.values():
+                gauge.value = 0.0
+            for histogram in self._histograms.values():
+                histogram.count = 0
+                histogram.total = 0.0
+                histogram.min = float("inf")
+                histogram.max = float("-inf")
+            for stats in self._counter_dicts.values():
+                for key in stats:
+                    stats[key] = 0
+
+
+def merge_snapshot(into: dict[str, Any], snapshot: Mapping[str, Any]) -> dict[str, Any]:
+    """Fold ``snapshot`` into accumulator ``into`` (summing counters/histograms)."""
+    counters = into.setdefault("counters", {})
+    for key, value in snapshot.get("counters", {}).items():
+        counters[key] = counters.get(key, 0) + value
+    gauges = into.setdefault("gauges", {})
+    gauges.update(snapshot.get("gauges", {}))
+    histograms = into.setdefault("histograms", {})
+    for key, stats in snapshot.get("histograms", {}).items():
+        merged = histograms.get(key)
+        if merged is None or merged["count"] == 0:
+            histograms[key] = dict(stats)
+            continue
+        if stats["count"] == 0:
+            continue
+        count = merged["count"] + stats["count"]
+        total = merged["sum"] + stats["sum"]
+        histograms[key] = {
+            "count": count,
+            "sum": total,
+            "min": min(merged["min"], stats["min"]),
+            "max": max(merged["max"], stats["max"]),
+            "mean": total / count,
+        }
+    return into
+
+
+def aggregate_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Sum a sequence of per-process snapshots into one combined view."""
+    combined: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snapshot in snapshots:
+        merge_snapshot(combined, snapshot)
+    return combined
+
+
+#: The process-wide registry every runtime module records into.
+REGISTRY = MetricsRegistry()

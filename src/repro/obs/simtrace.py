@@ -1,0 +1,106 @@
+"""Per-job simulated op-trace collection for the merged fleet trace.
+
+The fleet scheduler's occupancy timeline shows *which job* held each device
+and when, but not what happened inside an iteration — the per-op forward/
+backward timeline lives in the simulated executor's
+:class:`~repro.simulator.trace.ExecutionTrace`, on an iteration-local clock
+starting at 0.  When telemetry is enabled, the training session keeps each
+executed replica's op trace, the scheduler hands it to the process-wide
+:data:`COLLECTOR` together with the iteration's fleet-clock start time, and
+the trace merger (:mod:`repro.obs.merge`) shifts the op events onto the
+fleet clock under the owning job's process row.
+
+The collector is duck-typed over trace events (anything with ``device``,
+``name``, ``start_ms``, ``end_ms``, ``category`` and ``microbatch``
+attributes) so this module has no dependency on the simulator package.  It
+is bounded: once ``max_events`` op events are retained, further iterations
+are dropped (counted in :attr:`SimTraceCollector.dropped_events`) rather
+than growing without limit — the merger reports the drop count so a
+truncated trace is never mistaken for a complete one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+#: Default cap on retained op events across all jobs.
+DEFAULT_MAX_EVENTS = 500_000
+
+
+@dataclass
+class JobIterationTrace:
+    """Op traces of one committed fleet iteration.
+
+    Attributes:
+        job: Owning job's name.
+        iteration: Absolute iteration index.
+        start_ms: Fleet-clock time the iteration started (shift offset).
+        replicas: Per-replica lists of trace events (iteration-local clock).
+    """
+
+    job: str
+    iteration: int
+    start_ms: float
+    replicas: list[list[Any]]
+
+
+class SimTraceCollector:
+    """Bounded store of per-iteration op traces, keyed by job."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self._lock = threading.Lock()
+        self._traces: list[JobIterationTrace] = []
+        self._num_events = 0
+        self.max_events = max_events
+        self.dropped_events = 0
+
+    def add(
+        self,
+        job: str,
+        iteration: int,
+        start_ms: float,
+        replica_traces: Sequence[Any],
+    ) -> None:
+        """Record one committed iteration's replica traces.
+
+        ``replica_traces`` entries are :class:`ExecutionTrace`-like objects
+        (``.events`` list) or plain event lists.
+        """
+        replicas = [
+            list(getattr(trace, "events", trace)) for trace in replica_traces
+        ]
+        count = sum(len(events) for events in replicas)
+        with self._lock:
+            if self._num_events + count > self.max_events:
+                self.dropped_events += count
+                return
+            self._num_events += count
+            self._traces.append(
+                JobIterationTrace(
+                    job=job, iteration=iteration, start_ms=start_ms, replicas=replicas
+                )
+            )
+
+    def traces(self, job: str | None = None) -> list[JobIterationTrace]:
+        with self._lock:
+            traces = list(self._traces)
+        if job is None:
+            return traces
+        return [trace for trace in traces if trace.job == job]
+
+    def jobs(self) -> list[str]:
+        """Names of jobs with collected traces, sorted."""
+        with self._lock:
+            return sorted({trace.job for trace in self._traces})
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._num_events = 0
+            self.dropped_events = 0
+
+
+#: The process-wide collector the fleet scheduler records into.
+COLLECTOR = SimTraceCollector()

@@ -1,0 +1,258 @@
+"""Span-based tracing: nested ``with span(...)`` blocks into a ring buffer.
+
+A span measures one scoped operation — ``span("plan", job=..., iteration=...)``
+around a planner call, ``span("execute", ...)`` around an instruction-stream
+execution — with wall-clock (``time.perf_counter``) start/end stamps, free-form
+attributes, and the nesting relationship of spans opened inside it (tracked per
+thread).  Finished spans land in the process-wide :data:`RECORDER`, a bounded
+ring buffer, and can be exported as JSON-lines or Chrome trace events, or
+shipped across processes as plain dicts (the planner pool forwards worker
+spans to the parent with its results).
+
+When telemetry is disabled (:mod:`repro.obs.state`), :func:`span` returns a
+shared no-op singleton — no allocation, no clock read, no lock — so
+instrumented hot paths cost one flag check.  ``perf_counter`` on Linux is the
+system-wide monotonic clock, so spans recorded in forked/spawned worker
+processes share the parent's time base and merge cleanly.
+
+Span *durations* are wall-clock and therefore nondeterministic; the
+determinism contract is on structure: under a fixed seed the sequence of
+(name, depth, attributes) triples — :meth:`SpanRecorder.structure` — is
+reproducible, and the tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs import state as _state
+
+#: Default ring-buffer capacity of a recorder (finished spans retained).
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        span_id: Recorder-local id (allocation order of span *starts*).
+        parent_id: Enclosing span's id on the same thread, ``None`` at depth 0.
+        name: Operation name (``"plan"``, ``"execute"``, ...).
+        start_s / end_s: ``time.perf_counter()`` stamps.
+        depth: Nesting depth on the recording thread (0 = top level).
+        attrs: Free-form attributes passed to :func:`span`.
+        origin: Process/worker label (``""`` locally; the planner pool stamps
+            worker spans with the worker id before forwarding).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_s: float
+    end_s: float
+    depth: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    origin: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+            "origin": self.origin,
+        }
+
+
+class SpanRecorder:
+    """Bounded buffer of finished spans, with per-thread nesting tracking."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._spans: deque[SpanRecord] = deque(maxlen=capacity)
+        self._seq = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ recording
+
+    def _stack(self) -> list[tuple[int, int]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def begin(self) -> tuple[int, int | None, int]:
+        """Open a span on this thread; returns (span_id, parent_id, depth)."""
+        stack = self._stack()
+        with self._lock:
+            span_id = self._seq
+            self._seq += 1
+        parent_id = stack[-1][0] if stack else None
+        depth = len(stack)
+        stack.append((span_id, depth))
+        return span_id, parent_id, depth
+
+    def finish(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        depth: int,
+        name: str,
+        start_s: float,
+        end_s: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        """Close the innermost open span and append its record."""
+        stack = self._stack()
+        if stack and stack[-1][0] == span_id:
+            stack.pop()
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            start_s=start_s,
+            end_s=end_s,
+            depth=depth,
+            attrs=attrs,
+        )
+        with self._lock:
+            self._spans.append(record)
+
+    def extend_dicts(self, dicts: Iterable[dict[str, Any]], origin: str = "") -> None:
+        """Append spans shipped from another process (as :meth:`to_dict` dicts).
+
+        Span ids are re-assigned into this recorder's sequence (offsetting
+        parent ids identically) so cross-process ids never collide; the
+        ``origin`` label (or the one already stamped on the dict) keeps the
+        source process identifiable.
+        """
+        dicts = list(dicts)
+        if not dicts:
+            return
+        with self._lock:
+            base = self._seq
+            low = min(d["span_id"] for d in dicts)
+            for d in dicts:
+                offset = base + (d["span_id"] - low)
+                parent = d.get("parent_id")
+                self._spans.append(
+                    SpanRecord(
+                        span_id=offset,
+                        parent_id=(
+                            base + (parent - low) if parent is not None else None
+                        ),
+                        name=d["name"],
+                        start_s=d["start_s"],
+                        end_s=d["end_s"],
+                        depth=d["depth"],
+                        attrs=dict(d.get("attrs", {})),
+                        origin=d.get("origin") or origin,
+                    )
+                )
+            self._seq = base + (max(d["span_id"] for d in dicts) - low) + 1
+
+    # ------------------------------------------------------------------ access
+
+    def spans(self) -> list[SpanRecord]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def drain_dicts(self, origin: str = "") -> list[dict[str, Any]]:
+        """Remove and return all spans as dicts (stamped with ``origin``)."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        out = []
+        for record in spans:
+            d = record.to_dict()
+            if origin and not d["origin"]:
+                d["origin"] = origin
+            out.append(d)
+        return out
+
+    def structure(self) -> list[tuple[int, str, tuple[tuple[str, Any], ...]]]:
+        """Timestamp-free view for determinism checks: (depth, name, attrs)."""
+        return [
+            (record.depth, record.name, tuple(sorted(record.attrs.items())))
+            for record in self.spans()
+        ]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: records into ``recorder`` on exit."""
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_ids", "_start")
+
+    def __init__(self, recorder: SpanRecorder, name: str, attrs: dict[str, Any]) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._ids = self._recorder.begin()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        end = time.perf_counter()
+        span_id, parent_id, depth = self._ids
+        self._recorder.finish(
+            span_id, parent_id, depth, self._name, self._start, end, self._attrs
+        )
+
+
+#: The process-wide recorder all :func:`span` calls land in.
+RECORDER = SpanRecorder()
+
+
+def span(name: str, **attrs: Any) -> "_Span | _NullSpan":
+    """Open a recorded span (no-op singleton when telemetry is disabled)."""
+    if not _state.enabled():
+        return _NULL_SPAN
+    return _Span(RECORDER, name, attrs)
+
+
+# ---------------------------------------------------------------------- export
+
+
+def spans_to_jsonl(path: "str | Path", spans: Iterable[SpanRecord]) -> Path:
+    """Write spans as one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in spans:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+    return path

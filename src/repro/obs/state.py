@@ -1,0 +1,59 @@
+"""Global telemetry switch: one module-level flag, off by default.
+
+Every span/event instrumentation site in the runtime guards itself with
+:func:`enabled` (or receives a no-op object from the gated constructors in
+:mod:`repro.obs.spans` / :mod:`repro.obs.events`), so a disabled process
+pays one attribute read and a falsy branch per site — nothing allocates,
+nothing locks, nothing records.  Metric *counters* are deliberately not
+gated: they predate this subsystem (``engine_stats``) and are plain dict
+increments on paths that were already counting, so the disabled-path
+contract is "bit-identical outputs, unmeasurable overhead", not "zero
+instructions".
+
+Enable telemetry either at import time with ``REPRO_TELEMETRY=1`` in the
+environment (which worker processes started with the ``spawn`` method also
+see) or at runtime with :func:`enable` / the :func:`telemetry` context
+manager.  Planner-pool workers started with the default ``fork`` method
+inherit the in-memory flag as of pool start; ``spawn`` workers only honour
+the environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Truthy values of ``REPRO_TELEMETRY`` that enable telemetry at import.
+ENV_VAR = "REPRO_TELEMETRY"
+
+_ENABLED = os.environ.get(ENV_VAR, "0").strip().lower() not in ("", "0", "false", "no")
+
+
+def enabled() -> bool:
+    """Whether span/event telemetry is currently on (process-local)."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn span/event telemetry on for this process."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn span/event telemetry off for this process."""
+    global _ENABLED
+    _ENABLED = False
+
+
+@contextmanager
+def telemetry(on: bool = True) -> Iterator[None]:
+    """Scoped enable/disable; restores the previous state on exit."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = on
+    try:
+        yield
+    finally:
+        _ENABLED = previous

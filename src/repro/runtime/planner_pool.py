@@ -57,6 +57,11 @@ from typing import Any, Protocol, Sequence
 from repro.core.planner import DynaPipePlanner, IterationPlan
 from repro.data.tasks import Sample
 from repro.instructions.store import DEFAULT_JOB, InstructionStore, PlanFailedError
+from repro.obs import state as _obs_state
+from repro.obs.events import publish as _publish
+from repro.obs.registry import REGISTRY, aggregate_snapshots
+from repro.obs.spans import RECORDER as _RECORDER
+from repro.obs.spans import span as _span
 
 
 class _Planner(Protocol):
@@ -108,6 +113,11 @@ _SPILL_LOCK = threading.Lock()
 #: dominate planner memory, so the cache is small; with job-affine task
 #: pickup patterns a handful of entries already gives one-rebuild-per-job.
 _WORKER_PLANNER_CACHE = 4
+
+#: Registry-backed pool counters (``planner_pool.*`` in metric snapshots).
+_POOL_STATS = REGISTRY.counter_dict(
+    "planner_pool", ("tasks_enqueued", "plans_recorded", "failures_recorded")
+)
 
 
 def _unlink_quietly(path: str) -> None:
@@ -199,11 +209,17 @@ def _cached_planner(cache: "OrderedDict[str, _Planner]", payload: dict[str, Any]
     return planner
 
 
-def _plan_one(planner: _Planner, minibatch: Sequence[Sample], iteration: int):
+def _plan_one(
+    planner: _Planner,
+    minibatch: Sequence[Sample],
+    iteration: int,
+    job: str = DEFAULT_JOB,
+):
     """Plan one iteration; returns (payload, record fields)."""
-    start = time.perf_counter()
-    plan = planner.plan(list(minibatch), iteration=iteration)
-    elapsed = time.perf_counter() - start
+    with _span("plan_task", job=job, iteration=iteration):
+        start = time.perf_counter()
+        plan = planner.plan(list(minibatch), iteration=iteration)
+        elapsed = time.perf_counter() - start
     solution = getattr(plan, "dp_solution", None)
     info = {
         "planning_time_s": elapsed,
@@ -211,6 +227,21 @@ def _plan_one(planner: _Planner, minibatch: Sequence[Sample], iteration: int):
         "dp_cost_evaluations": solution.cost_evaluations if solution is not None else 0,
     }
     return plan.to_dict(), info
+
+
+def _worker_telemetry(worker_id: str) -> dict[str, Any]:
+    """Snapshot a worker process's telemetry for shipment to the parent.
+
+    Metric snapshots ship unconditionally — counters are always on, and the
+    parent's aggregated engine stats must see worker-side planning whether or
+    not spans are enabled.  Spans ship only when telemetry is enabled; the
+    worker recorder is *drained*, so each message carries only spans finished
+    since the previous one.
+    """
+    telemetry: dict[str, Any] = {"metrics": REGISTRY.snapshot()}
+    if _obs_state.enabled():
+        telemetry["spans"] = _RECORDER.drain_dicts(origin=worker_id)
+    return telemetry
 
 
 def _process_worker(
@@ -238,13 +269,21 @@ def _process_worker(
         results.put(("claimed", worker_id, job, iteration))
         try:
             planner = _cached_planner(planners, payload)
-            plan_payload, info = _plan_one(planner, samples, iteration)
+            plan_payload, info = _plan_one(planner, samples, iteration, job=job)
+            info["telemetry"] = _worker_telemetry(worker_id)
             results.put(("planned", worker_id, job, iteration, plan_payload, info))
         except Exception as error:  # noqa: BLE001 - surfaced to the parent
             results.put(
-                ("failed", worker_id, job, iteration, f"{type(error).__name__}: {error}")
+                (
+                    "failed",
+                    worker_id,
+                    job,
+                    iteration,
+                    f"{type(error).__name__}: {error}",
+                    _worker_telemetry(worker_id),
+                )
             )
-    results.put(("exited", worker_id))
+    results.put(("exited", worker_id, _worker_telemetry(worker_id)))
 
 
 @dataclass
@@ -391,6 +430,10 @@ class PlannerPool:
         self._processes: list[mp.process.BaseProcess] = []
         self._collector: threading.Thread | None = None
         self._exited: set[str] = set()
+        #: Latest cumulative metrics snapshot shipped by each worker process
+        #: (counters are monotonic between resets, so latest-per-worker sums
+        #: to an exact fleet-wide view).
+        self._worker_metrics: dict[str, dict[str, Any]] = {}
         self._queue: Any = None  # queue.Queue (thread) or mp.Queue (process)
         self._results: Any = None  # mp.Queue (process backend only)
 
@@ -575,6 +618,11 @@ class PlannerPool:
                     job=job,
                 )
             )
+            _POOL_STATS["plans_recorded"] += 1
+            REGISTRY.histogram("planner_pool.planning_time_s").observe(
+                info["planning_time_s"]
+            )
+        _publish("planner_task_planned", job=job, iteration=iteration, worker=worker)
 
     def _record_failed(self, worker: str, job: str, iteration: int, error: Exception) -> None:
         """Record a planning failure and mark it in the store (fail fast)."""
@@ -594,6 +642,30 @@ class PlannerPool:
             stream.errors.append((iteration, error))
             stream.failed.add(iteration)
             self.store.push_failure(iteration, str(error), job=job)
+            _POOL_STATS["failures_recorded"] += 1
+        _publish(
+            "planner_task_failed", job=job, iteration=iteration, error=str(error)
+        )
+
+    def _absorb_worker_telemetry(
+        self, worker_id: str, telemetry: dict[str, Any] | None
+    ) -> None:
+        """Fold one worker message's telemetry into the parent's stores.
+
+        Metric snapshots are cumulative per worker, so the latest replaces
+        its predecessor (summing latest snapshots across workers is exact);
+        shipped spans are appended to the parent recorder under the worker's
+        origin label, with span ids re-based to avoid collisions.
+        """
+        if not telemetry:
+            return
+        metrics = telemetry.get("metrics")
+        if metrics:
+            with self._lock:
+                self._worker_metrics[worker_id] = metrics
+        spans = telemetry.get("spans")
+        if spans:
+            _RECORDER.extend_dicts(spans, origin=worker_id)
 
     # ------------------------------------------------------------------ thread backend
 
@@ -611,7 +683,7 @@ class PlannerPool:
             with self._lock:
                 self._claims[worker_id] = (job, iteration)
             try:
-                payload, info = _plan_one(planner, samples, iteration)
+                payload, info = _plan_one(planner, samples, iteration, job=job)
                 self._record_planned(worker_id, job, iteration, payload, info)
             except Exception as error:  # noqa: BLE001 - surfaced via .errors + store
                 self._record_failed(worker_id, job, iteration, error)
@@ -667,11 +739,14 @@ class PlannerPool:
                         self._claims[worker_id] = (job, iteration)
             elif kind == "planned":
                 _, _, job, iteration, payload, info = message
+                self._absorb_worker_telemetry(worker_id, info.pop("telemetry", None))
                 self._record_planned(worker_id, job, iteration, payload, info)
             elif kind == "failed":
-                _, _, job, iteration, text = message
+                _, _, job, iteration, text, telemetry = message
+                self._absorb_worker_telemetry(worker_id, telemetry)
                 self._record_failed(worker_id, job, iteration, RuntimeError(text))
             elif kind == "exited":
+                self._absorb_worker_telemetry(worker_id, message[2])
                 self._exited.add(worker_id)
                 alive_ids.discard(worker_id)
                 if not alive_ids:
@@ -817,6 +892,10 @@ class PlannerPool:
                 for iteration in fresh:
                     samples = list(stream.minibatches[iteration - stream.start])
                     self._queue.put((stream.name, iteration, samples, stream.task_ref))
+                    _POOL_STATS["tasks_enqueued"] += 1
+                    _publish(
+                        "planner_task_enqueued", job=stream.name, iteration=iteration
+                    )
         if failure is not None:
             # No worker is left to serve new iterations; keep the fail-fast
             # guarantee by marking them failed instead of enqueueing them
@@ -966,6 +1045,47 @@ class PlannerPool:
             self.store.evict_iteration(iteration, job=job)
             self.store.push_failure(iteration, message, job=job)
         return True
+
+    # ------------------------------------------------------------------ telemetry
+
+    def worker_metrics(self) -> dict[str, dict[str, Any]]:
+        """Latest metrics snapshot shipped by each worker process.
+
+        Empty for the thread backend (thread workers record straight into
+        the parent registry) and until the first result arrives.
+        """
+        with self._lock:
+            return {
+                worker: dict(snapshot)
+                for worker, snapshot in self._worker_metrics.items()
+            }
+
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """Fleet-wide metrics view: parent registry + every worker's latest.
+
+        Counters and histograms are summed across processes; gauges are
+        last-writer-wins (see :func:`repro.obs.registry.aggregate_snapshots`).
+        """
+        with self._lock:
+            snapshots = list(self._worker_metrics.values())
+        return aggregate_snapshots([REGISTRY.snapshot(), *snapshots])
+
+    def engine_stats(self) -> dict[str, int]:
+        """Aggregated simulation-engine counters across parent and workers.
+
+        The process-local :func:`repro.simulator.engine.engine_stats` cannot
+        see planning done inside pool worker processes; this view sums the
+        ``sim_engine.*`` counters over the parent and every worker's shipped
+        snapshot, so order-search solves running on the planning cluster are
+        accounted for.
+        """
+        combined = self.telemetry_snapshot()["counters"]
+        prefix = "sim_engine."
+        return {
+            key[len(prefix):]: value
+            for key, value in combined.items()
+            if key.startswith(prefix)
+        }
 
     # ------------------------------------------------------------------ status
 

@@ -5,6 +5,11 @@ trace-event JSON format so pipelines can be inspected interactively in
 ``chrome://tracing`` or Perfetto — the standard way real training systems
 visualise their timelines.  Each device becomes a "thread"; compute and
 communication events are separated into two tracks per device.
+
+The pid/tid scheme and metadata events come from the shared helpers in
+:mod:`repro.obs.chrome`, so a standalone schedule trace, a fleet occupancy
+timeline and the merged fleet↔simulator trace all label their tracks the
+same way.  Standalone exports keep the historical ``pid=0``.
 """
 
 from __future__ import annotations
@@ -13,10 +18,11 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.obs import chrome as _chrome
 from repro.simulator.trace import ExecutionTrace
 
 #: Microseconds per millisecond (trace events use microseconds).
-_US_PER_MS = 1000.0
+_US_PER_MS = _chrome.US_PER_MS
 
 
 def trace_to_chrome_events(
@@ -30,40 +36,10 @@ def trace_to_chrome_events(
     """
     events: list[dict[str, Any]] = []
     if process_name is not None:
-        events.append(
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": process_id,
-                "args": {"name": process_name},
-            }
-        )
-    devices = sorted({event.device for event in trace.events})
-    for device in devices:
-        for suffix, category in (("compute", "compute"), ("comm", "comm")):
-            events.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": process_id,
-                    "tid": device * 2 + (0 if category == "compute" else 1),
-                    "args": {"name": f"device {device} ({suffix})"},
-                }
-            )
-    for event in trace.events:
-        tid = event.device * 2 + (0 if event.category == "compute" else 1)
-        events.append(
-            {
-                "name": event.name,
-                "cat": event.category,
-                "ph": "X",
-                "pid": process_id,
-                "tid": tid,
-                "ts": event.start_ms * _US_PER_MS,
-                "dur": event.duration_ms * _US_PER_MS,
-                "args": {"microbatch": event.microbatch},
-            }
-        )
+        events.extend(_chrome.process_name_event(process_id, process_name))
+    devices = {event.device for event in trace.events}
+    events.extend(_chrome.device_thread_metadata(process_id, devices))
+    events.extend(_chrome.trace_events_to_chrome(trace.events, process_id))
     return events
 
 

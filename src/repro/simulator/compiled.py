@@ -33,6 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.registry import REGISTRY
 from repro.schedule.events import OpType, PipelineSchedule
 from repro.simulator.memory_tracker import MemoryAccountingError
 
@@ -51,13 +52,19 @@ class UnsupportedScheduleError(RuntimeError):
 
 # --------------------------------------------------------------------------- stats
 
-_STATS = {
-    "geometry_compiles": 0,
-    "geometry_cache_hits": 0,
-    "timeline_solves": 0,
-    "vector_simulations": 0,
-    "scalar_simulations": 0,
-}
+#: Hot-path counters, registered with (and snapshotted by) the process-wide
+#: metrics registry as ``sim_engine.*`` while keeping the zero-overhead
+#: plain-dict increment idiom on the solve paths.
+_STATS = REGISTRY.counter_dict(
+    "sim_engine",
+    (
+        "geometry_compiles",
+        "geometry_cache_hits",
+        "timeline_solves",
+        "vector_simulations",
+        "scalar_simulations",
+    ),
+)
 
 
 def engine_stats() -> dict[str, int]:
@@ -67,6 +74,11 @@ def engine_stats() -> dict[str, int]:
     schedule geometry (the order search, fleet iterations with unchanged
     plans) should grow ``timeline_solves`` much faster than
     ``geometry_compiles``.
+
+    This is a *process-local* shim over ``repro.obs.REGISTRY``'s
+    ``sim_engine.*`` counters; planning that ran in pool worker processes is
+    invisible here — use :meth:`repro.runtime.planner_pool.PlannerPool.engine_stats`
+    for the aggregated fleet-wide view.
     """
     return dict(_STATS)
 

@@ -38,6 +38,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.obs.events import publish as _publish
 from repro.schedule.events import ComputeOp, OpType, PipelineSchedule
 from repro.simulator.compiled import (
     _STATS,
@@ -269,6 +270,7 @@ def simulate_schedule(
         return op_times, trace
 
     _STATS["vector_simulations"] += 1
+    _publish("simulation", engine="vector", num_stages=schedule.num_stages, makespan_ms=makespan)
     return SimulationResult(
         makespan_ms=makespan,
         device_busy_ms=busy,
@@ -403,6 +405,7 @@ def simulate_schedule_scalar(
     idle = [max(makespan - busy[j], 0.0) for j in range(num_stages)]
     peaks = [trackers[j].peak_bytes for j in range(num_stages)]
     _STATS["scalar_simulations"] += 1
+    _publish("simulation", engine="scalar", num_stages=num_stages, makespan_ms=makespan)
     return SimulationResult(
         op_times=op_times,
         makespan_ms=makespan,

@@ -30,6 +30,8 @@ from repro.data.tasks import Sample
 from repro.data.truncation import truncate_samples
 from repro.instructions.ops import BackwardPass, ForwardPass, PipelineInstruction
 from repro.model.transformer import build_stage_models
+from repro.obs import state as _obs_state
+from repro.obs.spans import span as _span
 from repro.runtime.planner_pool import PlannerPool
 from repro.simulator.executor import ExecutionResult, InstructionExecutor
 from repro.training.throughput import IterationRecord, TrainingReport
@@ -147,6 +149,10 @@ class TrainingSession:
             zero_shards=cost_model.zero_shards,
         )
         self._noise_rng = new_rng(self.config.seed)
+        #: Per-replica op traces of the most recent executed iteration
+        #: (empty tuple when telemetry is off or nothing executed yet); the
+        #: fleet scheduler forwards these to the merged-trace collector.
+        self.last_op_traces: tuple = ()
         # Resuming at an iteration boundary: burn the noise-seed draws the
         # skipped iterations would have consumed (one per replica executor,
         # data_parallel_size per iteration), so the remaining iterations see
@@ -205,17 +211,24 @@ class TrainingSession:
         """
         replica_times = []
         peak_memory = 0.0
-        for plan in plans:
-            executor = self._make_executor()
-            result: ExecutionResult = executor.run(plan.device_instructions)
-            replica_times.append(result.makespan_ms)
-            peak_memory = max(peak_memory, max(result.peak_memory_bytes))
+        collect = _obs_state.enabled()
+        traces = []
+        with _span("execute", num_replicas=len(plans)):
+            for plan in plans:
+                executor = self._make_executor()
+                result: ExecutionResult = executor.run(plan.device_instructions)
+                replica_times.append(result.makespan_ms)
+                peak_memory = max(peak_memory, max(result.peak_memory_bytes))
+                if collect:
+                    traces.append(result.trace)
+        self.last_op_traces = tuple(traces)
         exposed_dp = data_parallel_comm_ms * _EXPOSED_DP_FRACTION
         return max(replica_times) + exposed_dp, peak_memory
 
     def execute_iteration(self, plan: IterationPlan) -> tuple[float, float]:
         """Execute an iteration's plans; returns (iteration ms, peak memory bytes)."""
         if not self.config.execute_plans:
+            self.last_op_traces = ()
             return plan.predicted_iteration_ms, self._predicted_peak_bytes(plan.plans)
         return self._execute_replica_plans(plan.plans, plan.data_parallel_comm_ms)
 
@@ -317,6 +330,7 @@ class TrainingSession:
         predicted_ms = float(payload["predicted_iteration_ms"])
         predicted_peak = self._predicted_peak_bytes(replica_plans)
         if not self.config.execute_plans:
+            self.last_op_traces = ()
             measured_ms, measured_peak = predicted_ms, predicted_peak
         else:
             measured_ms, measured_peak = self._execute_replica_plans(

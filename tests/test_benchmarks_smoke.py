@@ -33,6 +33,7 @@ TIER2_BENCH_FILES = (
     "bench_fleet_scheduler.py",
     "bench_fleet_faults.py",
     "bench_sim_engine.py",
+    "bench_telemetry_overhead.py",
 )
 
 

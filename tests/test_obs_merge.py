@@ -1,0 +1,253 @@
+"""Merged fleet↔simulator↔planner trace: validity, nesting, pid/tid checks.
+
+Runs one seeded chaos fleet (inline planning, telemetry on) and asserts the
+merged chrome trace is valid trace-event JSON whose every slice lands on a
+named process/thread, that all three sections (fleet, per-job ops, planner
+spans) are populated, and that the span recorder captured the expected
+``job.step > plan`` / ``job.step > execute`` nesting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cluster.topology import ClusterTopology
+from repro.core.planner import PlannerConfig
+from repro.fleet import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FleetScheduler,
+    JobSpec,
+)
+from repro.obs import chrome as obs_chrome
+from repro.obs.merge import merge_fleet_trace
+from repro.parallel.config import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def traced_run(pp2_cost_model, fleet_samples, small_device):
+    """One seeded chaos fleet run with telemetry on; everything captured."""
+    obs.reset()
+    obs.enable()
+    try:
+        topology = ClusterTopology.for_num_gpus(4, gpus_per_node=2, device_spec=small_device)
+        scheduler = FleetScheduler(topology)
+        for index in range(3):
+            scheduler.submit(
+                JobSpec(
+                    name=f"job{index}",
+                    cost_model=pp2_cost_model,
+                    samples=fleet_samples,
+                    global_batch_tokens=4096,
+                    parallel=ParallelConfig(1, 2, 1),
+                    num_iterations=2,
+                    planner_config=PlannerConfig(order_search=True, tmax_sample_count=8),
+                    seed=index,
+                    max_retries=4,
+                )
+            )
+        plan = FaultPlan(
+            events=[FaultEvent(time_ms=5.0, kind="failure", device=0, repair_after_ms=10.0)]
+        )
+        FaultInjector(plan).apply(scheduler)
+        report = scheduler.run()
+        payload = merge_fleet_trace(report)
+        spans = obs.RECORDER.spans()
+        events = obs.events()
+        metrics = obs.REGISTRY.snapshot()
+        return report, payload, spans, events, metrics
+    finally:
+        obs.reset()
+        obs.disable()
+
+
+def _slices(payload):
+    return [e for e in payload["traceEvents"] if e["ph"] in ("X", "i")]
+
+
+def _metadata(payload, name):
+    return [e for e in payload["traceEvents"] if e["ph"] == "M" and e["name"] == name]
+
+
+class TestMergedTraceValidity:
+    def test_payload_is_valid_trace_event_json(self, traced_run):
+        _, payload, _, _, _ = traced_run
+        round_tripped = json.loads(json.dumps(payload))
+        assert isinstance(round_tripped["traceEvents"], list)
+        assert round_tripped["displayTimeUnit"] == "ms"
+        for event in round_tripped["traceEvents"]:
+            assert event["ph"] in ("M", "X", "i")
+            assert isinstance(event["pid"], int)
+            if event["ph"] != "M":
+                assert isinstance(event["tid"], int)
+                assert event["ts"] >= 0.0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+
+    def test_other_data(self, traced_run):
+        report, payload, _, _, _ = traced_run
+        other = payload["otherData"]
+        assert other["policy"] == report.policy
+        assert other["makespan_ms"] == report.makespan_ms
+        assert other["sim_trace_dropped_events"] == 0
+
+    def test_every_pid_and_tid_is_named(self, traced_run):
+        _, payload, _, _, _ = traced_run
+        named_pids = {e["pid"] for e in _metadata(payload, "process_name")}
+        named_tids = {(e["pid"], e["tid"]) for e in _metadata(payload, "thread_name")}
+        for event in _slices(payload):
+            assert event["pid"] in named_pids, f"unnamed pid in {event}"
+            assert (event["pid"], event["tid"]) in named_tids, f"unnamed tid in {event}"
+
+    def test_pids_do_not_collide(self, traced_run):
+        _, payload, _, _, _ = traced_run
+        names = {}
+        for event in _metadata(payload, "process_name"):
+            pid, name = event["pid"], event["args"]["name"]
+            assert names.setdefault(pid, name) == name
+        assert obs_chrome.PID_FLEET in names
+        assert obs_chrome.PID_PLANNER in names
+        job_pids = {pid for pid in names if pid >= obs_chrome.PID_JOB_BASE}
+        assert len(job_pids) == 3  # one process per job
+
+
+class TestMergedTraceSections:
+    def test_fleet_occupancy_slices_present(self, traced_run):
+        _, payload, _, _, _ = traced_run
+        fleet_x = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == obs_chrome.PID_FLEET
+        ]
+        assert fleet_x, "no occupancy slices on the fleet process"
+        assert any(e["name"].startswith("job") for e in fleet_x)
+
+    def test_capacity_track_has_failure_and_repair(self, traced_run):
+        report, payload, _, _, _ = traced_run
+        capacity_tid = 2 * report.num_devices
+        instants = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "i" and e["pid"] == obs_chrome.PID_FLEET and e["tid"] == capacity_tid
+        ]
+        names = {e["name"] for e in instants}
+        assert any("failure" in name for name in names)
+        assert any("repair" in name for name in names)
+
+    def test_lifecycle_track_has_bus_events(self, traced_run):
+        report, payload, _, _, _ = traced_run
+        lifecycle_tid = 2 * report.num_devices + 1
+        kinds = {
+            e["name"] for e in payload["traceEvents"]
+            if e["ph"] == "i" and e["pid"] == obs_chrome.PID_FLEET and e["tid"] == lifecycle_tid
+        }
+        for expected in ("job_submitted", "job_admitted", "iteration_committed", "job_finished"):
+            assert expected in kinds, f"missing lifecycle event {expected}"
+
+    def test_job_sections_carry_op_slices_on_fleet_clock(self, traced_run):
+        report, payload, _, _, _ = traced_run
+        job_x = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["pid"] >= obs_chrome.PID_JOB_BASE
+        ]
+        assert job_x, "no simulated op slices in the job sections"
+        # Op names are simulator instruction labels (F/B/W/comm ops).
+        assert all(e["name"] for e in job_x)
+        # Shifted onto the fleet clock: ops end within the fleet makespan.
+        for event in job_x:
+            assert event["ts"] / obs_chrome.US_PER_MS <= report.makespan_ms + 1e-6
+
+    def test_planner_section_present_and_normalized(self, traced_run):
+        _, payload, _, _, _ = traced_run
+        planner_x = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == obs_chrome.PID_PLANNER
+        ]
+        names = {e["name"] for e in planner_x}
+        assert {"job.step", "plan", "order_search", "execute"} <= names
+        assert min(e["ts"] for e in planner_x) == 0.0  # t0-normalized
+
+    def test_save_merged_trace_via_report(self, traced_run, tmp_path):
+        report, payload, spans, events, _ = traced_run
+        from repro.obs.merge import save_merged_trace
+
+        path = save_merged_trace(
+            tmp_path / "merged.json", report,
+            spans=list(spans), bus=_bus_from(events),
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["policy"] == report.policy
+
+
+def _bus_from(events):
+    bus = obs.EventBus()
+    for event in events:
+        bus.publish(event.kind, time_ms=event.time_ms, **event.fields)
+    return bus
+
+
+class TestSpanNesting:
+    def test_plan_nests_under_job_step(self, traced_run):
+        _, _, spans, _, _ = traced_run
+        by_id = {record.span_id: record for record in spans}
+        plan_spans = [r for r in spans if r.name == "plan"]
+        assert plan_spans
+        for record in plan_spans:
+            parent = by_id[record.parent_id]
+            assert parent.name == "job.step"
+            assert record.depth == parent.depth + 1
+
+    def test_order_search_nests_under_plan(self, traced_run):
+        _, _, spans, _, _ = traced_run
+        by_id = {record.span_id: record for record in spans}
+        searches = [r for r in spans if r.name == "order_search"]
+        assert searches
+        for record in searches:
+            assert by_id[record.parent_id].name == "plan"
+
+    def test_execute_nests_under_job_step(self, traced_run):
+        _, _, spans, _, _ = traced_run
+        by_id = {record.span_id: record for record in spans}
+        executes = [r for r in spans if r.name == "execute"]
+        assert executes
+        for record in executes:
+            assert by_id[record.parent_id].name == "job.step"
+
+    def test_children_within_parent_interval(self, traced_run):
+        _, _, spans, _, _ = traced_run
+        by_id = {record.span_id: record for record in spans}
+        for record in spans:
+            if record.parent_id is None:
+                continue
+            parent = by_id[record.parent_id]
+            assert parent.start_s <= record.start_s
+            assert record.end_s <= parent.end_s
+
+
+class TestRunTelemetry:
+    def test_fleet_counters_match_report(self, traced_run):
+        report, _, _, _, metrics = traced_run
+        counters = metrics["counters"]
+        assert counters["fleet.jobs_submitted"] == 3
+        assert counters["fleet.jobs_finished"] == report.finished_jobs
+        assert counters["fleet.iterations_committed"] == sum(
+            job.iterations_completed for job in report.jobs
+        )
+        assert counters["fleet.device_failures"] == 1
+        assert counters["fleet.device_repairs"] == 1
+
+    def test_iteration_histogram_populated(self, traced_run):
+        _, _, _, _, metrics = traced_run
+        hist = metrics["histograms"]["fleet.iteration_ms"]
+        assert hist["count"] == metrics["counters"]["fleet.iterations_committed"]
+        assert hist["min"] > 0.0
+
+    def test_events_are_fleet_clocked(self, traced_run):
+        report, _, _, events, _ = traced_run
+        fleet_kinds = {"job_submitted", "job_admitted", "iteration_committed", "job_finished"}
+        for event in events:
+            if event.kind in fleet_kinds:
+                assert event.time_ms is not None
+                assert 0.0 <= event.time_ms <= report.makespan_ms

@@ -1,0 +1,307 @@
+"""Unit tests for the telemetry substrate: registry, spans, events, simtrace."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.events import EventBus
+from repro.obs.registry import (
+    MetricsRegistry,
+    aggregate_snapshots,
+    merge_snapshot,
+    metric_key,
+)
+from repro.obs.simtrace import SimTraceCollector
+from repro.obs.spans import SpanRecorder, span
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+# --------------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_metric_key_labels_sorted(self):
+        assert metric_key("x") == "x"
+        assert metric_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.5
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["mean"] == 2.0
+        assert snap["histograms"]["h"]["min"] == 1.0
+        assert snap["histograms"]["h"]["max"] == 3.0
+
+    def test_labelled_metrics_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("c", job="a").inc()
+        registry.counter("c", job="b").inc(2)
+        counters = registry.snapshot()["counters"]
+        assert counters["c{job=a}"] == 1
+        assert counters["c{job=b}"] == 2
+
+    def test_counter_dict_is_live_and_namespaced(self):
+        registry = MetricsRegistry()
+        stats = registry.counter_dict("ns", ("a", "b"))
+        stats["a"] += 3
+        # Idempotent re-registration returns the same dict.
+        again = registry.counter_dict("ns", ("a", "b", "c"))
+        assert again is stats
+        assert stats["c"] == 0
+        counters = registry.snapshot()["counters"]
+        assert counters["ns.a"] == 3
+        assert counters["ns.b"] == 0
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        stats = registry.counter_dict("ns", ("a",))
+        counter.inc(7)
+        stats["a"] += 7
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert counter.value == 0
+        assert stats["a"] == 0
+        assert registry.snapshot()["histograms"]["h"]["count"] == 0
+        # The registered objects stay live after reset.
+        counter.inc()
+        stats["a"] += 1
+        counters = registry.snapshot()["counters"]
+        assert counters["c"] == 1 and counters["ns.a"] == 1
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(2.0)
+        json.dumps(registry.snapshot())
+
+    def test_merge_and_aggregate_snapshots(self):
+        a = {
+            "counters": {"x": 2, "y": 1},
+            "gauges": {"g": 1.0},
+            "histograms": {"h": {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0}},
+        }
+        b = {
+            "counters": {"x": 3},
+            "gauges": {"g": 5.0},
+            "histograms": {"h": {"count": 1, "sum": 5.0, "min": 5.0, "max": 5.0, "mean": 5.0}},
+        }
+        combined = aggregate_snapshots([a, b])
+        assert combined["counters"] == {"x": 5, "y": 1}
+        assert combined["gauges"]["g"] == 5.0  # last-writer-wins
+        hist = combined["histograms"]["h"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 9.0
+        assert hist["min"] == 1.0 and hist["max"] == 5.0
+        assert hist["mean"] == 3.0
+
+    def test_merge_snapshot_empty_histogram(self):
+        empty = {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        full = {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0, "mean": 2.0}
+        into = merge_snapshot({}, {"histograms": {"h": empty}})
+        merge_snapshot(into, {"histograms": {"h": full}})
+        assert into["histograms"]["h"]["count"] == 1
+        merge_snapshot(into, {"histograms": {"h": empty}})
+        assert into["histograms"]["h"]["count"] == 1
+
+
+# ------------------------------------------------------------------------ spans
+
+
+class TestSpans:
+    def test_disabled_span_is_noop_singleton(self):
+        assert not obs.enabled()
+        first = span("plan")
+        second = span("execute", job="x")
+        assert first is second  # shared singleton: no allocation when off
+        with first:
+            pass
+        assert obs.RECORDER.spans() == []
+
+    def test_nesting_and_attrs(self):
+        obs.enable()
+        with span("outer", job="j"):
+            with span("inner", iteration=3):
+                pass
+        records = obs.RECORDER.spans()
+        assert [r.name for r in records] == ["inner", "outer"]
+        inner, outer = records
+        assert inner.depth == 1 and outer.depth == 0
+        assert inner.parent_id == outer.span_id
+        assert inner.attrs == {"iteration": 3}
+        assert outer.attrs == {"job": "j"}
+        assert outer.start_s <= inner.start_s <= inner.end_s <= outer.end_s
+
+    def test_structure_is_timestamp_free(self):
+        obs.enable()
+        with span("a", k=1):
+            pass
+        assert obs.RECORDER.structure() == [(0, "a", (("k", 1),))]
+
+    def test_extend_dicts_rebases_ids(self):
+        recorder = SpanRecorder()
+        shipped = [
+            {"span_id": 100, "parent_id": None, "name": "plan", "start_s": 1.0,
+             "end_s": 2.0, "depth": 0, "attrs": {}, "origin": ""},
+            {"span_id": 101, "parent_id": 100, "name": "order_search", "start_s": 1.2,
+             "end_s": 1.8, "depth": 1, "attrs": {}, "origin": ""},
+        ]
+        recorder.extend_dicts(shipped, origin="planner-0")
+        records = recorder.spans()
+        assert len(records) == 2
+        parent, child = records
+        assert child.parent_id == parent.span_id
+        assert {r.origin for r in records} == {"planner-0"}
+        # Ids were re-based into the local sequence, not copied verbatim.
+        assert parent.span_id < 100
+
+    def test_drain_dicts_clears_and_stamps_origin(self):
+        obs.enable()
+        with span("plan"):
+            pass
+        drained = obs.RECORDER.drain_dicts(origin="w0")
+        assert [d["name"] for d in drained] == ["plan"]
+        assert drained[0]["origin"] == "w0"
+        assert obs.RECORDER.spans() == []
+
+    def test_ring_buffer_bounded(self):
+        recorder = SpanRecorder(capacity=4)
+        for index in range(10):
+            recorder.extend_dicts(
+                [{"span_id": index, "parent_id": None, "name": f"s{index}",
+                  "start_s": 0.0, "end_s": 1.0, "depth": 0, "attrs": {}, "origin": ""}]
+            )
+        assert len(recorder.spans()) == 4
+        assert recorder.spans()[-1].name == "s9"
+
+    def test_jsonl_export(self, tmp_path):
+        obs.enable()
+        with span("plan", iteration=1):
+            pass
+        path = obs.spans_to_jsonl(tmp_path / "spans.jsonl", obs.RECORDER.spans())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "plan"
+
+
+# ------------------------------------------------------------------------ events
+
+
+class TestEventBus:
+    def test_publish_gated_on_flag(self):
+        obs.publish("job_submitted", time_ms=0.0, job="a")
+        assert obs.events() == []
+        obs.enable()
+        obs.publish("job_submitted", time_ms=0.0, job="a")
+        assert [e.kind for e in obs.events()] == ["job_submitted"]
+
+    def test_kind_filter_and_fields(self):
+        obs.enable()
+        obs.publish("a", time_ms=1.0, x=1)
+        obs.publish("b", time_ms=2.0)
+        assert [e.kind for e in obs.events("a")] == ["a"]
+        event = obs.events("a")[0]
+        assert event.time_ms == 1.0 and event.fields == {"x": 1}
+        assert event.to_dict()["x"] == 1
+
+    def test_subscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("k", time_ms=0.0)
+        assert [e.kind for e in seen] == ["k"]
+        bus.unsubscribe(seen.append)
+        bus.publish("k2", time_ms=0.0)
+        assert len(seen) == 1
+
+    def test_structure_and_jsonl(self, tmp_path):
+        bus = EventBus()
+        bus.publish("k", time_ms=3.0, b=2, a=1)
+        assert bus.structure() == [("k", 3.0, (("a", 1), ("b", 2)))]
+        path = bus.export_jsonl(tmp_path / "events.jsonl")
+        assert json.loads(path.read_text().strip())["kind"] == "k"
+
+    def test_ring_buffer_bounded(self):
+        bus = EventBus(capacity=3)
+        for index in range(6):
+            bus.publish(f"k{index}", time_ms=float(index))
+        assert [e.kind for e in bus.events()] == ["k3", "k4", "k5"]
+
+
+# ---------------------------------------------------------------------- simtrace
+
+
+class _FakeOp:
+    def __init__(self, device, start_ms, end_ms):
+        self.device = device
+        self.name = "F0"
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.category = "compute"
+        self.microbatch = 0
+
+
+class TestSimTraceCollector:
+    def test_add_and_query(self):
+        collector = SimTraceCollector()
+        collector.add("job-a", 0, start_ms=10.0, replica_traces=[[_FakeOp(0, 0.0, 1.0)]])
+        collector.add("job-b", 0, start_ms=0.0, replica_traces=[[_FakeOp(0, 0.0, 1.0)]])
+        assert collector.jobs() == ["job-a", "job-b"]
+        traces = collector.traces("job-a")
+        assert len(traces) == 1
+        assert traces[0].start_ms == 10.0
+        assert len(traces[0].replicas[0]) == 1
+
+    def test_duck_types_execution_trace(self):
+        class FakeTrace:
+            events = [_FakeOp(0, 0.0, 1.0), _FakeOp(1, 1.0, 2.0)]
+
+        collector = SimTraceCollector()
+        collector.add("j", 0, start_ms=0.0, replica_traces=[FakeTrace()])
+        assert len(collector.traces("j")[0].replicas[0]) == 2
+
+    def test_bounded_with_drop_accounting(self):
+        collector = SimTraceCollector(max_events=3)
+        collector.add("j", 0, start_ms=0.0, replica_traces=[[_FakeOp(0, 0.0, 1.0)] * 2])
+        collector.add("j", 1, start_ms=1.0, replica_traces=[[_FakeOp(0, 0.0, 1.0)] * 2])
+        assert len(collector.traces("j")) == 1  # second iteration dropped whole
+        assert collector.dropped_events == 2
+        collector.clear()
+        assert collector.dropped_events == 0 and collector.traces() == []
+
+
+# -------------------------------------------------------------------- state flag
+
+
+class TestStateFlag:
+    def test_enable_disable_and_context(self):
+        assert not obs.enabled()
+        obs.enable()
+        assert obs.enabled()
+        obs.disable()
+        with obs.telemetry():
+            assert obs.enabled()
+        assert not obs.enabled()
+        obs.enable()
+        with obs.telemetry(False):
+            assert not obs.enabled()
+        assert obs.enabled()
