@@ -1,0 +1,164 @@
+"""Tier-2 benchmark: fleet at scale — trace replay over ~1k jobs and devices.
+
+Replays one seeded synthetic multi-tenant trace
+(:mod:`repro.fleet.workloads`: diurnal + bursty arrivals, mixed GPT/T5
+model mix, priority tiers, failure storm + correlated rack outages) under
+every admission policy on the **bitmap** scheduler core, and replays the
+FIFO run again on the **object** oracle core:
+
+* the policy table compares fifo/srw/priority at scale (makespan,
+  queueing delay, utilization, evictions) on identical inputs;
+* the core rows measure the data-oriented rearchitecture: both cores
+  process the *identical* event sequence (``events_processed`` is
+  core-independent), so wall-clock per event is a like-for-like speed
+  comparison — the full workload must replay at a ≥ 10× event-loop
+  speedup on the bitmap core, with bit-identical fleet reports.
+
+Run it with
+
+    pytest benchmarks/bench_fleet_scale.py --benchmark-disable -s
+
+(or ``pytest benchmarks/ -m tier2_bench``).  Set ``REPRO_BENCH_SMOKE=1``
+for the reduced workload the tier-1 suite runs so this file cannot
+silently rot; the speedup floor is only asserted at full scale (the smoke
+workload is too small for the asymptotics to separate the cores).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.fleet.workloads import generate_trace, replay_trace
+
+from common import emit
+
+#: Reduced workload (used as a tier-1 smoke check).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+TRACE_SEED = 42
+NUM_JOBS = 60 if SMOKE else 1000
+NUM_NODES = 4 if SMOKE else 128
+GPUS_PER_NODE = 8
+#: Arrival rate chosen to saturate the cluster: a deep pending backlog is
+#: exactly the regime that separates the cores (the oracle re-sorts the
+#: whole queue at every event; the bitmap core's dirty-guard + feasibility
+#: precheck skip the scan when nothing can change).
+BASE_RATE_PER_S = 10.0 if SMOKE else 40.0
+MIN_ITERATIONS = 2 if SMOKE else 4
+MAX_ITERATIONS = 5 if SMOKE else 16
+STORM_RATE_PER_S = 0.2 if SMOKE else 0.5
+NUM_RACK_OUTAGES = 1 if SMOKE else 2
+
+POLICIES = ("fifo", "srw", "priority")
+#: Event-loop speedup floor of the bitmap core at full scale.
+SPEEDUP_FLOOR = 10.0
+
+HEADERS = [
+    "policy",
+    "core",
+    "wall s",
+    "events",
+    "events/s",
+    "finished",
+    "failed",
+    "mean queue s",
+    "util %",
+    "evictions",
+    "retries",
+]
+
+
+def build_trace():
+    return generate_trace(
+        num_jobs=NUM_JOBS,
+        num_nodes=NUM_NODES,
+        gpus_per_node=GPUS_PER_NODE,
+        seed=TRACE_SEED,
+        base_rate_per_s=BASE_RATE_PER_S,
+        min_iterations=MIN_ITERATIONS,
+        max_iterations=MAX_ITERATIONS,
+        storm_rate_per_s=STORM_RATE_PER_S,
+        num_rack_outages=NUM_RACK_OUTAGES,
+    )
+
+
+def timed_replay(trace, policy: str, core: str):
+    start = time.perf_counter()
+    report = replay_trace(trace, policy=policy, core=core)
+    return report, time.perf_counter() - start
+
+
+def run_scale_sweep():
+    trace = build_trace()
+    rows = []
+    reports = {}
+    timings = {}
+    for policy in POLICIES:
+        report, wall_s = timed_replay(trace, policy, "bitmap")
+        reports[(policy, "bitmap")] = report
+        timings[(policy, "bitmap")] = wall_s
+        rows.append(_row(policy, "bitmap", report, wall_s))
+    # The oracle replays the FIFO run: same trace, same event sequence.
+    report, wall_s = timed_replay(trace, "fifo", "object")
+    reports[("fifo", "object")] = report
+    timings[("fifo", "object")] = wall_s
+    rows.append(_row("fifo", "object", report, wall_s))
+    speedup = timings[("fifo", "object")] / timings[("fifo", "bitmap")]
+    rows.append(["fifo", "speedup", f"{speedup:.1f}x", "", "", "", "", "", "", "", ""])
+    return rows, (trace, reports, timings, speedup)
+
+
+def _row(policy: str, core: str, report, wall_s: float):
+    summary = report.summary()
+    events = summary["events_processed"]
+    return [
+        policy,
+        core,
+        f"{wall_s:.2f}",
+        events,
+        f"{events / wall_s:.0f}",
+        summary["finished"],
+        summary["failed"],
+        f"{summary['mean_queueing_delay_ms'] / 1000.0:.2f}",
+        f"{100.0 * summary['device_utilization']:.1f}",
+        summary["total_evictions"],
+        summary["total_retries"],
+    ]
+
+
+@pytest.mark.tier2_bench
+def test_fleet_scale_bench(benchmark, capsys):
+    rows, (trace, reports, timings, speedup) = benchmark.pedantic(
+        run_scale_sweep, rounds=1, iterations=1
+    )
+    emit(
+        "fleet_scale",
+        f"Fleet at scale: {NUM_JOBS} jobs over "
+        f"{NUM_NODES * GPUS_PER_NODE} devices ({trace.description})",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    fast = reports[("fifo", "bitmap")]
+    oracle = reports[("fifo", "object")]
+    # Both cores processed the identical event sequence and produced
+    # bit-identical reports — the speedup is a pure data-structure win.
+    assert fast.summary() == oracle.summary()
+    assert [dataclasses.asdict(j) for j in fast.jobs] == [
+        dataclasses.asdict(j) for j in oracle.jobs
+    ]
+    assert fast.capacity_timeline == oracle.capacity_timeline
+    assert fast.trace.events == oracle.trace.events
+    # Every policy replayed the full population to termination.
+    for report in reports.values():
+        assert report.finished_jobs + report.failed_jobs == NUM_JOBS
+        assert report.events_processed > 0
+    if not SMOKE:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"bitmap core event-loop speedup {speedup:.1f}x is below the "
+            f"{SPEEDUP_FLOOR:.0f}x floor"
+        )

@@ -35,7 +35,14 @@ from repro.fleet.faults import (
     rack_outage,
     random_fault_plan,
 )
-from repro.fleet.gang import DeviceGang, GangAllocator
+from repro.fleet.gang import (
+    VALID_FLEET_CORES,
+    BitmapGangAllocator,
+    DeviceGang,
+    GangAllocator,
+    make_allocator,
+    resolve_fleet_core,
+)
 from repro.fleet.job import JobAttempt, JobCheckpoint, JobRecord, JobSpec, JobState
 from repro.fleet.metrics import CapacityEvent, FleetReport, JobSummary, summarize_job
 from repro.fleet.policies import (
@@ -53,8 +60,21 @@ from repro.fleet.scheduler import (
     FleetScheduler,
 )
 from repro.fleet.session import JobExecution, JobPlanningError
+from repro.fleet.workloads import (
+    MODEL_CATALOG,
+    SyntheticTracePlanner,
+    TraceJob,
+    WorkloadModel,
+    WorkloadTrace,
+    build_jobs,
+    build_scheduler,
+    generate_trace,
+    replay_trace,
+    workload_cost_model,
+)
 
 __all__ = [
+    "BitmapGangAllocator",
     "CapacityEvent",
     "DeviceArrivalEvent",
     "DeviceFailure",
@@ -76,15 +96,28 @@ __all__ = [
     "JobSpec",
     "JobState",
     "JobSummary",
+    "MODEL_CATALOG",
     "PreemptivePriorityPolicy",
     "SchedulerKilled",
     "SchedulingPolicy",
     "ShortestRemainingWorkPolicy",
+    "SyntheticTracePlanner",
+    "TraceJob",
+    "VALID_FLEET_CORES",
+    "WorkloadModel",
+    "WorkloadTrace",
+    "build_jobs",
+    "build_scheduler",
     "failure_storm",
+    "generate_trace",
+    "make_allocator",
     "make_policy",
     "rack_outage",
     "random_fault_plan",
+    "replay_trace",
+    "resolve_fleet_core",
     "restore_scheduler",
     "snapshot_scheduler",
     "summarize_job",
+    "workload_cost_model",
 ]

@@ -52,7 +52,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scheduler imports us
     from repro.fleet.scheduler import FleetConfig, FleetScheduler
 
 #: Format version of the snapshot dict; bumped on incompatible layout changes.
-SNAPSHOT_VERSION = 1
+#: Version 2 (the scheduler-core split) added the ``"core"`` provenance
+#: field and canonicalized ``"capacity_heap"`` to ``(time, seq)`` order so
+#: snapshots are byte-identical across cores; version-1 snapshots (raw heap
+#: order, no core field) are still read.
+SNAPSHOT_VERSION = 2
+
+#: Snapshot versions :func:`restore_scheduler` accepts.
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
 
 
 class SchedulerKilled(RuntimeError):
@@ -169,6 +176,7 @@ def snapshot_scheduler(scheduler: "FleetScheduler") -> dict[str, Any]:
     failures = scheduler._failures_sorted or []
     return {
         "version": SNAPSHOT_VERSION,
+        "core": scheduler.core,
         "policy": scheduler.policy.name,
         "num_devices": scheduler.topology.num_gpus,
         "clock_ms": scheduler._clock,
@@ -181,7 +189,7 @@ def snapshot_scheduler(scheduler: "FleetScheduler") -> dict[str, Any]:
         "pending": [record.spec.name for record in scheduler._pending],
         "running": running_payload,
         "allocator": scheduler.allocator.snapshot_state(),
-        "capacity_heap": [list(entry) for entry in scheduler._capacity_heap],
+        "capacity_heap": scheduler._capacity_heap_snapshot(),
         "capacity_seq": scheduler._capacity_seq,
         "failure_epoch": [
             [device, epoch] for device, epoch in sorted(scheduler._failure_epoch.items())
@@ -226,10 +234,10 @@ def restore_scheduler(
     """
     from repro.fleet.scheduler import DeviceFailure, FleetScheduler
 
-    if snapshot.get("version") != SNAPSHOT_VERSION:
+    if snapshot.get("version") not in SUPPORTED_SNAPSHOT_VERSIONS:
         raise ValueError(
             f"unsupported snapshot version {snapshot.get('version')!r}; "
-            f"this build reads version {SNAPSHOT_VERSION}"
+            f"this build reads versions {list(SUPPORTED_SNAPSHOT_VERSIONS)}"
         )
     if snapshot["num_devices"] != topology.num_gpus:
         raise ValueError(

@@ -23,11 +23,23 @@ same invariant: releasing a gang returns only its still-alive devices, a
 repair resurrects a device *only* through the explicit failed → free
 transition, and an absent device can neither fail nor be allocated before
 it arrives.
+
+**Two cores.**  :class:`GangAllocator` keeps the partition in Python sets
+and a per-device dict — simple, obviously correct, and O(devices) per
+placement.  :class:`BitmapGangAllocator` keeps the same partition as numpy
+bool masks with an O(1) device→gang owner index and a vectorized
+contiguous-window placement search; it is the default core at scale.
+Both expose the identical API, placement preference, snapshot format and
+error messages, so the object allocator doubles as a bit-identity oracle
+(select it with ``REPRO_FLEET_CORE=object``; see :func:`make_allocator`).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.cluster.topology import ClusterTopology
 
@@ -107,6 +119,14 @@ class GangAllocator:
         """The gang holding ``device``, if any."""
         return self._allocated.get(device)
 
+    def is_failed(self, device: int) -> bool:
+        """Whether ``device`` is currently failed (O(1))."""
+        return device in self._failed
+
+    def is_absent(self, device: int) -> bool:
+        """Whether ``device`` has not (yet) arrived in the cluster (O(1))."""
+        return device in self._absent
+
     # ------------------------------------------------------------------ allocation
 
     def allocate(
@@ -127,9 +147,9 @@ class GangAllocator:
         size = data_parallel * pipeline_parallel * tensor_parallel
         if size < 1:
             raise ValueError(f"gang size must be >= 1, got {size}")
-        free = sorted(self._free)
-        if len(free) < size:
+        if len(self._free) < size:
             return None
+        free = sorted(self._free)
         devices: tuple[int, ...] | None = None
         contiguous: tuple[int, ...] | None = None
         for start in range(len(free) - size + 1):
@@ -291,3 +311,329 @@ class GangAllocator:
         union = free | allocated | failed | absent
         expected = set(range(self.num_devices))
         assert union == expected, f"device leak: missing {expected - union}, extra {union - expected}"
+
+
+class BitmapGangAllocator:
+    """Data-oriented gang allocator: device bitmaps + O(1) owner index.
+
+    Drop-in replacement for :class:`GangAllocator` holding the 4-way
+    partition as numpy bool masks (``free``/``failed``/``absent``; a device
+    is *allocated* iff its slot in the owner index is set) and searching
+    placements vectorized over the sorted free indices instead of scanning
+    windows in Python.  Placement preference, tie-breaks, snapshot format
+    and every error message are identical to the object allocator — the
+    fleet equivalence suite pins the two cores against each other.
+
+    Gang ownership uses integer *slots*: ``_owner[device]`` is the slot of
+    the owning gang (-1 when unowned) and ``_gangs[slot]`` holds the gang
+    object, so :meth:`owner_of` is a single array load + dict get.  A slot
+    is retired when its last device leaves the gang (release or failure);
+    the slot table keeps a strong reference to the gang while any device
+    points at it, so ``id()`` reuse can never alias two live gangs.
+    """
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        count = topology.num_gpus
+        self._count = count
+        self._free_mask = np.ones(count, dtype=bool)
+        self._failed_mask = np.zeros(count, dtype=bool)
+        self._absent_mask = np.zeros(count, dtype=bool)
+        #: Slot of the owning gang per device; -1 = unowned.
+        self._owner = np.full(count, -1, dtype=np.int64)
+        #: Node of each device, precomputed for the alignment test.
+        self._node_index = np.arange(count, dtype=np.int64) // topology.gpus_per_node
+        self._gangs: dict[int, DeviceGang] = {}
+        self._owned_count: dict[int, int] = {}
+        self._slot_of: dict[int, int] = {}
+        self._next_slot = 0
+        self._free_count = count
+        self._failed_count = 0
+        self._absent_count = 0
+        self._busy_count = 0
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def num_devices(self) -> int:
+        """Total devices in the cluster (alive, failed or absent)."""
+        return self._count
+
+    @property
+    def alive_count(self) -> int:
+        """Devices currently part of the cluster and not failed."""
+        return self._count - self._failed_count - self._absent_count
+
+    @property
+    def free_count(self) -> int:
+        """Devices currently idle and alive."""
+        return self._free_count
+
+    @property
+    def busy_count(self) -> int:
+        """Devices currently allocated to gangs."""
+        return self._busy_count
+
+    @property
+    def failed_devices(self) -> frozenset[int]:
+        """Devices that failed and have not (yet) been repaired."""
+        return frozenset(np.flatnonzero(self._failed_mask).tolist())
+
+    @property
+    def absent_devices(self) -> frozenset[int]:
+        """Devices that have not (yet) arrived in the cluster."""
+        return frozenset(np.flatnonzero(self._absent_mask).tolist())
+
+    def owner_of(self, device: int) -> DeviceGang | None:
+        """The gang holding ``device``, if any (O(1))."""
+        slot = int(self._owner[device])
+        return self._gangs[slot] if slot >= 0 else None
+
+    def is_failed(self, device: int) -> bool:
+        """Whether ``device`` is currently failed (O(1))."""
+        return bool(self._failed_mask[device])
+
+    def is_absent(self, device: int) -> bool:
+        """Whether ``device`` has not (yet) arrived in the cluster (O(1))."""
+        return bool(self._absent_mask[device])
+
+    # ------------------------------------------------------------------ allocation
+
+    def _find_devices(self, size: int) -> tuple[int, ...]:
+        """Vectorized placement search over the sorted free indices.
+
+        Reproduces :meth:`GangAllocator.allocate`'s preference exactly:
+        the first (lowest-start) contiguous index window that does not
+        straddle a node boundary, else the first contiguous window, else
+        the lowest free indices.  Windows of sorted free indices are
+        contiguous iff ``free[start+size-1] - free[start] == size-1``.
+        """
+        free = np.flatnonzero(self._free_mask)
+        if size == 1:
+            # Every single free device is a node-aligned window of one;
+            # the lowest index wins.
+            return (int(free[0]),)
+        spans = free[size - 1 :] - free[: free.size - size + 1]
+        starts = np.flatnonzero(spans == size - 1)
+        if starts.size:
+            aligned = starts[
+                self._node_index[free[starts]]
+                == self._node_index[free[starts + size - 1]]
+            ]
+            start = int(aligned[0]) if aligned.size else int(starts[0])
+            window = free[start : start + size]
+        else:
+            window = free[:size]
+        return tuple(int(device) for device in window)
+
+    def allocate(
+        self, job: str, data_parallel: int, pipeline_parallel: int, tensor_parallel: int
+    ) -> DeviceGang | None:
+        """Allocate a gang for ``job``, or return ``None`` if it cannot fit.
+
+        Same all-or-nothing contract and placement preference as
+        :meth:`GangAllocator.allocate`, computed on the bitmaps.
+        """
+        size = data_parallel * pipeline_parallel * tensor_parallel
+        if size < 1:
+            raise ValueError(f"gang size must be >= 1, got {size}")
+        if self._free_count < size:
+            return None
+        devices = self._find_devices(size)
+        gang = DeviceGang(
+            job=job,
+            devices=devices,
+            data_parallel=data_parallel,
+            pipeline_parallel=pipeline_parallel,
+            tensor_parallel=tensor_parallel,
+        )
+        slot = self._next_slot
+        self._next_slot += 1
+        index = np.fromiter(devices, count=size, dtype=np.int64)
+        self._free_mask[index] = False
+        self._owner[index] = slot
+        self._free_count -= size
+        self._busy_count += size
+        self._gangs[slot] = gang
+        self._owned_count[slot] = size
+        self._slot_of[id(gang)] = slot
+        return gang
+
+    def _retire_device(self, slot: int, gang: DeviceGang) -> None:
+        """One device left ``gang``; drop the slot when it was the last."""
+        self._owned_count[slot] -= 1
+        self._busy_count -= 1
+        if self._owned_count[slot] == 0:
+            del self._gangs[slot]
+            del self._owned_count[slot]
+            del self._slot_of[id(gang)]
+
+    def release(self, gang: DeviceGang) -> list[int]:
+        """Return a gang's devices to the free pool; returns those released.
+
+        Devices that failed while allocated stay failed — identical to
+        :meth:`GangAllocator.release`.
+        """
+        slot = self._slot_of.get(id(gang))
+        released: list[int] = []
+        if slot is None or self._gangs.get(slot) is not gang:
+            return released
+        for device in gang.devices:
+            if self._owner[device] != slot:
+                continue  # failed mid-run (already removed) — stays failed
+            self._owner[device] = -1
+            self._free_mask[device] = True
+            released.append(device)
+            self._retire_device(slot, gang)
+        self._free_count += len(released)
+        return released
+
+    def fail_device(self, device: int) -> DeviceGang | None:
+        """Mark ``device`` failed; returns the gang it interrupts, if any."""
+        if not 0 <= device < self._count:
+            raise ValueError(f"device {device} out of range [0, {self._count})")
+        if self._failed_mask[device] or self._absent_mask[device]:
+            return None
+        slot = int(self._owner[device])
+        gang: DeviceGang | None = None
+        if slot >= 0:
+            gang = self._gangs[slot]
+            self._owner[device] = -1
+            self._retire_device(slot, gang)
+        elif self._free_mask[device]:
+            self._free_mask[device] = False
+            self._free_count -= 1
+        self._failed_mask[device] = True
+        self._failed_count += 1
+        return gang
+
+    # ------------------------------------------------------------------ repair / arrival
+
+    def repair_device(self, device: int) -> bool:
+        """Return a failed device to the free pool; False on stale repairs."""
+        if not 0 <= device < self._count:
+            raise ValueError(f"device {device} out of range [0, {self._count})")
+        if not self._failed_mask[device]:
+            return False
+        self._failed_mask[device] = False
+        self._failed_count -= 1
+        self._free_mask[device] = True
+        self._free_count += 1
+        return True
+
+    def mark_absent(self, device: int) -> None:
+        """Move a free device out of the cluster (pre-run setup only)."""
+        if not 0 <= device < self._count or not self._free_mask[device]:
+            raise ValueError(
+                f"device {device} is not free; only idle devices can start absent"
+            )
+        self._free_mask[device] = False
+        self._free_count -= 1
+        self._absent_mask[device] = True
+        self._absent_count += 1
+
+    def arrive_device(self, device: int) -> None:
+        """An absent device joins the cluster: absent → free."""
+        if not 0 <= device < self._count or not self._absent_mask[device]:
+            raise ValueError(f"device {device} is not absent; cannot arrive")
+        self._absent_mask[device] = False
+        self._absent_count -= 1
+        self._free_mask[device] = True
+        self._free_count += 1
+
+    # ------------------------------------------------------------------ snapshot / restore
+
+    def snapshot_state(self) -> dict[str, list[int]]:
+        """JSON-safe snapshot, byte-identical to the object allocator's."""
+        return {
+            "free": np.flatnonzero(self._free_mask).tolist(),
+            "failed": np.flatnonzero(self._failed_mask).tolist(),
+            "absent": np.flatnonzero(self._absent_mask).tolist(),
+        }
+
+    def restore_state(
+        self,
+        free: "list[int] | set[int]",
+        failed: "list[int] | set[int]",
+        absent: "list[int] | set[int]",
+        allocated: "list[tuple[DeviceGang, list[int]]]" = (),
+    ) -> None:
+        """Overwrite the partition from a snapshot (scheduler restore path)."""
+        self._free_mask[:] = False
+        self._failed_mask[:] = False
+        self._absent_mask[:] = False
+        self._owner[:] = -1
+        self._free_mask[list(free)] = True
+        self._failed_mask[list(failed)] = True
+        self._absent_mask[list(absent)] = True
+        self._free_count = int(self._free_mask.sum())
+        self._failed_count = int(self._failed_mask.sum())
+        self._absent_count = int(self._absent_mask.sum())
+        self._gangs.clear()
+        self._owned_count.clear()
+        self._slot_of.clear()
+        self._busy_count = 0
+        for gang, owned in allocated:
+            if not owned:
+                continue  # fully failed mid-run: nothing left to own
+            slot = self._next_slot
+            self._next_slot += 1
+            self._owner[list(owned)] = slot
+            self._gangs[slot] = gang
+            self._owned_count[slot] = len(owned)
+            self._slot_of[id(gang)] = slot
+            self._busy_count += len(owned)
+        self.check_consistent()
+
+    # ------------------------------------------------------------------ invariants
+
+    def check_consistent(self) -> None:
+        """Assert free/allocated/failed/absent partition the cluster."""
+        free = set(np.flatnonzero(self._free_mask).tolist())
+        allocated = set(np.flatnonzero(self._owner >= 0).tolist())
+        failed = set(np.flatnonzero(self._failed_mask).tolist())
+        absent = set(np.flatnonzero(self._absent_mask).tolist())
+        sets = {"free": free, "allocated": allocated, "failed": failed, "absent": absent}
+        names = sorted(sets)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                overlap = sets[a] & sets[b]
+                assert not overlap, f"devices both {a} and {b}: {overlap}"
+        union = free | allocated | failed | absent
+        expected = set(range(self.num_devices))
+        assert union == expected, f"device leak: missing {expected - union}, extra {union - expected}"
+        assert self._free_count == len(free), "free count out of sync"
+        assert self._failed_count == len(failed), "failed count out of sync"
+        assert self._absent_count == len(absent), "absent count out of sync"
+        assert self._busy_count == len(allocated), "busy count out of sync"
+        assert self._busy_count == sum(self._owned_count.values()), "slot counts out of sync"
+
+
+#: Recognised scheduler-core selectors (see :func:`resolve_fleet_core`).
+VALID_FLEET_CORES = ("bitmap", "object")
+
+
+def resolve_fleet_core(core: "str | None" = None) -> str:
+    """Resolve the fleet scheduler core: explicit arg > env > default.
+
+    ``"bitmap"`` (default) selects the data-oriented core —
+    :class:`BitmapGangAllocator` plus the scheduler's indexed event heap;
+    ``"object"`` selects the original per-device object allocator and scan
+    loops, retained as a bit-identity oracle.  The ``REPRO_FLEET_CORE``
+    environment variable applies when no explicit value is given.
+    """
+    value = core or os.environ.get("REPRO_FLEET_CORE") or "bitmap"
+    if value not in VALID_FLEET_CORES:
+        raise ValueError(
+            f"unknown fleet core {value!r}; choose from {list(VALID_FLEET_CORES)}"
+        )
+    return value
+
+
+def make_allocator(
+    topology: ClusterTopology, core: "str | None" = None
+) -> "GangAllocator | BitmapGangAllocator":
+    """Build the gang allocator for ``core`` (see :func:`resolve_fleet_core`)."""
+    if resolve_fleet_core(core) == "object":
+        return GangAllocator(topology)
+    return BitmapGangAllocator(topology)

@@ -157,6 +157,10 @@ class FleetReport:
             feeds :attr:`mttr_ms`.
         fault_log: Applied planner-side faults (worker kills, store plan
             losses), each a ``{time_ms, kind, requested, applied}`` dict.
+        events_processed: Scheduler event-loop iterations of the run —
+            core-independent (both scheduler cores process the identical
+            event sequence), so events/second is the benchmark's
+            like-for-like speed metric.
     """
 
     policy: str
@@ -172,6 +176,7 @@ class FleetReport:
     planner_workers_spawned: int = 0
     repair_durations_ms: list[float] = field(default_factory=list)
     fault_log: list[dict[str, Any]] = field(default_factory=list)
+    events_processed: int = 0
 
     # ------------------------------------------------------------------ aggregates
 
@@ -293,6 +298,7 @@ class FleetReport:
             "planning_retries": self.total_planning_retries,
             "degraded_iterations": self.total_degraded_iterations,
             "planner_faults": self.planner_faults_injected,
+            "events_processed": self.events_processed,
         }
 
     def save_chrome_trace(self, path: "str | Path") -> Path:

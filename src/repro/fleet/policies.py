@@ -53,6 +53,9 @@ class FifoPolicy:
     """First-in-first-out: by submission time, then submission sequence."""
 
     name = "fifo"
+    #: Declares that :meth:`preempts` is constant-False, letting the
+    #: scheduler's fast core skip per-boundary eviction scans entirely.
+    never_preempts = True
 
     def order(self, pending: Sequence[JobRecord], now_ms: float) -> list[JobRecord]:
         return sorted(pending, key=lambda r: (r.spec.submit_time_ms, r.sequence))
@@ -74,6 +77,8 @@ class ShortestRemainingWorkPolicy:
     """
 
     name = "srw"
+    #: Constant-False :meth:`preempts`; see :class:`FifoPolicy`.
+    never_preempts = True
 
     def order(self, pending: Sequence[JobRecord], now_ms: float) -> list[JobRecord]:
         return sorted(
@@ -115,6 +120,7 @@ class PreemptivePriorityPolicy:
     """
 
     name = "priority"
+    never_preempts = False
 
     def __init__(self, aging_ms: float | None = None) -> None:
         if aging_ms is not None and aging_ms <= 0:

@@ -52,6 +52,25 @@ Determinism: with fixed specs, failure/repair/arrival schedules and
 policy, the run is a pure function of its inputs — iteration times come
 from the seeded simulated executors and all ties are broken by the rule
 above, then by submission order.
+
+**Two cores.**  The scheduler runs on one of two interchangeable state
+representations (``FleetConfig.core`` / ``REPRO_FLEET_CORE``):
+
+* ``"bitmap"`` (default) — the data-oriented core: gang state lives in a
+  :class:`~repro.fleet.gang.BitmapGangAllocator` (numpy masks + O(1)
+  owner index), and capacity events, injected failures and job
+  ready-times share **one indexed event heap** whose entries are
+  ``(time, rank, seq, ...)`` tuples — rank encodes the tie-break contract
+  (capacity < job arrival < failure) so the heap top *is* the branch the
+  scan loop would have chosen.  Completions live in a second lazy heap
+  keyed ``(completion_ms, sequence)`` with per-attempt validity tokens,
+  and admission passes are skipped entirely at boundaries where nothing
+  admission-relevant changed (a dirty flag raised by every queue /
+  capacity / free-pool mutation).
+* ``"object"`` — the original per-device object allocator and per-tick
+  scan loops, retained verbatim as a bit-identity oracle.  Reports,
+  snapshots and every scheduling decision are identical across cores;
+  the equivalence suite and ``benchmarks/bench_fleet_scale.py`` pin it.
 """
 
 from __future__ import annotations
@@ -63,7 +82,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.cluster.topology import ClusterTopology
-from repro.fleet.gang import DeviceGang, GangAllocator
+from repro.fleet.gang import DeviceGang, make_allocator, resolve_fleet_core
 from repro.instructions.store import InstructionStore
 from repro.runtime.planner_pool import PlannerPool
 from repro.fleet.job import JobAttempt, JobRecord, JobSpec, JobState
@@ -100,6 +119,16 @@ _FLEET_STATS = REGISTRY.counter_dict(
         "restores",
     ),
 )
+
+
+#: Unified-event-heap ranks (bitmap core).  At equal times the heap pops
+#: capacity events before job-ready marks before failures — exactly the
+#: scan loop's *completion ≤ capacity ≤ arrival ≤ failure* contract
+#: (completions live in their own heap and win ties by comparing ``<=``
+#: against the event heap's top).
+_RANK_CAPACITY = 0
+_RANK_READY = 1
+_RANK_FAILURE = 2
 
 
 @dataclass(frozen=True)
@@ -190,6 +219,10 @@ class FleetConfig:
             admission pass).  May call :meth:`FleetScheduler.checkpoint`;
             an exception it raises propagates out of ``run()`` (this is how
             the tests and the chaos harness simulate a scheduler crash).
+        core: Scheduler core — ``"bitmap"`` (default; array/bitmap state,
+            unified event heap) or ``"object"`` (the original per-device
+            object core, retained as a bit-identity oracle).  ``None``
+            defers to the ``REPRO_FLEET_CORE`` environment variable.
     """
 
     policy: "str | SchedulingPolicy" = "fifo"
@@ -210,6 +243,7 @@ class FleetConfig:
     checkpoint_interval_events: int | None = None
     checkpoint_sink: "Callable[[dict[str, Any]], None] | None" = None
     on_event: "Callable[[FleetScheduler], None] | None" = None
+    core: "str | None" = None
 
 
 @dataclass
@@ -229,6 +263,10 @@ class _RunningJob:
     #: inline fallback (every pool worker dead); folded into the record's
     #: ``degraded_iterations`` when the iteration commits.
     pending_degraded: bool = False
+    #: Validity token of the job's entry in the bitmap core's completion
+    #: heap; stale heap entries (earlier iterations, ended attempts) carry
+    #: an old token and are discarded lazily at peek time.
+    token: int = 0
 
 
 class FleetScheduler:
@@ -258,7 +296,25 @@ class FleetScheduler:
                 f"regrow_min_boundaries must be >= 0, got {self.config.regrow_min_boundaries}"
             )
         self._preempts = self._adapt_preempts(self.policy)
-        self.allocator = GangAllocator(topology)
+        #: Resolved scheduler core; ``_fast`` gates every data-oriented path.
+        self.core = resolve_fleet_core(self.config.core)
+        self._fast = self.core == "bitmap"
+        #: Policies that can never preempt skip the per-boundary eviction
+        #: scan entirely in the fast core.
+        self._never_preempts = bool(
+            getattr(
+                self.policy,
+                "never_preempts",
+                getattr(self.policy, "preempts", None) is None,
+            )
+        )
+        #: Non-aging priority policies admit a cheap conservative eviction
+        #: prefilter (max static priority over the pending queue).
+        self._static_priority = (
+            isinstance(self.policy, PreemptivePriorityPolicy)
+            and self.policy.aging_ms is None
+        )
+        self.allocator = make_allocator(topology, self.core)
         self.jobs: dict[str, JobRecord] = {}
         self._pending: list[JobRecord] = []
         self._running: dict[str, _RunningJob] = {}
@@ -313,6 +369,26 @@ class FleetScheduler:
         self._repair_durations: list[float] = []
         #: Applied planner-side faults (worker kills, store plan losses).
         self._fault_log: list[dict[str, Any]] = []
+        # --- bitmap-core state: the unified event heap merges capacity
+        # events, injected failures and job ready-times into one ordered
+        # source; completions live in their own lazy heap; the dirty flag
+        # elides admission passes at boundaries where nothing admission-
+        # relevant changed.  All of it is rebuilt from the neutral snapshot
+        # fields at run(), so checkpoints stay core-independent. ---
+        #: Entries ``(time_ms, rank, seq, kind, payload, epoch)``; see the
+        #: ``_RANK_*`` constants for the tie-break encoding.
+        self._event_heap: "list[tuple[float, int, int, str, Any, Any]]" = []
+        self._event_seq = 0
+        #: Entries ``(completion_ms, sequence, token, job_name)``.
+        self._completion_heap: "list[tuple[float, int, int, str]]" = []
+        self._completion_token = 0
+        #: Count of queued repair/arrival entries (planner faults never add
+        #: capacity), so ``_capacity_pending`` is O(1) when trivially false.
+        self._capacity_live_entries = 0
+        self._admit_dirty = True
+        #: Cached max static priority over the pending queue (eviction
+        #: prefilter); ``None`` = recompute on next use.
+        self._pending_priority_cache: "float | None" = None
 
     @staticmethod
     def _adapt_preempts(policy: SchedulingPolicy) -> "Callable[[JobRecord, JobRecord, float], bool]":
@@ -479,9 +555,17 @@ class FleetScheduler:
     def _push_capacity_event(
         self, time_ms: float, kind: str, device: int, epoch: "int | None" = None
     ) -> None:
-        heapq.heappush(
-            self._capacity_heap, (time_ms, self._capacity_seq, kind, device, epoch)
-        )
+        if self._fast:
+            heapq.heappush(
+                self._event_heap,
+                (time_ms, _RANK_CAPACITY, self._capacity_seq, kind, device, epoch),
+            )
+            if kind in ("repair", "arrival"):
+                self._capacity_live_entries += 1
+        else:
+            heapq.heappush(
+                self._capacity_heap, (time_ms, self._capacity_seq, kind, device, epoch)
+            )
         self._capacity_seq += 1
 
     def _capacity_event_live(self, kind: str, device: int, epoch: "int | None") -> bool:
@@ -495,8 +579,8 @@ class FleetScheduler:
         if kind in ("planner_kill", "store_error"):
             return False
         if kind == "arrival":
-            return device in self.allocator.absent_devices
-        if device not in self.allocator.failed_devices:
+            return self.allocator.is_absent(device)
+        if not self.allocator.is_failed(device):
             return False
         return epoch is None or self._failure_epoch.get(device) == epoch
 
@@ -521,6 +605,8 @@ class FleetScheduler:
             self._failures_sorted = sorted(
                 self._failures, key=lambda f: (f.time_ms, f.device)
             )
+        if self._fast:
+            self._seed_event_heap()
         try:
             # Restored running attempts are re-materialised here — inside
             # the try — so their planning resources are owned by the same
@@ -571,8 +657,186 @@ class FleetScheduler:
         if config.on_event is not None:
             config.on_event(self)
 
+    # ------------------------------------------------------------------ bitmap core
+
+    def _seed_event_heap(self) -> None:
+        """Build the unified event heap at the start of a (restored) run.
+
+        Capacity events are stored neutrally — injections and restored
+        snapshots land in ``_capacity_heap`` — and move here preserving
+        their ``(time, seq)`` identity, so cross-core restores replay the
+        same tie-breaks.  Injected failures enter with their schedule index
+        as the seq (``_failures_sorted`` order), and every pending job with
+        a future ready-time gets a job-ready mark.
+        """
+        for time_ms, seq, kind, device, epoch in self._capacity_heap:
+            heapq.heappush(
+                self._event_heap, (time_ms, _RANK_CAPACITY, seq, kind, device, epoch)
+            )
+            if kind in ("repair", "arrival"):
+                self._capacity_live_entries += 1
+        self._capacity_heap = []
+        failures = self._failures_sorted or []
+        for index in range(self._next_failure, len(failures)):
+            failure = failures[index]
+            heapq.heappush(
+                self._event_heap,
+                (failure.time_ms, _RANK_FAILURE, index, "failure", failure.device, None),
+            )
+        for record in self._pending:
+            self._push_ready_event(record)
+
+    def _push_ready_event(self, record: JobRecord) -> None:
+        """Mark a queued job's future ready-time in the event heap.
+
+        Jobs already admissible (ready ≤ clock) need no mark — the next
+        admission pass sees them; the clock never moves backwards, so a
+        mark skipped now can never be needed later.
+        """
+        ready_ms = self._ready_ms(record)
+        if ready_ms > self._clock:
+            self._event_seq += 1
+            heapq.heappush(
+                self._event_heap,
+                (ready_ms, _RANK_READY, self._event_seq, "ready", record.spec.name, None),
+            )
+
+    def _on_requeued(self, record: JobRecord) -> None:
+        """Bookkeeping hook after ``record`` re-enters the pending queue."""
+        self._pending_priority_cache = None
+        if self._fast:
+            self._admit_dirty = True
+            self._push_ready_event(record)
+
+    def _pending_max_priority(self) -> float:
+        """Max static priority over the pending queue (cached)."""
+        cached = self._pending_priority_cache
+        if cached is None:
+            cached = max(
+                (record.spec.priority for record in self._pending),
+                default=float("-inf"),
+            )
+            self._pending_priority_cache = cached
+        return cached
+
+    def _peek_completion(self) -> "tuple[float, _RunningJob | None]":
+        """Next live completion ``(time, running)``; lazily drops stale entries.
+
+        An entry is live iff its job is still running *and* its token
+        matches the attempt's current iteration — entries from committed
+        iterations or ended attempts are discarded on sight.  Live entries
+        order by ``(completion_ms, sequence)``, the scan loop's exact
+        tie-break.
+        """
+        heap = self._completion_heap
+        while heap:
+            completion_ms, _sequence, token, name = heap[0]
+            running = self._running.get(name)
+            if running is not None and running.token == token:
+                return completion_ms, running
+            heapq.heappop(heap)
+        return float("inf"), None
+
+    def _peek_next_event(self, clock: float) -> float:
+        """Time of the next live event-heap entry (``inf`` when drained).
+
+        Capacity and failure entries are always live (stale capacity
+        events are consumed as no-op loop events, exactly like the scan
+        loop).  A job-ready mark is live only while its job is still
+        pending with that exact ready-time in the future — re-queues push
+        fresh marks, so superseded ones are dropped here.
+        """
+        heap = self._event_heap
+        while heap:
+            entry = heap[0]
+            if entry[1] == _RANK_READY:
+                record = self.jobs[entry[4]]
+                if (
+                    entry[0] <= clock
+                    or record.state != JobState.PENDING
+                    or self._ready_ms(record) != entry[0]
+                ):
+                    heapq.heappop(heap)
+                    continue
+            return entry[0]
+        return float("inf")
+
+    def _run_event_loop_fast(self) -> float:
+        """Heap-indexed twin of :meth:`_run_event_loop` (bitmap core).
+
+        One iteration per event, identical branch outcomes: the completion
+        heap's top is compared ``<=`` against the unified event heap's top,
+        whose rank field encodes *capacity ≤ arrival ≤ failure* at equal
+        times — so popping the winner reproduces the scan loop's four-way
+        tie-break without recomputing min() over running jobs or pending
+        ready-times.
+        """
+        infinity = float("inf")
+        event_heap = self._event_heap
+        while self._pending or self._running:
+            self._event_boundary()
+            self._events_processed += 1
+            if self._events_processed > self.config.max_events:
+                raise RuntimeError(
+                    f"fleet scheduler exceeded {self.config.max_events} events; "
+                    "likely a scheduling livelock"
+                )
+            clock = self._clock
+            self._admit(clock)
+            if not self._pending and not self._running:
+                break
+            t_completion, next_completion = self._peek_completion()
+            t_event = self._peek_next_event(clock)
+            if t_completion == infinity and t_event == infinity:
+                # Backstop: nothing executing, no queued event — the
+                # remaining queue is unschedulable (see the scan loop).
+                for record in list(self._pending):
+                    self._mark_failed(
+                        record, clock, "unschedulable: no capacity and no pending events"
+                    )
+                continue
+            if t_completion <= t_event:
+                heapq.heappop(self._completion_heap)
+                self._clock = clock = t_completion
+                assert next_completion is not None
+                self._complete_iteration(next_completion, clock)
+                if t_completion == t_event:
+                    # A capacity/ready/failure event shares this instant;
+                    # the scan loop's next admission pass would see any
+                    # ready-crossing, so the elision guard must too.
+                    self._admit_dirty = True
+            else:
+                time_ms, rank, _seq, kind, payload, epoch = heapq.heappop(event_heap)
+                self._clock = clock = time_ms
+                self._admit_dirty = True
+                if rank == _RANK_CAPACITY:
+                    if kind in ("repair", "arrival"):
+                        self._capacity_live_entries -= 1
+                    self._apply_capacity_event(kind, payload, clock, epoch)
+                elif rank == _RANK_FAILURE:
+                    self._apply_failure(payload, clock)
+                    self._next_failure += 1
+                # _RANK_READY: the clock advanced to the ready-time; the
+                # next iteration's admission pass seats the job.
+        # Drain events due by the end of the run (same contract as the
+        # scan loop: ascending time, capacity before failure at ties;
+        # job-ready marks are moot once the queue is empty).
+        clock = self._clock
+        while event_heap and event_heap[0][0] <= clock:
+            _time_ms, rank, _seq, kind, payload, epoch = heapq.heappop(event_heap)
+            if rank == _RANK_CAPACITY:
+                if kind in ("repair", "arrival"):
+                    self._capacity_live_entries -= 1
+                self._apply_capacity_event(kind, payload, clock, epoch)
+            elif rank == _RANK_FAILURE:
+                self._apply_failure(payload, clock)
+                self._next_failure += 1
+        return clock
+
     def _run_event_loop(self) -> float:
         """Process events until every job is terminal; returns the end clock."""
+        if self._fast:
+            return self._run_event_loop_fast()
         assert self._failures_sorted is not None
         failures = self._failures_sorted
         while self._pending or self._running:
@@ -681,6 +945,14 @@ class FleetScheduler:
 
     def _capacity_pending(self) -> bool:
         """Whether any queued repair/arrival could still grow the alive set."""
+        if self._fast:
+            if self._capacity_live_entries == 0:
+                return False
+            return any(
+                self._capacity_event_live(entry[3], entry[4], entry[5])
+                for entry in self._event_heap
+                if entry[1] == _RANK_CAPACITY
+            )
         return any(
             self._capacity_event_live(kind, device, epoch)
             for _, _, kind, device, epoch in self._capacity_heap
@@ -696,11 +968,40 @@ class FleetScheduler:
         admission — otherwise an evicted victim would be backfilled right
         back onto the devices just freed for the waiter, ping-ponging
         evictions without ever seating it.
+
+        In the bitmap core the pass is elided outright at boundaries where
+        nothing admission-relevant changed since the last pass (no queue,
+        free-pool, alive-set or capacity-heap mutation — policy order keys
+        may drift with the clock, but an admission needs a *fit*, and the
+        previous pass exhausted those), and the policy sort is skipped when
+        no admissible job could fit the free pool or be declared
+        unschedulable (allocation succeeds iff ``gang size ≤ free count``,
+        so a scan could only have appended to ``draining`` — no side
+        effects).
         """
+        if self._fast:
+            if not self._admit_dirty:
+                return
+            self._admit_dirty = False
         progressed = True
         while progressed:
             progressed = False
             admissible = [r for r in self._pending if self._ready_ms(r) <= clock]
+            if self._fast:
+                if not admissible:
+                    return
+                free_count = self.allocator.free_count
+                feasible = False
+                for record in admissible:
+                    data_parallel = self._allowed_data_parallel(record.spec)
+                    if (
+                        data_parallel is None
+                        or record.spec.gang_size(data_parallel) <= free_count
+                    ):
+                        feasible = True
+                        break
+                if not feasible:
+                    return
             draining: list[JobRecord] = []
             for record in self.policy.order(admissible, clock):
                 if any(self._preempts(waiter, record, clock) for waiter in draining):
@@ -731,6 +1032,7 @@ class FleetScheduler:
                         draining.append(record)
                     continue  # busy right now — backfill with the next job
                 self._pending.remove(record)
+                self._pending_priority_cache = None
                 self._start_attempt(record, gang, clock)
                 progressed = True
                 break  # queue changed; recompute policy order
@@ -801,6 +1103,18 @@ class FleetScheduler:
         running.pending_degraded = running.execution.last_step_degraded
         running.iteration_started_ms = clock
         running.completion_ms = clock + record_.measured_ms
+        if self._fast:
+            self._completion_token += 1
+            running.token = self._completion_token
+            heapq.heappush(
+                self._completion_heap,
+                (
+                    running.completion_ms,
+                    running.record.sequence,
+                    running.token,
+                    running.record.spec.name,
+                ),
+            )
 
     def _complete_iteration(self, running: _RunningJob, clock: float) -> None:
         """Commit the in-flight iteration, then act on the boundary.
@@ -891,6 +1205,8 @@ class FleetScheduler:
         running.pending = None
         self.allocator.release(running.gang)
         del self._running[running.record.spec.name]
+        # The free pool grew (or ownership changed): re-run admission.
+        self._admit_dirty = True
 
     # ------------------------------------------------------------------ graceful preemption
 
@@ -908,6 +1224,8 @@ class FleetScheduler:
         need = waiter.spec.gang_size(data_parallel)
         if self.allocator.free_count >= need:
             return False  # fits without eviction; the next _admit seats it
+        if self._fast and self._never_preempts:
+            return False  # no running gang is ever evictable
         evictable = sum(
             other.gang.size
             for other in self._running.values()
@@ -922,6 +1240,16 @@ class FleetScheduler:
         checkpoint intact and spends no retry budget (this is
         time-slicing, not a failure)."""
         victim = running.record
+        if self._fast:
+            if self._never_preempts:
+                return False
+            if (
+                self._static_priority
+                and self._pending_max_priority() <= victim.spec.priority
+            ):
+                # No queued job's (static) priority beats the victim's, so
+                # no waiter can preempt it — skip the scan.
+                return False
         waiting = [
             record
             for record in self._pending
@@ -938,6 +1266,7 @@ class FleetScheduler:
             victim.state = JobState.PENDING
             victim.last_queued_ms = clock
             self._pending.append(victim)
+            self._on_requeued(victim)
             _FLEET_STATS["evictions"] += 1
             _obs_publish(
                 "job_evicted",
@@ -1021,10 +1350,7 @@ class FleetScheduler:
 
     def _apply_failure(self, device: int, clock: float) -> None:
         """A device dies: preempt the owning job (if any) mid-iteration."""
-        was_dead = (
-            device in self.allocator.failed_devices
-            or device in self.allocator.absent_devices
-        )
+        was_dead = self.allocator.is_failed(device) or self.allocator.is_absent(device)
         gang = self.allocator.fail_device(device)
         if not was_dead:
             self._down_since[device] = clock
@@ -1193,6 +1519,7 @@ class FleetScheduler:
                     record.state = JobState.PENDING
                     record.last_queued_ms = clock
                     self._pending.append(record)
+                    self._on_requeued(record)
                     return
         record.retries += 1
         if record.retries > record.spec.max_retries:
@@ -1206,6 +1533,7 @@ class FleetScheduler:
         record.state = JobState.PENDING
         record.last_queued_ms = clock
         self._pending.append(record)
+        self._on_requeued(record)
 
     def _mark_failed(
         self, record: JobRecord, clock: float, reason: str, dequeue: bool = True
@@ -1213,6 +1541,8 @@ class FleetScheduler:
         """Terminal failure: the job keeps its checkpoint but never runs again."""
         if dequeue and record in self._pending:
             self._pending.remove(record)
+        self._pending_priority_cache = None
+        self._admit_dirty = True
         record.state = JobState.FAILED
         record.failure_reason = reason
         record.finished_ms = clock
@@ -1311,6 +1641,15 @@ class FleetScheduler:
             # start/completion stamps (it began before the checkpoint).
             running.iteration_started_ms = started_ms
             running.completion_ms = completion_ms
+            if self._fast:
+                # Supersede the entry _advance pushed for the regenerated
+                # iteration with one carrying the snapshot's stamp.
+                self._completion_token += 1
+                running.token = self._completion_token
+                heapq.heappush(
+                    self._completion_heap,
+                    (completion_ms, record.sequence, running.token, spec.name),
+                )
 
     # ------------------------------------------------------------------ reporting
 
@@ -1335,4 +1674,21 @@ class FleetScheduler:
             planner_workers_spawned=self._planner_workers_spawned,
             repair_durations_ms=list(self._repair_durations),
             fault_log=list(self._fault_log),
+            events_processed=self._events_processed,
         )
+
+    def _capacity_heap_snapshot(self) -> "list[list[Any]]":
+        """Queued capacity events in canonical ``(time, seq)`` order.
+
+        Both cores serialize the same neutral 5-tuple layout, so a
+        snapshot taken under one core restores under the other.
+        """
+        if self._fast:
+            entries = [
+                (entry[0], entry[2], entry[3], entry[4], entry[5])
+                for entry in self._event_heap
+                if entry[1] == _RANK_CAPACITY
+            ]
+        else:
+            entries = list(self._capacity_heap)
+        return [list(entry) for entry in sorted(entries, key=lambda e: (e[0], e[1]))]

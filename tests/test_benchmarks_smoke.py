@@ -32,6 +32,7 @@ TIER2_BENCH_FILES = (
     "bench_planner_hotpath.py",
     "bench_fleet_scheduler.py",
     "bench_fleet_faults.py",
+    "bench_fleet_scale.py",
     "bench_sim_engine.py",
     "bench_telemetry_overhead.py",
 )
