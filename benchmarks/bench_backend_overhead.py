@@ -1,0 +1,136 @@
+"""Tier-2 benchmark of execution-backend overhead: sim vs local.
+
+Runs identical planner-style instruction streams through the simulator
+oracle and the real multiprocess local backend, and reports a Fig. 7-style
+row per pipeline geometry:
+
+* ``sim_s`` — wall time of the discrete-event run (virtual time inside),
+* ``local_s`` — wall time of the real run (process spawn + IPC + matching),
+* ``overhead_x`` — how many times slower the real execution is, and
+* ``conformant`` — whether the two backends' conformance fingerprints
+  (per-device completion order, per-channel matching order, completed
+  transfer set) were identical — asserted, so the benchmark doubles as an
+  end-to-end conformance check on larger streams than the unit suite uses.
+
+The local backend's wall time is dominated by worker startup, so the
+interesting signal is how the overhead *scales* with stream size: matching
+itself is cheap and the per-geometry times should grow far slower than the
+instruction count.
+
+Run with ``pytest benchmarks/bench_backend_overhead.py --benchmark-disable
+-s`` (or ``pytest benchmarks/ -m tier2_bench``).  Set
+``REPRO_BENCH_SMOKE=1`` for the reduced tier-1 smoke workload.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.backends import BackendOptions, get_backend
+from repro.comm.planner import build_instruction_streams
+from repro.comm.shapes import TransferShapes
+from repro.model.transformer import MicroBatchShape
+from repro.schedule.cyclic import cyclic_schedule
+from repro.schedule.one_f_one_b import one_f_one_b_schedule
+from repro.simulator.engine import simulate_schedule
+
+from common import emit
+
+#: Reduced workload + no timing asserts (used as a tier-1 smoke check).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+#: (label, schedule builder) per benchmarked geometry.
+if SMOKE:
+    GEOMETRIES = [
+        ("1f1b 2st x 4mb", lambda: one_f_one_b_schedule(2, 4)),
+        ("1f1b 4st x 8mb", lambda: one_f_one_b_schedule(4, 8)),
+    ]
+else:
+    GEOMETRIES = [
+        ("1f1b 2st x 8mb", lambda: one_f_one_b_schedule(2, 8)),
+        ("1f1b 4st x 16mb", lambda: one_f_one_b_schedule(4, 16)),
+        ("1f1b 4st x 32mb", lambda: one_f_one_b_schedule(4, 32)),
+        (
+            "cyclic 4st x 16mb",
+            lambda: cyclic_schedule(
+                4, [[1.0] * 4 for _ in range(16)], memory_limits=[8.0] * 4
+            ),
+        ),
+    ]
+
+HEADERS = ["geometry", "instructions", "transfers", "sim_s", "local_s", "overhead_x", "conformant"]
+
+SHAPE = MicroBatchShape(batch_size=1, enc_seq_len=64)
+
+#: Generous watchdog knobs: the streams are deadlock-free by construction,
+#: so these only bound how long a regression could hang the benchmark.
+LOCAL_KWARGS = dict(block_report_s=1.0, grace_s=0.4, timeout_s=120.0, poll_s=0.01)
+
+
+def planned_streams(schedule):
+    shapes = [SHAPE] * schedule.num_microbatches
+    transfer_shapes = TransferShapes(
+        activation_bytes=[[256.0] * schedule.num_stages for _ in shapes],
+        gradient_bytes=[[256.0] * schedule.num_stages for _ in shapes],
+    )
+    sim = simulate_schedule(schedule, lambda op: 1.0)
+    return build_instruction_streams(schedule, sim.op_times, shapes, transfer_shapes)
+
+
+def bench_geometry(label: str, schedule) -> list:
+    streams = planned_streams(schedule)
+    num_instructions = sum(len(stream) for stream in streams)
+    options = BackendOptions(
+        compute_duration_fn=lambda instr: 1.0,
+        transfer_time_fn=lambda nbytes, src, dst: 0.1,
+    )
+
+    started = time.perf_counter()
+    sim_report = get_backend("sim", options).run_report(streams)
+    sim_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    local_report = get_backend("local", options, **LOCAL_KWARGS).run_report(streams)
+    local_s = time.perf_counter() - started
+
+    conformant = (
+        local_report.conformance_fingerprint() == sim_report.conformance_fingerprint()
+    )
+    assert conformant, f"{label}: local backend diverged from the simulator"
+    assert local_report.payload_errors == 0, f"{label}: corrupted payloads"
+    overhead = local_s / sim_s if sim_s > 0 else float("inf")
+    return [
+        label,
+        num_instructions,
+        len(sim_report.result.transfer_log),
+        round(sim_s, 5),
+        round(local_s, 5),
+        round(overhead, 1),
+        conformant,
+    ]
+
+
+@pytest.mark.tier2_bench
+def test_backend_overhead(benchmark, capsys):
+    def run():
+        return [bench_geometry(label, build()) for label, build in GEOMETRIES]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "backend_overhead",
+        "Execution-backend overhead: identical planned streams on the simulator "
+        "oracle vs the real multiprocess backend (fingerprints asserted equal)",
+        HEADERS,
+        rows,
+        capsys,
+    )
+    # Ordering conformance is asserted per geometry above; the only timing
+    # claim worth enforcing is that real execution stays within a sane
+    # multiple of the simulation on the largest stream (process startup
+    # dominates, so small streams are allowed to look arbitrarily bad).
+    if not SMOKE:
+        largest = rows[-2]  # 1f1b 4st x 32mb
+        assert largest[4] < 30.0, f"local backend took {largest[4]}s on {largest[0]}"

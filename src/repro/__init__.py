@@ -67,6 +67,7 @@ from repro.fleet import (
     PreemptivePriorityPolicy,
 )
 from repro import obs
+from repro.backends import ExecutionBackend, available_backends, get_backend
 from repro.parallel import ParallelConfig, enumerate_parallel_configs, grid_search
 from repro.runtime import ExecutorService, PlannerPool, TrainingOrchestrator
 from repro.training import TrainerConfig, TrainingReport, TrainingSession
@@ -129,6 +130,10 @@ __all__ = [
     "JobSpec",
     "JobState",
     "PreemptivePriorityPolicy",
+    # execution backends
+    "ExecutionBackend",
+    "available_backends",
+    "get_backend",
     # observability
     "obs",
 ]

@@ -27,6 +27,7 @@ from repro.instructions.ops import (
 )
 from repro.instructions.serialization import (
     instruction_from_dict,
+    instruction_signature,
     instruction_to_dict,
     instructions_from_dicts,
     instructions_to_dicts,
@@ -53,6 +54,7 @@ __all__ = [
     "WaitRecvGrad",
     "instruction_to_dict",
     "instruction_from_dict",
+    "instruction_signature",
     "instructions_to_dicts",
     "instructions_from_dicts",
     "InstructionStore",

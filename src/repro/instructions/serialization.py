@@ -64,6 +64,23 @@ def instruction_from_dict(payload: dict[str, Any]) -> PipelineInstruction:
     return cls(peer=int(payload["peer"]), **common)  # type: ignore[call-arg]
 
 
+def instruction_signature(instruction: PipelineInstruction) -> tuple[str, int, int, int]:
+    """Canonical identity of an instruction: ``(kind, microbatch, stage, peer)``.
+
+    Signatures survive serialisation round-trips and process boundaries
+    unchanged (they carry no shapes or byte counts), so execution backends
+    use them to report per-device completion order and differential
+    harnesses compare the reports across backends.  Compute instructions
+    use ``peer = -1``.
+    """
+    return (
+        instruction.kind.value,
+        instruction.microbatch,
+        instruction.stage,
+        int(getattr(instruction, "peer", -1)),
+    )
+
+
 def instructions_to_dicts(instructions: Iterable[PipelineInstruction]) -> list[dict[str, Any]]:
     """Serialise a sequence of instructions."""
     return [instruction_to_dict(instruction) for instruction in instructions]

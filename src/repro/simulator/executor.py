@@ -56,11 +56,50 @@ TransferKey = tuple[int, int, int, CommDirection]
 
 
 class CommunicationDeadlockError(RuntimeError):
-    """Raised when the posted communication orders can never be matched."""
+    """Raised when the posted communication orders can never be matched.
 
-    def __init__(self, message: str, blocked_devices: list[int] | None = None) -> None:
+    Attributes:
+        blocked_devices: Devices whose streams could not run to completion.
+        blocked_detail: One dictionary per blocked device describing the
+            instruction it is stuck on (a ``Wait*`` op): ``device``, ``kind``
+            (:class:`~repro.instructions.ops.InstructionKind` value),
+            ``microbatch``, ``stage`` and ``peer``.  Execution backends other
+            than the simulator raise the same type with the same fields, so
+            differential harnesses can assert on *which* op hung.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        blocked_devices: list[int] | None = None,
+        blocked_detail: list[dict] | None = None,
+    ) -> None:
         super().__init__(message)
         self.blocked_devices = blocked_devices or []
+        self.blocked_detail = blocked_detail or []
+
+
+def blocked_instruction_detail(
+    device: int, instr: PipelineInstruction
+) -> dict:
+    """The :attr:`CommunicationDeadlockError.blocked_detail` entry for a
+    device stuck on ``instr`` (shared by the simulator and real backends)."""
+    return {
+        "device": device,
+        "kind": instr.kind.value,
+        "microbatch": instr.microbatch,
+        "stage": instr.stage,
+        "peer": getattr(instr, "peer", -1),
+    }
+
+
+def describe_blocked_detail(blocked_detail: list[dict]) -> str:
+    """Human-readable summary of blocked instructions for error messages."""
+    return "; ".join(
+        f"device {d['device']} stuck on {d['kind']} "
+        f"(microbatch={d['microbatch']}, stage={d['stage']}, peer={d['peer']})"
+        for d in blocked_detail
+    )
 
 
 @dataclass
@@ -293,17 +332,29 @@ class InstructionExecutor:
             if not progressed:
                 mismatched = head_mismatch_pairs()
                 blocked = [d for d in range(num_devices) if pointers[d] < len(device_instructions[d])]
+                # A blocked device always sits on a Wait (everything else
+                # executes eagerly), so the head of its remaining stream is
+                # the op that hung.
+                blocked_detail = [
+                    blocked_instruction_detail(d, device_instructions[d][pointers[d]])
+                    for d in blocked
+                ]
+                blocked_summary = describe_blocked_detail(blocked_detail)
                 if mismatched:
                     detail = ", ".join(f"devices {a}<->{b}" for a, b in mismatched)
                     raise CommunicationDeadlockError(
                         f"communication order mismatch on channel(s): {detail}; "
-                        "the posted send/receive orders of the two sides can never match",
+                        "the posted send/receive orders of the two sides can never "
+                        f"match: {blocked_summary}",
                         blocked_devices=blocked,
+                        blocked_detail=blocked_detail,
                     )
                 raise CommunicationDeadlockError(
                     "execution stalled: devices are waiting on transfers whose peer "
-                    "operation is never posted (missing or mis-ordered Start ops)",
+                    "operation is never posted (missing or mis-ordered Start ops): "
+                    f"{blocked_summary}",
                     blocked_devices=blocked,
+                    blocked_detail=blocked_detail,
                 )
 
         makespan = max(clocks) if clocks else 0.0

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
+from repro.backends import BackendOptions, ExecutionBackend, get_backend
 from repro.batching.metrics import PaddingStats
 from repro.cluster.device import SimulatedGPU
 from repro.cluster.network import NetworkModel
@@ -33,7 +34,7 @@ from repro.model.transformer import build_stage_models
 from repro.obs import state as _obs_state
 from repro.obs.spans import span as _span
 from repro.runtime.planner_pool import PlannerPool
-from repro.simulator.executor import ExecutionResult, InstructionExecutor
+from repro.simulator.executor import ExecutionResult
 from repro.training.throughput import IterationRecord, TrainingReport
 from repro.utils.rng import SeedLike, new_rng
 
@@ -86,6 +87,18 @@ class TrainerConfig:
             iterations ``>= start_iteration`` of an uninterrupted run
             bit-identically — the checkpoint/resume contract of the fleet
             scheduler's elastic re-plan path.
+        execution_backend: Registered execution backend that runs the
+            instruction streams (see :func:`repro.backends.get_backend`).
+            ``"sim"`` (default) is the discrete-event executor and keeps
+            every report bit-identical to previous releases; ``"local"``
+            really executes each replica's streams on one worker process
+            per stage with real IPC — it validates ordering and
+            deadlock-freedom on a live runtime, but its measured iteration
+            times are wall-clock milliseconds of the (tiny) real run, not
+            simulated hardware time, so use it for conformance/validation
+            runs rather than throughput figures.
+        backend_options: Extra keyword arguments for the backend
+            constructor (e.g. the local backend's ``timeout_s``).
     """
 
     max_iterations: int | None = 20
@@ -98,6 +111,8 @@ class TrainerConfig:
     planner_lookahead: int = 4
     planner_timeout_s: float = 600.0
     start_iteration: int = 0
+    execution_backend: str = "sim"
+    backend_options: dict | None = None
 
 
 class TrainingSession:
@@ -163,8 +178,14 @@ class TrainingSession:
 
     # ------------------------------------------------------------------ execution
 
-    def _make_executor(self) -> InstructionExecutor:
-        """Executor with fresh per-iteration noise."""
+    def _make_backend(self) -> ExecutionBackend:
+        """Execution backend with fresh per-iteration noise.
+
+        Exactly one noise-seed draw per call regardless of backend, so the
+        checkpoint/resume RNG fast-forward (one draw per replica executor)
+        stays valid and the default ``"sim"`` backend remains bit-identical
+        to the pre-backend-registry trainer.
+        """
         noisy_gpu = SimulatedGPU(
             self.cost_model.device_spec,
             noise_std=self.config.noise_std,
@@ -188,11 +209,16 @@ class TrainingSession:
         static = [
             self.cost_model.stage_static_bytes(j) for j in range(self.cost_model.num_stages)
         ]
-        return InstructionExecutor(
+        options = BackendOptions(
             compute_duration_fn=duration,
             transfer_time_fn=transfer,
             activation_bytes_fn=activation,
             static_bytes=static,
+        )
+        return get_backend(
+            self.config.execution_backend,
+            options,
+            **(self.config.backend_options or {}),
         )
 
     @staticmethod
@@ -215,8 +241,8 @@ class TrainingSession:
         traces = []
         with _span("execute", num_replicas=len(plans)):
             for plan in plans:
-                executor = self._make_executor()
-                result: ExecutionResult = executor.run(plan.device_instructions)
+                backend = self._make_backend()
+                result: ExecutionResult = backend.run(plan.device_instructions)
                 replica_times.append(result.makespan_ms)
                 peak_memory = max(peak_memory, max(result.peak_memory_bytes))
                 if collect:

@@ -35,6 +35,7 @@ TIER2_BENCH_FILES = (
     "bench_fleet_scale.py",
     "bench_sim_engine.py",
     "bench_telemetry_overhead.py",
+    "bench_backend_overhead.py",
 )
 
 

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
 
+import strategies_instructions
 from repro.comm.planner import build_instruction_streams, build_naive_instruction_streams
 from repro.comm.shapes import TransferShapes
 from repro.instructions.ops import (
@@ -12,6 +14,7 @@ from repro.instructions.ops import (
     RecvActStart,
     SendActStart,
     WaitRecvAct,
+    _CommStart,
 )
 from repro.model.transformer import MicroBatchShape
 from repro.schedule.cyclic import cyclic_schedule
@@ -199,3 +202,88 @@ class TestDeadlockDetection:
         planned = build_instruction_streams(schedule, sim.op_times, shapes, transfer_shapes)
         result = InstructionExecutor(compute_duration_fn=lambda i: 1.0).run(planned)
         assert result.makespan_ms > 0
+
+
+class TestGeneratedStreams:
+    """Property tests over the shared stream strategies
+    (``tests/strategies_instructions.py``), which the conformance suite
+    reuses to compare backends on the same program distribution."""
+
+    @given(strategies_instructions.planned_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_planned_streams_never_deadlock(self, streams):
+        executor = InstructionExecutor(
+            compute_duration_fn=lambda i: 1.0, transfer_time_fn=lambda n, s, d: 0.1
+        )
+        result = executor.run(streams)
+        total_starts = sum(
+            1
+            for stream in streams
+            for instr in stream
+            if isinstance(instr, _CommStart) and instr.is_send
+        )
+        assert len(result.transfer_log) == total_starts
+
+    @given(strategies_instructions.head_mismatched_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_head_mismatched_streams_always_deadlock(self, corrupted):
+        streams, _where = corrupted
+        executor = InstructionExecutor(
+            compute_duration_fn=lambda i: 1.0, transfer_time_fn=lambda n, s, d: 0.1
+        )
+        with pytest.raises(CommunicationDeadlockError) as excinfo:
+            executor.run(streams)
+        assert excinfo.value.blocked_devices
+
+    @given(strategies_instructions.naive_streams())
+    @settings(max_examples=20, deadline=None)
+    def test_naive_streams_complete_or_deadlock_cleanly(self, streams):
+        executor = InstructionExecutor(
+            compute_duration_fn=lambda i: 1.0, transfer_time_fn=lambda n, s, d: 0.1
+        )
+        try:
+            executor.run(streams)
+        except CommunicationDeadlockError as err:
+            assert err.blocked_devices and err.blocked_detail
+
+
+class TestDeadlockDiagnostics:
+    """The executor's deadlock report names the blocked *instruction*, not
+    just the device, so mis-planned streams are debuggable."""
+
+    def test_blocked_detail_names_wait_instruction(self):
+        streams, (device, i, j) = strategies_instructions.known_head_mismatch_streams()
+        with pytest.raises(CommunicationDeadlockError) as excinfo:
+            InstructionExecutor(compute_duration_fn=unit_duration).run(streams)
+        err = excinfo.value
+        assert err.blocked_devices
+        assert len(err.blocked_detail) == len(err.blocked_devices)
+        for entry in err.blocked_detail:
+            assert entry["device"] in err.blocked_devices
+            assert entry["kind"].startswith("wait_")
+            assert entry["microbatch"] >= 0
+            assert entry["stage"] >= 0
+            assert entry["peer"] >= 0
+
+    def test_blocked_detail_pinpoints_missing_peer(self):
+        streams = [
+            [ForwardPass(0, 0, shape=SHAPE)],
+            [
+                RecvActStart(microbatch=3, stage=1, peer=0, nbytes=1.0),
+                WaitRecvAct(microbatch=3, stage=1, peer=0),
+                ForwardPass(3, 1, shape=SHAPE),
+            ],
+        ]
+        with pytest.raises(CommunicationDeadlockError) as excinfo:
+            InstructionExecutor(compute_duration_fn=unit_duration).run(streams)
+        (entry,) = excinfo.value.blocked_detail
+        assert entry == {
+            "device": 1,
+            "kind": "wait_recv_act",
+            "microbatch": 3,
+            "stage": 1,
+            "peer": 0,
+        }
+        # The message itself names micro-batch and stage for log-only users.
+        assert "microbatch=3" in str(excinfo.value)
+        assert "stage=1" in str(excinfo.value)
